@@ -1,0 +1,202 @@
+//! Baselines and approximation-ratio reporting.
+
+use mmlp_core::{CoreError, MaxMinInstance, Solution};
+use mmlp_lp::{solve_maxmin, LpError};
+use serde::{Deserialize, Serialize};
+
+/// The trivial *uniform* baseline: every agent plays the same activity
+/// `t = min_i 1 / Σ_v a_iv`, the largest constant that keeps every resource
+/// within capacity.
+///
+/// Unlike the safe algorithm this rule is **not** local (the tightest
+/// resource can be anywhere in the network); it serves as a centralised
+/// "no-coordination" reference point in the experiments.
+pub fn uniform_baseline(instance: &MaxMinInstance) -> Solution {
+    let t = instance
+        .resource_ids()
+        .map(|i| {
+            let total: f64 = instance.resource(i).agents.iter().map(|(_, a)| a).sum();
+            1.0 / total
+        })
+        .fold(f64::INFINITY, f64::min);
+    let t = if t.is_finite() { t } else { 0.0 };
+    Solution::constant(instance.num_agents(), t)
+}
+
+/// One algorithm's performance on one instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonEntry {
+    /// Human-readable algorithm name.
+    pub name: String,
+    /// The objective `ω` the algorithm achieved.
+    pub objective: f64,
+    /// `ω* / ω` (∞ when the algorithm achieved 0).
+    pub ratio: f64,
+    /// Whether the solution was feasible within the tolerance used.
+    pub feasible: bool,
+}
+
+/// A comparison of several algorithms against the exact optimum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlgorithmComparison {
+    /// The exact optimum `ω*` (centralised simplex baseline).
+    pub optimum: f64,
+    /// Per-algorithm results, in the order supplied.
+    pub entries: Vec<ComparisonEntry>,
+}
+
+/// Errors from the comparison harness.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisError {
+    /// The LP baseline failed.
+    Lp(LpError),
+    /// Evaluating a solution failed (wrong length, non-finite values, …).
+    Core(CoreError),
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisError::Lp(e) => write!(f, "optimum baseline failed: {e}"),
+            AnalysisError::Core(e) => write!(f, "solution evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+impl From<LpError> for AnalysisError {
+    fn from(e: LpError) -> Self {
+        AnalysisError::Lp(e)
+    }
+}
+
+impl From<CoreError> for AnalysisError {
+    fn from(e: CoreError) -> Self {
+        AnalysisError::Core(e)
+    }
+}
+
+/// The approximation ratio `ω* / ω`, with the conventional `∞` when the
+/// achieved objective is 0 and `1` when both are 0.
+pub fn approximation_ratio(optimum: f64, achieved: f64) -> f64 {
+    if optimum <= 0.0 && achieved <= 0.0 {
+        1.0
+    } else if achieved <= 0.0 {
+        f64::INFINITY
+    } else {
+        optimum / achieved
+    }
+}
+
+/// Solves the instance exactly and evaluates every supplied solution against
+/// the optimum.
+pub fn compare_algorithms(
+    instance: &MaxMinInstance,
+    candidates: &[(&str, &Solution)],
+    tolerance: f64,
+) -> Result<AlgorithmComparison, AnalysisError> {
+    let optimum = solve_maxmin(instance)?.objective;
+    let mut entries = Vec::with_capacity(candidates.len());
+    for (name, solution) in candidates {
+        let objective = instance.objective(solution)?;
+        entries.push(ComparisonEntry {
+            name: (*name).to_string(),
+            objective,
+            ratio: approximation_ratio(optimum, objective),
+            feasible: instance.is_feasible(solution, tolerance),
+        });
+    }
+    Ok(AlgorithmComparison { optimum, entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local_averaging::{local_averaging, LocalAveragingOptions};
+    use crate::safe::safe_algorithm;
+    use mmlp_core::InstanceBuilder;
+    use mmlp_instances::{grid_instance, GridConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_grid() -> MaxMinInstance {
+        grid_instance(&GridConfig::square(4), &mut StdRng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn uniform_baseline_is_feasible_and_tight() {
+        let inst = small_grid();
+        let x = uniform_baseline(&inst);
+        assert!(inst.is_feasible(&x, 1e-9));
+        // Some resource must be exactly at capacity (otherwise t could grow).
+        let eval = inst.evaluate(&x).unwrap();
+        assert!((eval.max_resource_usage - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_conventions() {
+        assert_eq!(approximation_ratio(2.0, 1.0), 2.0);
+        assert_eq!(approximation_ratio(0.0, 0.0), 1.0);
+        assert_eq!(approximation_ratio(1.0, 0.0), f64::INFINITY);
+        assert_eq!(approximation_ratio(3.0, 3.0), 1.0);
+    }
+
+    #[test]
+    fn comparison_orders_and_scores_algorithms() {
+        let inst = small_grid();
+        let safe = safe_algorithm(&inst);
+        let averaged = local_averaging(&inst, &LocalAveragingOptions::new(2))
+            .unwrap()
+            .solution;
+        let uniform = uniform_baseline(&inst);
+        let report = compare_algorithms(
+            &inst,
+            &[("safe", &safe), ("local-averaging", &averaged), ("uniform", &uniform)],
+            1e-7,
+        )
+        .unwrap();
+        assert_eq!(report.entries.len(), 3);
+        assert!(report.optimum > 0.0);
+        for entry in &report.entries {
+            assert!(entry.feasible, "{} should be feasible", entry.name);
+            assert!(entry.ratio >= 1.0 - 1e-9, "{} ratio below 1", entry.name);
+            assert!(
+                entry.objective <= report.optimum + 1e-7,
+                "{} beats the optimum",
+                entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_candidates_are_flagged() {
+        let inst = small_grid();
+        let too_much = Solution::constant(inst.num_agents(), 10.0);
+        let report = compare_algorithms(&inst, &[("greedy-overload", &too_much)], 1e-7).unwrap();
+        assert!(!report.entries[0].feasible);
+    }
+
+    #[test]
+    fn wrong_length_solutions_error_out() {
+        let inst = small_grid();
+        let short = Solution::zeros(1);
+        assert!(matches!(
+            compare_algorithms(&inst, &[("broken", &short)], 1e-7),
+            Err(AnalysisError::Core(_))
+        ));
+    }
+
+    #[test]
+    fn uniform_baseline_single_agent() {
+        let mut b = InstanceBuilder::new();
+        let v = b.add_agent();
+        let i = b.add_resource();
+        let k = b.add_party();
+        b.set_consumption(i, v, 4.0);
+        b.set_benefit(k, v, 1.0);
+        let inst = b.build().unwrap();
+        let x = uniform_baseline(&inst);
+        assert!((x.activity(v) - 0.25).abs() < 1e-12);
+    }
+}

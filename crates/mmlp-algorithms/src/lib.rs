@@ -1,0 +1,34 @@
+//! The paper's algorithms for max-min LPs, plus baselines and analysis.
+//!
+//! * [`safe`] — the *safe algorithm* of Papadimitriou–Yannakakis
+//!   (`x_v = min_{i∈I_v} 1/(a_iv |V_i|)`), a local `Δ_I^V`-approximation with
+//!   horizon 1 (Section 4);
+//! * [`local_averaging`] — the local approximation algorithm of Theorem 3:
+//!   every agent solves the local LP (9) in its radius-`R` ball and the
+//!   results are scaled and averaged, achieving ratio `γ(R−1)·γ(R)`
+//!   (Section 5);
+//! * [`runner`] — the bridge to `mmlp-distsim`: run any view-based local rule
+//!   through the synchronous simulator and account for rounds and messages;
+//! * [`analysis`] — the centralised optimum baseline, the trivial uniform
+//!   baseline, and approximation-ratio reporting used by the experiments.
+//!
+//! Every algorithm is available in two equivalent forms: a fast centralised
+//! computation (used by benchmarks and large experiments) and a per-view rule
+//! that can be executed by the distributed simulator; the test-suite checks
+//! that the two forms produce identical solutions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod local_averaging;
+pub mod runner;
+pub mod safe;
+
+pub use analysis::{compare_algorithms, uniform_baseline, AlgorithmComparison, ComparisonEntry};
+pub use local_averaging::{
+    local_averaging, local_averaging_activity_from_view, LocalAveragingOptions,
+    LocalAveragingResult,
+};
+pub use runner::{run_local_rule, views_direct, LocalRun};
+pub use safe::{safe_activity_from_view, safe_algorithm, SAFE_HORIZON};

@@ -1,0 +1,195 @@
+//! The safe algorithm (Papadimitriou–Yannakakis), Section 4 of the paper.
+//!
+//! Every agent chooses
+//!
+//! ```text
+//! x_v = min_{i ∈ I_v}  1 / (a_iv · |V_i|)
+//! ```
+//!
+//! i.e. it takes, for each resource it consumes, an equal share of that
+//! resource, and then the most conservative of those shares.  The solution is
+//! always feasible, the rule only needs the radius-1 neighbourhood (an agent's
+//! neighbours along each of its resources), and the paper shows the resulting
+//! objective is within a factor `Δ_I^V = max_i |V_i|` of the optimum — which
+//! Theorem 1 proves is within a factor of about 2 of the best any local
+//! algorithm can do.
+
+use mmlp_core::{MaxMinInstance, Solution};
+use mmlp_distsim::LocalView;
+
+/// The local horizon the safe algorithm needs.
+pub const SAFE_HORIZON: usize = 1;
+
+/// Runs the safe algorithm centrally over the whole instance.
+pub fn safe_algorithm(instance: &MaxMinInstance) -> Solution {
+    let values = instance
+        .agent_ids()
+        .map(|v| {
+            instance
+                .agent(v)
+                .resources
+                .iter()
+                .map(|(i, a_iv)| {
+                    let support = instance.resource_support(*i).count();
+                    1.0 / (a_iv * support as f64)
+                })
+                .fold(f64::INFINITY, f64::min)
+        })
+        .map(|x| if x.is_finite() { x } else { 0.0 })
+        .collect();
+    Solution::new(values)
+}
+
+/// The safe algorithm as a view-based rule: computes the centre agent's
+/// activity from its radius-1 (or larger) local view.
+///
+/// Agents with no resource constraint (possible only in relaxed instances
+/// such as the paper's `S'`) output 0, the conservative choice.
+pub fn safe_activity_from_view(view: &LocalView) -> f64 {
+    let Some(own) = view.knowledge(view.center) else {
+        return 0.0;
+    };
+    let visible = view.visible_resources();
+    let x = own
+        .resources
+        .iter()
+        .map(|(i, a_iv)| {
+            let support = visible.get(i).map(|s| s.len()).unwrap_or(1);
+            1.0 / (a_iv * support as f64)
+        })
+        .fold(f64::INFINITY, f64::min);
+    if x.is_finite() {
+        x
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmlp_core::bounds::safe_upper_bound;
+    use mmlp_core::InstanceBuilder;
+    use mmlp_hypergraph::communication_hypergraph;
+    use mmlp_instances::{random_instance, RandomInstanceConfig};
+    use mmlp_lp::solve_maxmin;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Two agents sharing a unit resource, one party each.
+    fn shared_resource_instance() -> MaxMinInstance {
+        let mut b = InstanceBuilder::new();
+        let v = b.add_agents(2);
+        let i = b.add_resource();
+        b.set_consumption(i, v[0], 1.0);
+        b.set_consumption(i, v[1], 1.0);
+        for &vv in &v {
+            let k = b.add_party();
+            b.set_benefit(k, vv, 1.0);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn equal_share_on_a_shared_resource() {
+        let inst = shared_resource_instance();
+        let x = safe_algorithm(&inst);
+        assert_eq!(x.activities(), &[0.5, 0.5]);
+        assert!(inst.is_feasible(&x, 1e-12));
+        // Here the safe solution is actually optimal.
+        let opt = solve_maxmin(&inst).unwrap();
+        assert!((opt.objective - inst.objective(&x).unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn takes_the_most_conservative_share() {
+        // Agent 0 consumes two resources: one private (share 1), one shared
+        // with coefficient 2 among 3 agents (share 1/6); it must pick 1/6.
+        let mut b = InstanceBuilder::new();
+        let v = b.add_agents(3);
+        let private = b.add_resource();
+        b.set_consumption(private, v[0], 1.0);
+        let shared = b.add_resource();
+        for &vv in &v {
+            b.set_consumption(shared, vv, 2.0);
+        }
+        let k = b.add_party();
+        b.set_benefit(k, v[0], 1.0);
+        let inst = b.build().unwrap();
+        let x = safe_algorithm(&inst);
+        assert!((x.activity(v[0]) - 1.0 / 6.0).abs() < 1e-12);
+        assert!(inst.is_feasible(&x, 1e-12));
+    }
+
+    #[test]
+    fn always_feasible_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let inst = random_instance(&RandomInstanceConfig::default(), &mut rng);
+            let x = safe_algorithm(&inst);
+            assert!(inst.is_feasible(&x, 1e-9));
+        }
+    }
+
+    #[test]
+    fn respects_the_delta_approximation_guarantee() {
+        // ω* ≤ Δ_I^V · ω_safe on a batch of random instances (Section 4).
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let cfg = RandomInstanceConfig {
+                num_agents: 20,
+                num_resources: 25,
+                num_parties: 12,
+                ..Default::default()
+            };
+            let inst = random_instance(&cfg, &mut rng);
+            let x = safe_algorithm(&inst);
+            let safe_objective = inst.objective(&x).unwrap();
+            let opt = solve_maxmin(&inst).unwrap();
+            let bound = safe_upper_bound(inst.degree_bounds().max_resource_support);
+            assert!(
+                opt.objective <= bound * safe_objective + 1e-7,
+                "optimum {} exceeds Δ_I^V · safe = {} · {}",
+                opt.objective,
+                bound,
+                safe_objective
+            );
+        }
+    }
+
+    #[test]
+    fn view_based_rule_matches_central_computation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..5 {
+            let inst = random_instance(&RandomInstanceConfig::default(), &mut rng);
+            let central = safe_algorithm(&inst);
+            let (h, _) = communication_hypergraph(&inst);
+            for v in inst.agent_ids() {
+                let view = LocalView::from_instance(&inst, &h, v, SAFE_HORIZON);
+                let local = safe_activity_from_view(&view);
+                assert!(
+                    (local - central.activity(v)).abs() < 1e-12,
+                    "agent {v}: view-based {local} vs central {}",
+                    central.activity(v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unconstrained_agent_outputs_zero() {
+        let mut b = InstanceBuilder::new();
+        let v0 = b.add_agent();
+        let v1 = b.add_agent();
+        let i = b.add_resource();
+        let k = b.add_party();
+        b.set_consumption(i, v0, 1.0);
+        b.set_benefit(k, v0, 1.0);
+        b.set_benefit(k, v1, 1.0);
+        b.allow_unconstrained_agents();
+        let inst = b.build().unwrap();
+        let x = safe_algorithm(&inst);
+        assert_eq!(x.activity(v1), 0.0);
+        assert_eq!(x.activity(v0), 1.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Benchmark for experiment E4: the local averaging algorithm on tori as a
+//! function of the radius `R` (per-agent local LPs dominate the cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maxmin_local_lp::prelude::*;
+use mmlp_bench::torus_fixture;
+
+fn bench_local_averaging_radius(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_local_averaging_radius");
+    group.sample_size(10);
+    let inst = torus_fixture(8);
+    for radius in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(radius), &radius, |b, &radius| {
+            b.iter(|| {
+                let result = local_averaging(&inst, &LocalAveragingOptions::new(radius)).unwrap();
+                std::hint::black_box(inst.objective(&result.solution).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_growth_profile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_growth_profile");
+    group.sample_size(20);
+    for side in [8usize, 12, 16] {
+        let inst = torus_fixture(side);
+        let (h, _) = communication_hypergraph(&inst);
+        group.bench_with_input(BenchmarkId::from_parameter(side), &h, |b, h| {
+            b.iter(|| std::hint::black_box(growth_profile(h, 4).gamma[4]))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_averaging_radius, bench_growth_profile);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Benchmark for experiments E2/E3: building the Theorem 1 / Corollary 2
+//! adversarial instances `S`, deriving `S'` and checking the alternating
+//! solution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maxmin_local_lp::prelude::*;
+use mmlp_bench::bench_rng;
+
+fn corollary_config(delta: usize) -> LowerBoundConfig {
+    LowerBoundConfig {
+        max_resource_support: delta,
+        max_party_support: 2,
+        local_horizon: 1,
+        tree_radius: 2,
+    }
+}
+
+fn bench_build_s(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_build_construction_s");
+    group.sample_size(10);
+    for delta in [3usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(delta), &delta, |b, &delta| {
+            b.iter(|| {
+                let lb = LowerBoundInstance::build(corollary_config(delta), &mut bench_rng(7));
+                std::hint::black_box(lb.instance.num_agents())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_derive_s_prime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_derive_s_prime");
+    group.sample_size(10);
+    let lb = LowerBoundInstance::build(corollary_config(3), &mut bench_rng(8));
+    let x = safe_algorithm(&lb.instance);
+    group.bench_function("select_restrict_verify", |b| {
+        b.iter(|| {
+            let sub = lb.sub_instance(&x);
+            let x_hat = alternating_solution(&sub);
+            std::hint::black_box(sub.instance.objective(&x_hat).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build_s, bench_derive_s_prime);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Benchmark for experiment E1: the safe algorithm and the exact LP baseline
+//! across resource-degree regimes on random bounded-degree instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maxmin_local_lp::prelude::*;
+use mmlp_bench::random_fixture;
+
+fn bench_safe_algorithm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_safe_algorithm");
+    group.sample_size(20);
+    for delta in [2usize, 4, 6] {
+        let inst = random_fixture(80, delta);
+        group.bench_with_input(BenchmarkId::from_parameter(delta), &inst, |b, inst| {
+            b.iter(|| {
+                let x = safe_algorithm(inst);
+                std::hint::black_box(inst.objective(&x).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimal_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_optimum_simplex");
+    group.sample_size(10);
+    for agents in [40usize, 80, 160] {
+        let inst = random_fixture(agents, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(agents), &inst, |b, inst| {
+            b.iter(|| std::hint::black_box(solve_maxmin(inst).unwrap().objective))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_safe_algorithm, bench_optimal_baseline);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Benchmark for experiment E6: scalability of the simulated distributed
+//! execution — gathering radius-r views and running the safe algorithm as
+//! the torus grows, plus the parallel speed-up of the per-agent work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maxmin_local_lp::prelude::*;
+use mmlp_bench::torus_fixture;
+
+fn bench_distributed_safe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_distributed_safe");
+    group.sample_size(10);
+    for side in [8usize, 16, 24] {
+        let inst = torus_fixture(side);
+        group.bench_with_input(BenchmarkId::from_parameter(side * side), &inst, |b, inst| {
+            b.iter(|| {
+                let run = run_local_rule(
+                    inst,
+                    SAFE_HORIZON,
+                    &Simulator::new(),
+                    &ParallelConfig::default(),
+                    safe_activity_from_view,
+                )
+                .unwrap();
+                std::hint::black_box(run.messages)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gather_radius(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_gather_radius");
+    group.sample_size(10);
+    let inst = torus_fixture(16);
+    for radius in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(radius), &radius, |b, &radius| {
+            b.iter(|| {
+                let gathered = gather_views(&inst, radius, &Simulator::new()).unwrap();
+                std::hint::black_box(gathered.message_units)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_speedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_parallel_local_lps");
+    group.sample_size(10);
+    let inst = torus_fixture(12);
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let options = LocalAveragingOptions {
+                    parallel: ParallelConfig::with_threads(threads),
+                    ..LocalAveragingOptions::new(2)
+                };
+                let r = local_averaging(&inst, &options).unwrap();
+                std::hint::black_box(inst.objective(&r.solution).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_distributed_safe,
+    bench_gather_radius,
+    bench_parallel_speedup
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Benchmark for experiment E5: the Section 2 sensor-network application —
+//! instance generation, the safe algorithm, local averaging and the exact
+//! baseline as the deployment grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maxmin_local_lp::prelude::*;
+use mmlp_bench::{bench_rng, sensor_fixture};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_sensor_generation");
+    group.sample_size(20);
+    for sensors in [60usize, 120] {
+        group.bench_with_input(BenchmarkId::from_parameter(sensors), &sensors, |b, &sensors| {
+            b.iter(|| {
+                let cfg = SensorNetworkConfig { num_sensors: sensors, ..Default::default() };
+                std::hint::black_box(
+                    sensor_network_instance(&cfg, &mut bench_rng(5)).num_links(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_algorithms_on_sensor_network(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_sensor_algorithms");
+    group.sample_size(10);
+    let network = sensor_fixture(90);
+    let inst = &network.instance;
+    group.bench_function("safe", |b| {
+        b.iter(|| std::hint::black_box(inst.objective(&safe_algorithm(inst)).unwrap()))
+    });
+    group.bench_function("local_averaging_r1", |b| {
+        b.iter(|| {
+            let r = local_averaging(inst, &LocalAveragingOptions::new(1)).unwrap();
+            std::hint::black_box(inst.objective(&r.solution).unwrap())
+        })
+    });
+    group.bench_function("optimum_simplex", |b| {
+        b.iter(|| std::hint::black_box(solve_maxmin(inst).unwrap().objective))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_algorithms_on_sensor_network);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Each bench target under `benches/` corresponds to one experiment of
+//! `DESIGN.md` §5 (E1–E6); the benchmarks measure the *cost* of the
+//! algorithms and constructions, while the `mmlp-experiments` binaries report
+//! the *quality* numbers (ratios, bounds).
+
+use maxmin_local_lp::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic RNG for benchmark fixtures.
+pub fn bench_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A random bounded-degree instance of the given size and resource-degree.
+pub fn random_fixture(num_agents: usize, max_resource_support: usize) -> MaxMinInstance {
+    let cfg = RandomInstanceConfig {
+        num_agents,
+        num_resources: num_agents + num_agents / 4,
+        num_parties: num_agents / 2,
+        max_resource_support,
+        max_party_support: 3,
+        zero_one_coefficients: false,
+    };
+    random_instance(&cfg, &mut bench_rng(1))
+}
+
+/// A 2-D torus instance of the given side length.
+pub fn torus_fixture(side: usize) -> MaxMinInstance {
+    let cfg = GridConfig { side_lengths: vec![side, side], torus: true, random_weights: true };
+    grid_instance(&cfg, &mut bench_rng(2))
+}
+
+/// A two-tier sensor network fixture.
+pub fn sensor_fixture(num_sensors: usize) -> SensorNetworkInstance {
+    let cfg = SensorNetworkConfig {
+        num_sensors,
+        num_relays: num_sensors / 3,
+        num_areas: 16,
+        ..Default::default()
+    };
+    sensor_network_instance(&cfg, &mut bench_rng(3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_valid() {
+        assert!(random_fixture(30, 3).num_agents() == 30);
+        assert!(torus_fixture(5).num_agents() == 25);
+        assert!(sensor_fixture(30).num_links() > 0);
+    }
+}

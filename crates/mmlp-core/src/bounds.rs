@@ -1,0 +1,241 @@
+//! Closed-form approximation bounds proved in the paper.
+//!
+//! These functions implement the formulas of Sections 4 and 5 so that
+//! experiments can compare measured approximation ratios against the exact
+//! values the paper claims:
+//!
+//! * the safe algorithm's guarantee `Δ_I^V` (Section 4, first paragraph),
+//! * the Theorem 1 local inapproximability threshold
+//!   `Δ_I^V/2 + 1/2 − 1/(2Δ_K^V − 2)`,
+//! * the finite-`R` version of the same bound that appears at the end of the
+//!   proof (Section 4.6),
+//! * the Corollary 2 threshold `Δ_I^V/2`,
+//! * the Theorem 3 guarantee `γ(R−1)·γ(R)`,
+//! * exact ball sizes and relative growth for infinite `d`-dimensional grids,
+//!   used to check the paper's `γ(r) = 1 + Θ(1/r)` claim.
+
+/// The approximation ratio of the safe algorithm: `Δ_I^V = max_i |V_i|`.
+///
+/// The safe algorithm (Papadimitriou–Yannakakis) sets
+/// `x_v = min_{i ∈ I_v} 1 / (a_iv |V_i|)` and is a local `Δ_I^V`-approximation
+/// with horizon `r = 1`.
+pub fn safe_upper_bound(max_resource_support: usize) -> f64 {
+    max_resource_support as f64
+}
+
+/// The Theorem 1 inapproximability threshold.
+///
+/// For `Δ_I^V ≥ 2` and `Δ_K^V ≥ 2`, no local algorithm achieves an
+/// approximation ratio below
+/// `Δ_I^V/2 + 1/2 − 1/(2·Δ_K^V − 2)`,
+/// even restricted to `a_iv ∈ {0,1}`, `Δ_V^I = Δ_V^K = 1`.
+///
+/// # Panics
+///
+/// Panics if either bound is below 2 (the theorem does not apply there).
+pub fn theorem1_lower_bound(max_resource_support: usize, max_party_support: usize) -> f64 {
+    assert!(
+        max_resource_support >= 2 && max_party_support >= 2,
+        "Theorem 1 requires Δ_I^V ≥ 2 and Δ_K^V ≥ 2"
+    );
+    let d_iv = max_resource_support as f64;
+    let d_kv = max_party_support as f64;
+    d_iv / 2.0 + 0.5 - 1.0 / (2.0 * d_kv - 2.0)
+}
+
+/// The finite-`R` lower bound derived at the end of the proof of Theorem 1:
+///
+/// `α ≥ d/2 + 1 − 1/(2D) + (d + 2 − 2dD − 1/D) / (2 d^R D^R − 2)`
+///
+/// where `d = Δ_I^V − 1` and `D = Δ_K^V − 1`.  As `R → ∞` this converges to
+/// [`theorem1_lower_bound`].  The proof requires `dD > 1`.
+pub fn theorem1_finite_r_bound(
+    max_resource_support: usize,
+    max_party_support: usize,
+    r_levels: u32,
+) -> f64 {
+    assert!(
+        max_resource_support >= 2 && max_party_support >= 2,
+        "Theorem 1 requires Δ_I^V ≥ 2 and Δ_K^V ≥ 2"
+    );
+    let d = (max_resource_support - 1) as f64;
+    let dd = (max_party_support - 1) as f64;
+    assert!(d * dd > 1.0, "the finite-R bound requires dD > 1");
+    let pow = (d * dd).powi(r_levels as i32);
+    d / 2.0 + 1.0 - 1.0 / (2.0 * dd) + (d + 2.0 - 2.0 * d * dd - 1.0 / dd) / (2.0 * pow - 2.0)
+}
+
+/// The Corollary 2 inapproximability threshold `Δ_I^V / 2`, which holds even
+/// with both `a_iv ∈ {0,1}` and `c_kv ∈ {0,1}` (and `Δ_K^V = 2`).
+///
+/// # Panics
+///
+/// Panics if `max_resource_support < 3`; the corollary is stated for
+/// `Δ_I^V > 2`.
+pub fn corollary2_lower_bound(max_resource_support: usize) -> f64 {
+    assert!(
+        max_resource_support > 2,
+        "Corollary 2 requires Δ_I^V > 2"
+    );
+    max_resource_support as f64 / 2.0
+}
+
+/// The Theorem 3 approximation guarantee `γ(R−1) · γ(R)` of the local
+/// averaging algorithm, given the two measured growth values.
+pub fn theorem3_ratio(gamma_r_minus_1: f64, gamma_r: f64) -> f64 {
+    gamma_r_minus_1 * gamma_r
+}
+
+/// Number of lattice points of the infinite `dim`-dimensional grid `Z^dim`
+/// within L1 (shortest-path) distance `r` of a fixed vertex.
+///
+/// This is the standard "crystal ball" count
+/// `|B(v,r)| = Σ_{i=0}^{min(dim,r)} 2^i · C(dim,i) · C(r,i)`,
+/// which grows as `Θ(r^dim)`; the paper's Section 5 uses this to argue that
+/// `γ(r) = 1 + Θ(1/r)` on `d`-dimensional grids, so the local averaging
+/// algorithm is a local approximation scheme there.
+pub fn grid_ball_size(dim: u32, r: u32) -> u128 {
+    let mut total: u128 = 0;
+    for i in 0..=dim.min(r) {
+        total += (1u128 << i) * binomial(dim as u64, i as u64) * binomial(r as u64, i as u64);
+    }
+    total
+}
+
+/// Relative growth `|B(v,r+1)| / |B(v,r)|` of the infinite `dim`-dimensional
+/// grid.
+pub fn grid_growth(dim: u32, r: u32) -> f64 {
+    grid_ball_size(dim, r + 1) as f64 / grid_ball_size(dim, r) as f64
+}
+
+/// Binomial coefficient `C(n, k)` as an exact `u128` (panics on overflow).
+pub fn binomial(n: u64, k: u64) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for j in 0..k {
+        result = result
+            .checked_mul((n - j) as u128)
+            .expect("binomial overflow")
+            / (j + 1) as u128;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn safe_bound_is_identity_on_support() {
+        assert_eq!(safe_upper_bound(3), 3.0);
+        assert_eq!(safe_upper_bound(1), 1.0);
+    }
+
+    #[test]
+    fn theorem1_examples() {
+        // Δ_I^V = 2, Δ_K^V = 2: 1 + 1/2 - 1/2 = 1 (the trivial bound).
+        assert!((theorem1_lower_bound(2, 2) - 1.0).abs() < 1e-12);
+        // Δ_I^V = 3, Δ_K^V = 3: 1.5 + 0.5 - 0.25 = 1.75.
+        assert!((theorem1_lower_bound(3, 3) - 1.75).abs() < 1e-12);
+        // Δ_I^V = 4, Δ_K^V = 2: 2 + 0.5 - 0.5 = 2.
+        assert!((theorem1_lower_bound(4, 2) - 2.0).abs() < 1e-12);
+        // Large Δ_K^V: approaches Δ_I^V/2 + 1/2.
+        let b = theorem1_lower_bound(5, 1000);
+        assert!(b < 3.0 && b > 2.99);
+    }
+
+    #[test]
+    #[should_panic]
+    fn theorem1_rejects_small_bounds() {
+        theorem1_lower_bound(1, 2);
+    }
+
+    #[test]
+    fn finite_r_bound_converges_to_theorem1() {
+        let asymptotic = theorem1_lower_bound(3, 3);
+        let far = theorem1_finite_r_bound(3, 3, 20);
+        let near = theorem1_finite_r_bound(3, 3, 2);
+        assert!((far - asymptotic).abs() < 1e-6);
+        // The finite-R correction term is negative for small R (the bound is
+        // weaker), and increases towards the asymptotic value.
+        assert!(near < far);
+        assert!(far <= asymptotic + 1e-9);
+    }
+
+    #[test]
+    fn finite_r_bound_is_monotone_in_r() {
+        let mut prev = f64::NEG_INFINITY;
+        for r in 1..10 {
+            let b = theorem1_finite_r_bound(4, 3, r);
+            assert!(b >= prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn corollary2_examples() {
+        assert_eq!(corollary2_lower_bound(3), 1.5);
+        assert_eq!(corollary2_lower_bound(6), 3.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn corollary2_rejects_delta_two() {
+        corollary2_lower_bound(2);
+    }
+
+    #[test]
+    fn theorem3_ratio_is_product() {
+        assert_eq!(theorem3_ratio(1.5, 1.2), 1.5 * 1.2);
+        assert_eq!(theorem3_ratio(1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn binomial_small_values() {
+        assert_eq!(binomial(0, 0), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(10, 10), 1);
+        assert_eq!(binomial(4, 7), 0);
+        assert_eq!(binomial(52, 5), 2_598_960);
+    }
+
+    #[test]
+    fn grid_ball_sizes_dimension_one_and_two() {
+        // 1-D: |B(v,r)| = 2r + 1.
+        for r in 0..20 {
+            assert_eq!(grid_ball_size(1, r), (2 * r + 1) as u128);
+        }
+        // 2-D: |B(v,r)| = 2r^2 + 2r + 1 (centered square numbers).
+        for r in 0..20 {
+            let r = r as u128;
+            assert_eq!(grid_ball_size(2, r as u32), 2 * r * r + 2 * r + 1);
+        }
+        // 0-D: a single point regardless of radius.
+        assert_eq!(grid_ball_size(0, 10), 1);
+        // r = 0: only the centre.
+        assert_eq!(grid_ball_size(7, 0), 1);
+    }
+
+    #[test]
+    fn grid_growth_tends_to_one() {
+        // γ(r) = 1 + Θ(1/r): strictly decreasing towards 1 for fixed dim ≥ 1.
+        for dim in 1..=4u32 {
+            let mut prev = f64::INFINITY;
+            for r in 1..60 {
+                let g = grid_growth(dim, r);
+                assert!(g > 1.0);
+                assert!(g <= prev + 1e-12);
+                prev = g;
+            }
+            assert!(grid_growth(dim, 200) < 1.03 * dim as f64 / dim as f64 + 0.05);
+        }
+        // Quantitative check of the 1/r scaling in 2-D: r·(γ(r) − 1) is bounded.
+        for r in [10u32, 20, 40, 80] {
+            let excess = (grid_growth(2, r) - 1.0) * r as f64;
+            assert!(excess > 1.0 && excess < 3.0, "excess = {excess}");
+        }
+    }
+}

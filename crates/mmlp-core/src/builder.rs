@@ -1,0 +1,400 @@
+//! Validated construction of [`MaxMinInstance`] values.
+//!
+//! All instance generators in `mmlp-instances` go through this builder.  The
+//! builder enforces the paper's standing assumptions at construction time so
+//! that every downstream consumer can rely on them:
+//!
+//! * every coefficient `a_iv`, `c_kv` is finite and non-negative,
+//! * support sets are stored only for strictly positive coefficients,
+//! * every resource has a non-empty support `V_i`,
+//! * every party has a non-empty support `V_k`,
+//! * every agent consumes at least one resource (`I_v ≠ ∅`), otherwise its
+//!   variable would be unbounded and the LP degenerate.
+
+use crate::error::ValidationError;
+use crate::ids::{AgentId, PartyId, ResourceId};
+use crate::instance::{Agent, MaxMinInstance, Party, Resource};
+
+/// Incremental builder for [`MaxMinInstance`].
+///
+/// ```
+/// use mmlp_core::InstanceBuilder;
+///
+/// let mut b = InstanceBuilder::new();
+/// let v = b.add_agent();
+/// let i = b.add_resource();
+/// let k = b.add_party();
+/// b.set_consumption(i, v, 0.5);
+/// b.set_benefit(k, v, 2.0);
+/// let instance = b.build().unwrap();
+/// assert_eq!(instance.num_agents(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InstanceBuilder {
+    agents: Vec<Agent>,
+    resources: Vec<Resource>,
+    parties: Vec<Party>,
+    errors: Vec<ValidationError>,
+    allow_unconstrained_agents: bool,
+}
+
+impl InstanceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with pre-allocated capacity for the given numbers of
+    /// agents, resources and parties.
+    pub fn with_capacity(agents: usize, resources: usize, parties: usize) -> Self {
+        Self {
+            agents: Vec::with_capacity(agents),
+            resources: Vec::with_capacity(resources),
+            parties: Vec::with_capacity(parties),
+            errors: Vec::new(),
+            allow_unconstrained_agents: false,
+        }
+    }
+
+    /// Permits agents with an empty resource support set `I_v`.
+    ///
+    /// The paper's standing assumption excludes such agents (their variables
+    /// are unbounded), and almost every generator keeps the default strict
+    /// behaviour.  The one legitimate exception is the sub-instance `S'` of
+    /// the lower-bound proof (Section 4.3), which restricts `S` to an agent
+    /// set `V'` and keeps only the resources *fully contained* in `V'` — so
+    /// agents on the boundary of `V'` may lose all their constraints.
+    pub fn allow_unconstrained_agents(&mut self) -> &mut Self {
+        self.allow_unconstrained_agents = true;
+        self
+    }
+
+    /// Declares a new agent and returns its identifier.
+    pub fn add_agent(&mut self) -> AgentId {
+        let id = AgentId::new(self.agents.len());
+        self.agents.push(Agent::default());
+        id
+    }
+
+    /// Declares `n` new agents and returns their identifiers.
+    pub fn add_agents(&mut self, n: usize) -> Vec<AgentId> {
+        (0..n).map(|_| self.add_agent()).collect()
+    }
+
+    /// Declares a new resource and returns its identifier.
+    pub fn add_resource(&mut self) -> ResourceId {
+        let id = ResourceId::new(self.resources.len());
+        self.resources.push(Resource::default());
+        id
+    }
+
+    /// Declares a new beneficiary party and returns its identifier.
+    pub fn add_party(&mut self) -> PartyId {
+        let id = PartyId::new(self.parties.len());
+        self.parties.push(Party::default());
+        id
+    }
+
+    /// Number of agents declared so far.
+    pub fn num_agents(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Number of resources declared so far.
+    pub fn num_resources(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Number of parties declared so far.
+    pub fn num_parties(&self) -> usize {
+        self.parties.len()
+    }
+
+    /// Sets the consumption coefficient `a_iv`.
+    ///
+    /// A zero coefficient is interpreted as "not in the support set" and is
+    /// silently ignored; negative or non-finite values are recorded as
+    /// validation errors and reported by [`build`](Self::build).
+    pub fn set_consumption(&mut self, i: ResourceId, v: AgentId, a_iv: f64) -> &mut Self {
+        if i.index() >= self.resources.len() || v.index() >= self.agents.len() {
+            self.errors
+                .push(ValidationError::UnknownId(format!("a[{i},{v}]")));
+            return self;
+        }
+        if !a_iv.is_finite() || a_iv < 0.0 {
+            self.errors.push(ValidationError::InvalidConsumption {
+                resource: i,
+                agent: v,
+                value: a_iv,
+            });
+            return self;
+        }
+        if a_iv == 0.0 {
+            return self;
+        }
+        if self.resources[i.index()].agents.iter().any(|(u, _)| *u == v) {
+            self.errors
+                .push(ValidationError::DuplicateCoefficient(format!("a[{i},{v}]")));
+            return self;
+        }
+        self.resources[i.index()].agents.push((v, a_iv));
+        self.agents[v.index()].resources.push((i, a_iv));
+        self
+    }
+
+    /// Sets the benefit coefficient `c_kv`.
+    ///
+    /// Zero coefficients are ignored; negative or non-finite values are
+    /// recorded as validation errors.
+    pub fn set_benefit(&mut self, k: PartyId, v: AgentId, c_kv: f64) -> &mut Self {
+        if k.index() >= self.parties.len() || v.index() >= self.agents.len() {
+            self.errors
+                .push(ValidationError::UnknownId(format!("c[{k},{v}]")));
+            return self;
+        }
+        if !c_kv.is_finite() || c_kv < 0.0 {
+            self.errors.push(ValidationError::InvalidBenefit {
+                party: k,
+                agent: v,
+                value: c_kv,
+            });
+            return self;
+        }
+        if c_kv == 0.0 {
+            return self;
+        }
+        if self.parties[k.index()].agents.iter().any(|(u, _)| *u == v) {
+            self.errors
+                .push(ValidationError::DuplicateCoefficient(format!("c[{k},{v}]")));
+            return self;
+        }
+        self.parties[k.index()].agents.push((v, c_kv));
+        self.agents[v.index()].parties.push((k, c_kv));
+        self
+    }
+
+    /// Convenience: declares a resource whose support is exactly the given
+    /// agents with the given coefficients.
+    pub fn add_resource_with(&mut self, entries: &[(AgentId, f64)]) -> ResourceId {
+        let i = self.add_resource();
+        for (v, a) in entries {
+            self.set_consumption(i, *v, *a);
+        }
+        i
+    }
+
+    /// Convenience: declares a party whose support is exactly the given agents
+    /// with the given coefficients.
+    pub fn add_party_with(&mut self, entries: &[(AgentId, f64)]) -> PartyId {
+        let k = self.add_party();
+        for (v, c) in entries {
+            self.set_benefit(k, *v, *c);
+        }
+        k
+    }
+
+    /// Finalises the instance, verifying the paper's non-degeneracy
+    /// assumptions.  Returns the first violation encountered.
+    pub fn build(self) -> Result<MaxMinInstance, ValidationError> {
+        if let Some(err) = self.errors.into_iter().next() {
+            return Err(err);
+        }
+        for (idx, res) in self.resources.iter().enumerate() {
+            if res.agents.is_empty() {
+                return Err(ValidationError::EmptyResourceSupport(ResourceId::new(idx)));
+            }
+        }
+        for (idx, p) in self.parties.iter().enumerate() {
+            if p.agents.is_empty() {
+                return Err(ValidationError::EmptyPartySupport(PartyId::new(idx)));
+            }
+        }
+        if !self.allow_unconstrained_agents {
+            for (idx, agent) in self.agents.iter().enumerate() {
+                if agent.resources.is_empty() {
+                    return Err(ValidationError::EmptyAgentResourceSupport(AgentId::new(idx)));
+                }
+            }
+        }
+        Ok(MaxMinInstance {
+            agents: self.agents,
+            resources: self.resources,
+            parties: self.parties,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{agent, party, resource};
+
+    #[test]
+    fn builds_minimal_valid_instance() {
+        let mut b = InstanceBuilder::new();
+        let v = b.add_agent();
+        let i = b.add_resource();
+        let k = b.add_party();
+        b.set_consumption(i, v, 1.0);
+        b.set_benefit(k, v, 1.0);
+        let inst = b.build().unwrap();
+        assert_eq!(inst.num_agents(), 1);
+        assert_eq!(inst.num_resources(), 1);
+        assert_eq!(inst.num_parties(), 1);
+    }
+
+    #[test]
+    fn rejects_negative_consumption() {
+        let mut b = InstanceBuilder::new();
+        let v = b.add_agent();
+        let i = b.add_resource();
+        let k = b.add_party();
+        b.set_consumption(i, v, -0.5);
+        b.set_benefit(k, v, 1.0);
+        assert!(matches!(
+            b.build(),
+            Err(ValidationError::InvalidConsumption { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_nan_benefit() {
+        let mut b = InstanceBuilder::new();
+        let v = b.add_agent();
+        let i = b.add_resource();
+        let k = b.add_party();
+        b.set_consumption(i, v, 1.0);
+        b.set_benefit(k, v, f64::NAN);
+        assert!(matches!(
+            b.build(),
+            Err(ValidationError::InvalidBenefit { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_resource_support() {
+        let mut b = InstanceBuilder::new();
+        let v = b.add_agent();
+        let _i_unused = b.add_resource();
+        let i = b.add_resource();
+        let k = b.add_party();
+        b.set_consumption(i, v, 1.0);
+        b.set_benefit(k, v, 1.0);
+        assert_eq!(
+            b.build(),
+            Err(ValidationError::EmptyResourceSupport(resource(0)))
+        );
+    }
+
+    #[test]
+    fn rejects_empty_party_support() {
+        let mut b = InstanceBuilder::new();
+        let v = b.add_agent();
+        let i = b.add_resource();
+        let _k_unused = b.add_party();
+        b.set_consumption(i, v, 1.0);
+        assert_eq!(b.build(), Err(ValidationError::EmptyPartySupport(party(0))));
+    }
+
+    #[test]
+    fn rejects_agent_without_resources() {
+        let mut b = InstanceBuilder::new();
+        let v0 = b.add_agent();
+        let v1 = b.add_agent();
+        let i = b.add_resource();
+        let k = b.add_party();
+        b.set_consumption(i, v0, 1.0);
+        b.set_benefit(k, v0, 1.0);
+        b.set_benefit(k, v1, 1.0);
+        assert_eq!(
+            b.build(),
+            Err(ValidationError::EmptyAgentResourceSupport(agent(1)))
+        );
+    }
+
+    #[test]
+    fn unconstrained_agents_can_be_allowed_explicitly() {
+        let mut b = InstanceBuilder::new();
+        let v0 = b.add_agent();
+        let v1 = b.add_agent();
+        let i = b.add_resource();
+        let k = b.add_party();
+        b.set_consumption(i, v0, 1.0);
+        b.set_benefit(k, v0, 1.0);
+        b.set_benefit(k, v1, 1.0);
+        b.allow_unconstrained_agents();
+        let inst = b.build().unwrap();
+        assert_eq!(inst.agent_resources(agent(1)).count(), 0);
+        assert_eq!(inst.num_agents(), 2);
+    }
+
+    #[test]
+    fn rejects_unknown_ids() {
+        let mut b = InstanceBuilder::new();
+        let v = b.add_agent();
+        let i = b.add_resource();
+        let k = b.add_party();
+        b.set_consumption(i, v, 1.0);
+        b.set_benefit(k, v, 1.0);
+        b.set_consumption(resource(99), v, 1.0);
+        assert!(matches!(b.build(), Err(ValidationError::UnknownId(_))));
+    }
+
+    #[test]
+    fn rejects_duplicate_coefficient() {
+        let mut b = InstanceBuilder::new();
+        let v = b.add_agent();
+        let i = b.add_resource();
+        let k = b.add_party();
+        b.set_consumption(i, v, 1.0);
+        b.set_consumption(i, v, 2.0);
+        b.set_benefit(k, v, 1.0);
+        assert!(matches!(
+            b.build(),
+            Err(ValidationError::DuplicateCoefficient(_))
+        ));
+    }
+
+    #[test]
+    fn zero_coefficients_are_ignored() {
+        let mut b = InstanceBuilder::new();
+        let v0 = b.add_agent();
+        let v1 = b.add_agent();
+        let i = b.add_resource();
+        let k = b.add_party();
+        b.set_consumption(i, v0, 1.0);
+        b.set_consumption(i, v1, 1.0);
+        b.set_benefit(k, v0, 1.0);
+        b.set_benefit(k, v1, 0.0); // ignored
+        let inst = b.build().unwrap();
+        assert_eq!(inst.party_support(party(0)).count(), 1);
+        assert_eq!(inst.benefit(party(0), agent(1)), 0.0);
+    }
+
+    #[test]
+    fn bulk_helpers_build_supports() {
+        let mut b = InstanceBuilder::new();
+        let vs = b.add_agents(3);
+        let i = b.add_resource_with(&[(vs[0], 1.0), (vs[1], 1.0), (vs[2], 1.0)]);
+        let k = b.add_party_with(&[(vs[0], 0.5), (vs[2], 0.5)]);
+        let inst = b.build().unwrap();
+        assert_eq!(inst.resource_support(i).count(), 3);
+        assert_eq!(inst.party_support(k).count(), 2);
+        let d = inst.degree_bounds();
+        assert_eq!(d.max_resource_support, 3);
+        assert_eq!(d.max_party_support, 2);
+    }
+
+    #[test]
+    fn with_capacity_builder_is_equivalent() {
+        let mut b = InstanceBuilder::with_capacity(2, 1, 1);
+        let vs = b.add_agents(2);
+        let i = b.add_resource();
+        let k = b.add_party();
+        b.set_consumption(i, vs[0], 1.0);
+        b.set_consumption(i, vs[1], 1.0);
+        b.set_benefit(k, vs[0], 1.0);
+        let inst = b.build().unwrap();
+        assert_eq!(inst.num_agents(), 2);
+    }
+}

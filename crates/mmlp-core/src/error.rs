@@ -1,0 +1,180 @@
+//! Error types shared by the core crate and its consumers.
+
+use crate::ids::{AgentId, PartyId, ResourceId};
+use std::fmt;
+
+/// Errors raised while *constructing* a max-min LP instance.
+///
+/// The paper assumes every instance is non-degenerate: coefficients are
+/// non-negative and the support sets `I_v`, `V_i` and `V_k` are non-empty.
+/// The [`InstanceBuilder`](crate::InstanceBuilder) enforces those assumptions
+/// and reports violations with this type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidationError {
+    /// A consumption coefficient `a_iv` was negative or non-finite.
+    InvalidConsumption {
+        /// Resource of the offending coefficient.
+        resource: ResourceId,
+        /// Agent of the offending coefficient.
+        agent: AgentId,
+        /// The offending value.
+        value: f64,
+    },
+    /// A benefit coefficient `c_kv` was negative or non-finite.
+    InvalidBenefit {
+        /// Party of the offending coefficient.
+        party: PartyId,
+        /// Agent of the offending coefficient.
+        agent: AgentId,
+        /// The offending value.
+        value: f64,
+    },
+    /// A resource `i` has an empty support set `V_i` (no agent consumes it).
+    EmptyResourceSupport(ResourceId),
+    /// A party `k` has an empty support set `V_k` (no agent benefits it).
+    EmptyPartySupport(PartyId),
+    /// An agent `v` has an empty support set `I_v` (it consumes no resource),
+    /// which would make `x_v` unbounded.
+    EmptyAgentResourceSupport(AgentId),
+    /// An agent, resource or party identifier referenced a slot that was never
+    /// declared.
+    UnknownId(String),
+    /// The same `(resource, agent)` or `(party, agent)` pair received two
+    /// different coefficients.
+    DuplicateCoefficient(String),
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::InvalidConsumption { resource, agent, value } => write!(
+                f,
+                "consumption coefficient a[{resource},{agent}] = {value} must be finite and non-negative"
+            ),
+            ValidationError::InvalidBenefit { party, agent, value } => write!(
+                f,
+                "benefit coefficient c[{party},{agent}] = {value} must be finite and non-negative"
+            ),
+            ValidationError::EmptyResourceSupport(i) => {
+                write!(f, "resource {i} has empty support set V_i")
+            }
+            ValidationError::EmptyPartySupport(k) => {
+                write!(f, "party {k} has empty support set V_k")
+            }
+            ValidationError::EmptyAgentResourceSupport(v) => write!(
+                f,
+                "agent {v} consumes no resource (I_v is empty), so x_{v} would be unbounded"
+            ),
+            ValidationError::UnknownId(what) => write!(f, "unknown identifier: {what}"),
+            ValidationError::DuplicateCoefficient(what) => {
+                write!(f, "duplicate coefficient: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Errors raised when *using* an already-constructed instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A solution vector did not have one entry per agent.
+    SolutionLengthMismatch {
+        /// Number of agents in the instance.
+        expected: usize,
+        /// Number of entries in the solution.
+        actual: usize,
+    },
+    /// A solution entry was non-finite (NaN or infinite).
+    NonFiniteActivity {
+        /// The agent whose activity is non-finite.
+        agent: AgentId,
+        /// The offending value.
+        value: f64,
+    },
+    /// The instance has no beneficiary parties, so the objective
+    /// `min_k Σ_v c_kv x_v` is undefined.
+    NoParties,
+    /// Construction-time validation failed.
+    Validation(ValidationError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::SolutionLengthMismatch { expected, actual } => write!(
+                f,
+                "solution has {actual} entries but the instance has {expected} agents"
+            ),
+            CoreError::NonFiniteActivity { agent, value } => {
+                write!(f, "activity of agent {agent} is not finite: {value}")
+            }
+            CoreError::NoParties => {
+                write!(f, "instance has no beneficiary parties; objective is undefined")
+            }
+            CoreError::Validation(e) => write!(f, "invalid instance: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Validation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ValidationError> for CoreError {
+    fn from(e: ValidationError) -> Self {
+        CoreError::Validation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{agent, party, resource};
+
+    #[test]
+    fn display_messages_mention_offending_ids() {
+        let e = ValidationError::InvalidConsumption {
+            resource: resource(2),
+            agent: agent(5),
+            value: -1.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("i2"));
+        assert!(msg.contains("v5"));
+        assert!(msg.contains("-1"));
+
+        let e = ValidationError::EmptyPartySupport(party(3));
+        assert!(e.to_string().contains("k3"));
+    }
+
+    #[test]
+    fn core_error_wraps_validation_error() {
+        let inner = ValidationError::EmptyResourceSupport(resource(0));
+        let outer: CoreError = inner.clone().into();
+        assert_eq!(outer, CoreError::Validation(inner));
+        assert!(outer.to_string().contains("invalid instance"));
+    }
+
+    #[test]
+    fn solution_mismatch_message() {
+        let e = CoreError::SolutionLengthMismatch { expected: 4, actual: 2 };
+        let msg = e.to_string();
+        assert!(msg.contains('4'));
+        assert!(msg.contains('2'));
+    }
+
+    #[test]
+    fn error_source_chain() {
+        use std::error::Error;
+        let inner = ValidationError::EmptyResourceSupport(resource(0));
+        let outer = CoreError::Validation(inner);
+        assert!(outer.source().is_some());
+        assert!(CoreError::NoParties.source().is_none());
+    }
+}

@@ -1,0 +1,146 @@
+//! Strongly typed identifiers for the three index sets of a max-min LP.
+//!
+//! Agents, resources and beneficiary parties are stored in dense arrays, so
+//! the identifiers are thin wrappers around array indices.  Newtypes keep the
+//! three spaces from being mixed up accidentally (`I ∩ K = ∅` in the paper,
+//! and agents live in a different space entirely).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an identifier from a dense array index.
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                debug_assert!(index <= u32::MAX as usize, "index overflows u32 id space");
+                Self(index as u32)
+            }
+
+            /// Returns the dense array index this identifier refers to.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(index: usize) -> Self {
+                Self::new(index)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of an agent `v ∈ V`.  Agent `v` controls the variable `x_v`.
+    AgentId,
+    "v"
+);
+
+define_id!(
+    /// Identifier of a resource (packing constraint) `i ∈ I`.
+    ResourceId,
+    "i"
+);
+
+define_id!(
+    /// Identifier of a beneficiary party `k ∈ K`.
+    PartyId,
+    "k"
+);
+
+/// Convenience constructor for an [`AgentId`].
+#[inline]
+pub fn agent(index: usize) -> AgentId {
+    AgentId::new(index)
+}
+
+/// Convenience constructor for a [`ResourceId`].
+#[inline]
+pub fn resource(index: usize) -> ResourceId {
+    ResourceId::new(index)
+}
+
+/// Convenience constructor for a [`PartyId`].
+#[inline]
+pub fn party(index: usize) -> PartyId {
+    PartyId::new(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        for idx in [0usize, 1, 7, 1024, u32::MAX as usize] {
+            assert_eq!(AgentId::new(idx).index(), idx);
+            assert_eq!(ResourceId::new(idx).index(), idx);
+            assert_eq!(PartyId::new(idx).index(), idx);
+        }
+    }
+
+    #[test]
+    fn display_prefixes_distinguish_spaces() {
+        assert_eq!(agent(3).to_string(), "v3");
+        assert_eq!(resource(3).to_string(), "i3");
+        assert_eq!(party(3).to_string(), "k3");
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(agent(1) < agent(2));
+        assert!(resource(0) < resource(10));
+        assert!(party(5) > party(4));
+    }
+
+    #[test]
+    fn from_usize_conversions() {
+        let a: AgentId = 42usize.into();
+        assert_eq!(usize::from(a), 42);
+        let r: ResourceId = 7usize.into();
+        assert_eq!(usize::from(r), 7);
+        let k: PartyId = 9usize.into();
+        assert_eq!(usize::from(k), 9);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(AgentId::default(), agent(0));
+        assert_eq!(ResourceId::default(), resource(0));
+        assert_eq!(PartyId::default(), party(0));
+    }
+
+    #[test]
+    fn debug_matches_display() {
+        assert_eq!(format!("{:?}", agent(11)), "v11");
+        assert_eq!(format!("{:?}", resource(11)), "i11");
+        assert_eq!(format!("{:?}", party(11)), "k11");
+    }
+}

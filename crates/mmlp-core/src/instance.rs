@@ -1,0 +1,535 @@
+//! The sparse representation of a max-min LP instance.
+//!
+//! The instance stores both orientations of the two sparse coefficient
+//! matrices: for every agent `v` the lists `I_v`/`K_v` with the coefficients
+//! `a_iv`/`c_kv`, and for every resource `i` / party `k` the support lists
+//! `V_i` / `V_k`.  Keeping both orientations makes every access pattern used
+//! by the algorithms (local views, constraint checks, benefit sums) a linear
+//! scan over a short list — the paper assumes all four degrees are bounded by
+//! constants, so these lists have constant length.
+
+use crate::error::CoreError;
+use crate::ids::{AgentId, PartyId, ResourceId};
+use crate::solution::{Evaluation, FeasibilityReport, Solution};
+use serde::{Deserialize, Serialize};
+
+/// Per-agent view of the coefficients: the support sets `I_v` and `K_v`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Agent {
+    /// Resources consumed by this agent: pairs `(i, a_iv)` with `a_iv > 0`.
+    pub resources: Vec<(ResourceId, f64)>,
+    /// Parties benefited by this agent: pairs `(k, c_kv)` with `c_kv > 0`.
+    pub parties: Vec<(PartyId, f64)>,
+}
+
+/// Per-resource view: the support set `V_i`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Resource {
+    /// Agents consuming this resource: pairs `(v, a_iv)` with `a_iv > 0`.
+    pub agents: Vec<(AgentId, f64)>,
+}
+
+/// Per-party view: the support set `V_k`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Party {
+    /// Agents benefiting this party: pairs `(v, c_kv)` with `c_kv > 0`.
+    pub agents: Vec<(AgentId, f64)>,
+}
+
+/// The four degree bounds `Δ_I^V`, `Δ_K^V`, `Δ_V^I`, `Δ_V^K` of an instance.
+///
+/// The names follow the quantities they bound rather than the paper's
+/// superscript notation:
+///
+/// * [`max_resource_support`](DegreeBounds::max_resource_support) = `max_i |V_i|`
+///   (the paper's `Δ_I^V`, the quantity appearing in the safe algorithm's
+///   approximation ratio and in Theorem 1),
+/// * [`max_party_support`](DegreeBounds::max_party_support) = `max_k |V_k|`
+///   (the paper's `Δ_K^V`),
+/// * [`max_agent_resources`](DegreeBounds::max_agent_resources) = `max_v |I_v|`,
+/// * [`max_agent_parties`](DegreeBounds::max_agent_parties) = `max_v |K_v|`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegreeBounds {
+    /// `max_i |V_i|`: the largest number of agents sharing one resource.
+    pub max_resource_support: usize,
+    /// `max_k |V_k|`: the largest number of agents serving one party.
+    pub max_party_support: usize,
+    /// `max_v |I_v|`: the largest number of resources one agent consumes.
+    pub max_agent_resources: usize,
+    /// `max_v |K_v|`: the largest number of parties one agent serves.
+    pub max_agent_parties: usize,
+}
+
+/// A max-min LP instance with sparse, doubly-indexed coefficients.
+///
+/// Construct instances through [`InstanceBuilder`](crate::InstanceBuilder),
+/// which validates the non-degeneracy assumptions of the paper (non-negative
+/// coefficients, non-empty `I_v`, `V_i`, `V_k`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MaxMinInstance {
+    pub(crate) agents: Vec<Agent>,
+    pub(crate) resources: Vec<Resource>,
+    pub(crate) parties: Vec<Party>,
+}
+
+impl MaxMinInstance {
+    /// Number of agents `|V|`.
+    #[inline]
+    pub fn num_agents(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Number of resources `|I|`.
+    #[inline]
+    pub fn num_resources(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Number of beneficiary parties `|K|`.
+    #[inline]
+    pub fn num_parties(&self) -> usize {
+        self.parties.len()
+    }
+
+    /// Iterator over all agent identifiers.
+    pub fn agent_ids(&self) -> impl Iterator<Item = AgentId> + '_ {
+        (0..self.agents.len()).map(AgentId::new)
+    }
+
+    /// Iterator over all resource identifiers.
+    pub fn resource_ids(&self) -> impl Iterator<Item = ResourceId> + '_ {
+        (0..self.resources.len()).map(ResourceId::new)
+    }
+
+    /// Iterator over all party identifiers.
+    pub fn party_ids(&self) -> impl Iterator<Item = PartyId> + '_ {
+        (0..self.parties.len()).map(PartyId::new)
+    }
+
+    /// Access the per-agent record for `v`.
+    #[inline]
+    pub fn agent(&self, v: AgentId) -> &Agent {
+        &self.agents[v.index()]
+    }
+
+    /// Access the per-resource record for `i`.
+    #[inline]
+    pub fn resource(&self, i: ResourceId) -> &Resource {
+        &self.resources[i.index()]
+    }
+
+    /// Access the per-party record for `k`.
+    #[inline]
+    pub fn party(&self, k: PartyId) -> &Party {
+        &self.parties[k.index()]
+    }
+
+    /// The consumption coefficient `a_iv`, or `0` if `v ∉ V_i`.
+    pub fn consumption(&self, i: ResourceId, v: AgentId) -> f64 {
+        self.resources[i.index()]
+            .agents
+            .iter()
+            .find(|(u, _)| *u == v)
+            .map(|(_, a)| *a)
+            .unwrap_or(0.0)
+    }
+
+    /// The benefit coefficient `c_kv`, or `0` if `v ∉ V_k`.
+    pub fn benefit(&self, k: PartyId, v: AgentId) -> f64 {
+        self.parties[k.index()]
+            .agents
+            .iter()
+            .find(|(u, _)| *u == v)
+            .map(|(_, c)| *c)
+            .unwrap_or(0.0)
+    }
+
+    /// The support set `V_i = {v : a_iv > 0}` of resource `i`.
+    pub fn resource_support(&self, i: ResourceId) -> impl Iterator<Item = AgentId> + '_ {
+        self.resources[i.index()].agents.iter().map(|(v, _)| *v)
+    }
+
+    /// The support set `V_k = {v : c_kv > 0}` of party `k`.
+    pub fn party_support(&self, k: PartyId) -> impl Iterator<Item = AgentId> + '_ {
+        self.parties[k.index()].agents.iter().map(|(v, _)| *v)
+    }
+
+    /// The support set `I_v = {i : a_iv > 0}` of agent `v`.
+    pub fn agent_resources(&self, v: AgentId) -> impl Iterator<Item = ResourceId> + '_ {
+        self.agents[v.index()].resources.iter().map(|(i, _)| *i)
+    }
+
+    /// The support set `K_v = {k : c_kv > 0}` of agent `v`.
+    pub fn agent_parties(&self, v: AgentId) -> impl Iterator<Item = PartyId> + '_ {
+        self.agents[v.index()].parties.iter().map(|(k, _)| *k)
+    }
+
+    /// Total number of non-zero consumption coefficients `a_iv`.
+    pub fn num_consumption_entries(&self) -> usize {
+        self.resources.iter().map(|r| r.agents.len()).sum()
+    }
+
+    /// Total number of non-zero benefit coefficients `c_kv`.
+    pub fn num_benefit_entries(&self) -> usize {
+        self.parties.iter().map(|p| p.agents.len()).sum()
+    }
+
+    /// Computes the four degree bounds of this instance.
+    pub fn degree_bounds(&self) -> DegreeBounds {
+        DegreeBounds {
+            max_resource_support: self
+                .resources
+                .iter()
+                .map(|r| r.agents.len())
+                .max()
+                .unwrap_or(0),
+            max_party_support: self.parties.iter().map(|p| p.agents.len()).max().unwrap_or(0),
+            max_agent_resources: self
+                .agents
+                .iter()
+                .map(|a| a.resources.len())
+                .max()
+                .unwrap_or(0),
+            max_agent_parties: self.agents.iter().map(|a| a.parties.len()).max().unwrap_or(0),
+        }
+    }
+
+    /// Resource usage `Σ_v a_iv x_v` of resource `i` under solution `x`.
+    pub fn resource_usage(&self, i: ResourceId, x: &Solution) -> f64 {
+        self.resources[i.index()]
+            .agents
+            .iter()
+            .map(|(v, a)| a * x.activity(*v))
+            .sum()
+    }
+
+    /// Benefit `Σ_v c_kv x_v` received by party `k` under solution `x`.
+    pub fn party_benefit(&self, k: PartyId, x: &Solution) -> f64 {
+        self.parties[k.index()]
+            .agents
+            .iter()
+            .map(|(v, c)| c * x.activity(*v))
+            .sum()
+    }
+
+    /// The max-min objective `ω = min_k Σ_v c_kv x_v` of solution `x`.
+    ///
+    /// Returns an error if the instance has no parties (the minimum over the
+    /// empty set is undefined) or the solution is malformed.
+    pub fn objective(&self, x: &Solution) -> Result<f64, CoreError> {
+        self.check_solution_shape(x)?;
+        if self.parties.is_empty() {
+            return Err(CoreError::NoParties);
+        }
+        Ok(self
+            .party_ids()
+            .map(|k| self.party_benefit(k, x))
+            .fold(f64::INFINITY, f64::min))
+    }
+
+    /// Full evaluation of a solution: objective, per-party benefits,
+    /// per-resource usages, worst violation.
+    pub fn evaluate(&self, x: &Solution) -> Result<Evaluation, CoreError> {
+        self.check_solution_shape(x)?;
+        if self.parties.is_empty() {
+            return Err(CoreError::NoParties);
+        }
+        let party_benefits: Vec<f64> =
+            self.party_ids().map(|k| self.party_benefit(k, x)).collect();
+        let resource_usages: Vec<f64> =
+            self.resource_ids().map(|i| self.resource_usage(i, x)).collect();
+        let objective = party_benefits.iter().copied().fold(f64::INFINITY, f64::min);
+        let max_usage = resource_usages.iter().copied().fold(0.0f64, f64::max);
+        let min_activity = x.activities().iter().copied().fold(f64::INFINITY, f64::min);
+        Ok(Evaluation {
+            objective,
+            party_benefits,
+            resource_usages,
+            max_resource_usage: max_usage,
+            min_activity: if x.len() == 0 { 0.0 } else { min_activity },
+        })
+    }
+
+    /// Checks feasibility of `x` up to absolute tolerance `tol`:
+    /// `Σ_v a_iv x_v ≤ 1 + tol` for every resource and `x_v ≥ -tol` for every
+    /// agent.
+    pub fn feasibility(&self, x: &Solution, tol: f64) -> Result<FeasibilityReport, CoreError> {
+        self.check_solution_shape(x)?;
+        let mut worst_capacity_violation = 0.0f64;
+        let mut violated_resources = Vec::new();
+        for i in self.resource_ids() {
+            let usage = self.resource_usage(i, x);
+            let excess = usage - 1.0;
+            if excess > tol {
+                violated_resources.push((i, usage));
+            }
+            worst_capacity_violation = worst_capacity_violation.max(excess);
+        }
+        let mut worst_negativity = 0.0f64;
+        let mut negative_agents = Vec::new();
+        for v in self.agent_ids() {
+            let value = x.activity(v);
+            if value < -tol {
+                negative_agents.push((v, value));
+            }
+            worst_negativity = worst_negativity.max(-value);
+        }
+        Ok(FeasibilityReport {
+            tolerance: tol,
+            violated_resources,
+            negative_agents,
+            worst_capacity_violation: worst_capacity_violation.max(0.0),
+            worst_negativity: worst_negativity.max(0.0),
+        })
+    }
+
+    /// `true` iff `x` is feasible up to absolute tolerance `tol`.
+    pub fn is_feasible(&self, x: &Solution, tol: f64) -> bool {
+        matches!(self.feasibility(x, tol), Ok(report) if report.is_feasible())
+    }
+
+    /// Restricts the instance to a subset of agents.
+    ///
+    /// The returned instance contains the agents in `keep_agents` (re-indexed
+    /// densely in the order given), every resource `i` whose support
+    /// intersects the kept agents (with the coefficients of dropped agents
+    /// removed), and every party `k` whose support is **entirely** contained
+    /// in the kept agents.  This matches the sub-instance construction used in
+    /// Section 4.3 of the paper (the instance `S'`), where a resource
+    /// restricted to fewer agents only becomes easier to satisfy, whereas a
+    /// partially-covered party would change the objective.
+    ///
+    /// Returns the sub-instance together with the map from new agent ids to
+    /// the original agent ids.
+    pub fn restrict_to_agents(&self, keep_agents: &[AgentId]) -> (MaxMinInstance, Vec<AgentId>) {
+        let mut old_to_new = vec![usize::MAX; self.num_agents()];
+        for (new_idx, v) in keep_agents.iter().enumerate() {
+            old_to_new[v.index()] = new_idx;
+        }
+        let mut agents = vec![Agent::default(); keep_agents.len()];
+        let mut resources = Vec::new();
+        for (old_i, res) in self.resources.iter().enumerate() {
+            let kept: Vec<(AgentId, f64)> = res
+                .agents
+                .iter()
+                .filter(|(v, _)| old_to_new[v.index()] != usize::MAX)
+                .map(|(v, a)| (AgentId::new(old_to_new[v.index()]), *a))
+                .collect();
+            if kept.is_empty() {
+                continue;
+            }
+            let new_i = ResourceId::new(resources.len());
+            for (v, a) in &kept {
+                agents[v.index()].resources.push((new_i, *a));
+            }
+            resources.push(Resource { agents: kept });
+            let _ = old_i;
+        }
+        let mut parties = Vec::new();
+        for party in &self.parties {
+            let all_kept = party.agents.iter().all(|(v, _)| old_to_new[v.index()] != usize::MAX);
+            if !all_kept {
+                continue;
+            }
+            let kept: Vec<(AgentId, f64)> = party
+                .agents
+                .iter()
+                .map(|(v, c)| (AgentId::new(old_to_new[v.index()]), *c))
+                .collect();
+            let new_k = PartyId::new(parties.len());
+            for (v, c) in &kept {
+                agents[v.index()].parties.push((new_k, *c));
+            }
+            parties.push(Party { agents: kept });
+        }
+        (
+            MaxMinInstance { agents, resources, parties },
+            keep_agents.to_vec(),
+        )
+    }
+
+    fn check_solution_shape(&self, x: &Solution) -> Result<(), CoreError> {
+        if x.len() != self.num_agents() {
+            return Err(CoreError::SolutionLengthMismatch {
+                expected: self.num_agents(),
+                actual: x.len(),
+            });
+        }
+        for v in self.agent_ids() {
+            let value = x.activity(v);
+            if !value.is_finite() {
+                return Err(CoreError::NonFiniteActivity { agent: v, value });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl DegreeBounds {
+    /// The approximation ratio guaranteed by the safe algorithm
+    /// (`Δ_I^V = max_i |V_i|`, Section 4 of the paper).
+    pub fn safe_algorithm_ratio(&self) -> f64 {
+        self.max_resource_support as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::InstanceBuilder;
+    use crate::ids::{agent, party, resource};
+
+    /// Small instance used throughout the tests:
+    /// two agents, one shared resource, two parties (one per agent).
+    fn two_agent_instance() -> MaxMinInstance {
+        let mut b = InstanceBuilder::new();
+        let v0 = b.add_agent();
+        let v1 = b.add_agent();
+        let i0 = b.add_resource();
+        let k0 = b.add_party();
+        let k1 = b.add_party();
+        b.set_consumption(i0, v0, 1.0);
+        b.set_consumption(i0, v1, 2.0);
+        b.set_benefit(k0, v0, 1.0);
+        b.set_benefit(k1, v1, 3.0);
+        b.build().expect("valid instance")
+    }
+
+    #[test]
+    fn counts_and_ids() {
+        let inst = two_agent_instance();
+        assert_eq!(inst.num_agents(), 2);
+        assert_eq!(inst.num_resources(), 1);
+        assert_eq!(inst.num_parties(), 2);
+        assert_eq!(inst.agent_ids().count(), 2);
+        assert_eq!(inst.resource_ids().count(), 1);
+        assert_eq!(inst.party_ids().count(), 2);
+    }
+
+    #[test]
+    fn coefficient_lookup() {
+        let inst = two_agent_instance();
+        assert_eq!(inst.consumption(resource(0), agent(0)), 1.0);
+        assert_eq!(inst.consumption(resource(0), agent(1)), 2.0);
+        assert_eq!(inst.benefit(party(0), agent(0)), 1.0);
+        assert_eq!(inst.benefit(party(0), agent(1)), 0.0);
+        assert_eq!(inst.benefit(party(1), agent(1)), 3.0);
+    }
+
+    #[test]
+    fn support_sets() {
+        let inst = two_agent_instance();
+        let vi: Vec<_> = inst.resource_support(resource(0)).collect();
+        assert_eq!(vi, vec![agent(0), agent(1)]);
+        let iv: Vec<_> = inst.agent_resources(agent(1)).collect();
+        assert_eq!(iv, vec![resource(0)]);
+        let kv: Vec<_> = inst.agent_parties(agent(0)).collect();
+        assert_eq!(kv, vec![party(0)]);
+        let vk: Vec<_> = inst.party_support(party(1)).collect();
+        assert_eq!(vk, vec![agent(1)]);
+    }
+
+    #[test]
+    fn degree_bounds() {
+        let inst = two_agent_instance();
+        let d = inst.degree_bounds();
+        assert_eq!(d.max_resource_support, 2);
+        assert_eq!(d.max_party_support, 1);
+        assert_eq!(d.max_agent_resources, 1);
+        assert_eq!(d.max_agent_parties, 1);
+        assert_eq!(d.safe_algorithm_ratio(), 2.0);
+    }
+
+    #[test]
+    fn objective_and_evaluation() {
+        let inst = two_agent_instance();
+        // x = (0.5, 0.25): usage = 0.5 + 0.5 = 1.0 (tight), benefits = (0.5, 0.75).
+        let x = Solution::new(vec![0.5, 0.25]);
+        assert!((inst.objective(&x).unwrap() - 0.5).abs() < 1e-12);
+        let eval = inst.evaluate(&x).unwrap();
+        assert_eq!(eval.party_benefits.len(), 2);
+        assert!((eval.party_benefits[0] - 0.5).abs() < 1e-12);
+        assert!((eval.party_benefits[1] - 0.75).abs() < 1e-12);
+        assert!((eval.max_resource_usage - 1.0).abs() < 1e-12);
+        assert!(inst.is_feasible(&x, 1e-9));
+    }
+
+    #[test]
+    fn infeasible_solution_is_detected() {
+        let inst = two_agent_instance();
+        let x = Solution::new(vec![1.0, 1.0]); // usage 3 > 1
+        assert!(!inst.is_feasible(&x, 1e-9));
+        let report = inst.feasibility(&x, 1e-9).unwrap();
+        assert_eq!(report.violated_resources.len(), 1);
+        assert!((report.worst_capacity_violation - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_activity_is_detected() {
+        let inst = two_agent_instance();
+        let x = Solution::new(vec![-0.5, 0.0]);
+        let report = inst.feasibility(&x, 1e-9).unwrap();
+        assert_eq!(report.negative_agents.len(), 1);
+        assert!(!report.is_feasible());
+        assert!((report.worst_negativity - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrong_solution_length_is_rejected() {
+        let inst = two_agent_instance();
+        let x = Solution::new(vec![0.0]);
+        assert!(matches!(
+            inst.objective(&x),
+            Err(CoreError::SolutionLengthMismatch { expected: 2, actual: 1 })
+        ));
+    }
+
+    #[test]
+    fn non_finite_activity_is_rejected() {
+        let inst = two_agent_instance();
+        let x = Solution::new(vec![f64::NAN, 0.0]);
+        assert!(matches!(
+            inst.objective(&x),
+            Err(CoreError::NonFiniteActivity { .. })
+        ));
+    }
+
+    #[test]
+    fn restriction_keeps_fully_covered_parties_only() {
+        let inst = two_agent_instance();
+        let (sub, map) = inst.restrict_to_agents(&[agent(0)]);
+        assert_eq!(sub.num_agents(), 1);
+        assert_eq!(map, vec![agent(0)]);
+        // The shared resource survives (restricted), party k1 (only agent 1) is dropped.
+        assert_eq!(sub.num_resources(), 1);
+        assert_eq!(sub.num_parties(), 1);
+        assert_eq!(sub.consumption(resource(0), agent(0)), 1.0);
+        assert_eq!(sub.benefit(party(0), agent(0)), 1.0);
+    }
+
+    #[test]
+    fn restriction_preserves_feasibility_direction() {
+        // A solution feasible in the full instance stays feasible in the
+        // restriction (resources only lose terms).
+        let inst = two_agent_instance();
+        let x_full = Solution::new(vec![0.5, 0.25]);
+        let (sub, map) = inst.restrict_to_agents(&[agent(1)]);
+        let x_sub = Solution::new(map.iter().map(|v| x_full.activity(*v)).collect());
+        assert!(sub.is_feasible(&x_sub, 1e-9));
+    }
+
+    #[test]
+    fn zero_solution_objective_is_zero() {
+        let inst = two_agent_instance();
+        let x = Solution::zeros(2);
+        assert_eq!(inst.objective(&x).unwrap(), 0.0);
+        assert!(inst.is_feasible(&x, 0.0));
+    }
+
+    #[test]
+    fn sparse_entry_counts() {
+        let inst = two_agent_instance();
+        assert_eq!(inst.num_consumption_entries(), 2);
+        assert_eq!(inst.num_benefit_entries(), 2);
+    }
+}

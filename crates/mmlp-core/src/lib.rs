@@ -1,0 +1,44 @@
+//! Core data model for max-min linear programs.
+//!
+//! A *max-min LP* (Floréen, Kaski, Musto, Suomela 2008) is the optimisation
+//! problem
+//!
+//! ```text
+//! maximise   ω = min_{k ∈ K}  Σ_{v ∈ V} c_kv x_v
+//! subject to              Σ_{v ∈ V} a_iv x_v ≤ 1     for each i ∈ I
+//!                         x_v ≥ 0                     for each v ∈ V
+//! ```
+//!
+//! with non-negative coefficients and bounded-size support sets.  Each
+//! `v ∈ V` is an **agent**, each `i ∈ I` a **resource** (constraint) and each
+//! `k ∈ K` a **beneficiary party**.
+//!
+//! This crate contains the problem representation ([`MaxMinInstance`]), the
+//! builder used by all instance generators ([`InstanceBuilder`]), solution
+//! vectors and their evaluation ([`Solution`], [`Evaluation`]), degree
+//! statistics ([`DegreeBounds`]) and the closed-form bounds proved in the
+//! paper ([`bounds`]).
+//!
+//! The crate is deliberately free of any algorithmic machinery: solvers live
+//! in `mmlp-lp` and `mmlp-algorithms`, communication structure in
+//! `mmlp-hypergraph`, and the distributed execution model in `mmlp-distsim`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod builder;
+pub mod error;
+pub mod ids;
+pub mod instance;
+pub mod solution;
+
+pub use builder::InstanceBuilder;
+pub use error::{CoreError, ValidationError};
+pub use ids::{AgentId, PartyId, ResourceId};
+pub use instance::{Agent, DegreeBounds, MaxMinInstance, Party, Resource};
+pub use solution::{Evaluation, FeasibilityReport, Solution};
+
+/// Default absolute tolerance used when checking feasibility of floating
+/// point solutions.
+pub const DEFAULT_TOLERANCE: f64 = 1e-7;

@@ -1,0 +1,245 @@
+//! Solution vectors and their evaluation.
+
+use crate::ids::{AgentId, ResourceId};
+use serde::{Deserialize, Serialize};
+
+/// A candidate solution: one activity value `x_v ≥ 0` per agent.
+///
+/// A `Solution` is just a dense vector indexed by [`AgentId`]; it carries no
+/// reference to the instance, so the same vector can be checked against
+/// several (compatible) instances — this is exactly what the lower-bound
+/// argument of Section 4 does when it re-interprets the choices made on the
+/// instance `S` as a solution of the sub-instance `S'`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    activities: Vec<f64>,
+}
+
+impl Solution {
+    /// Wraps a dense activity vector.
+    pub fn new(activities: Vec<f64>) -> Self {
+        Self { activities }
+    }
+
+    /// The all-zero solution for `n` agents (always feasible).
+    pub fn zeros(n: usize) -> Self {
+        Self { activities: vec![0.0; n] }
+    }
+
+    /// The constant solution `x_v = value` for `n` agents.
+    pub fn constant(n: usize, value: f64) -> Self {
+        Self { activities: vec![value; n] }
+    }
+
+    /// Number of agents covered by this solution.
+    pub fn len(&self) -> usize {
+        self.activities.len()
+    }
+
+    /// `true` if the solution covers no agents.
+    pub fn is_empty(&self) -> bool {
+        self.activities.is_empty()
+    }
+
+    /// Activity of agent `v`.
+    #[inline]
+    pub fn activity(&self, v: AgentId) -> f64 {
+        self.activities[v.index()]
+    }
+
+    /// Sets the activity of agent `v`.
+    #[inline]
+    pub fn set_activity(&mut self, v: AgentId, value: f64) {
+        self.activities[v.index()] = value;
+    }
+
+    /// Read-only view of the underlying vector.
+    pub fn activities(&self) -> &[f64] {
+        &self.activities
+    }
+
+    /// Consumes the solution, returning the underlying vector.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.activities
+    }
+
+    /// Returns a new solution with every activity multiplied by `factor`.
+    ///
+    /// Scaling by a factor in `[0, 1]` preserves feasibility because all
+    /// constraint coefficients are non-negative.
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            activities: self.activities.iter().map(|x| x * factor).collect(),
+        }
+    }
+
+    /// Sum of all activities (useful for diagnostics).
+    pub fn total_activity(&self) -> f64 {
+        self.activities.iter().sum()
+    }
+
+    /// Largest single activity.
+    pub fn max_activity(&self) -> f64 {
+        self.activities.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+impl From<Vec<f64>> for Solution {
+    fn from(activities: Vec<f64>) -> Self {
+        Self::new(activities)
+    }
+}
+
+impl std::ops::Index<AgentId> for Solution {
+    type Output = f64;
+    fn index(&self, v: AgentId) -> &f64 {
+        &self.activities[v.index()]
+    }
+}
+
+/// The result of fully evaluating a solution against an instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// The max-min objective `ω = min_k Σ_v c_kv x_v`.
+    pub objective: f64,
+    /// Benefit received by each party, indexed by `PartyId`.
+    pub party_benefits: Vec<f64>,
+    /// Usage of each resource, indexed by `ResourceId`.
+    pub resource_usages: Vec<f64>,
+    /// The largest resource usage (≤ 1 + tol for feasible solutions).
+    pub max_resource_usage: f64,
+    /// The smallest activity (≥ −tol for feasible solutions).
+    pub min_activity: f64,
+}
+
+impl Evaluation {
+    /// Identifier of a party receiving the minimum benefit (the bottleneck of
+    /// the max-min objective), if any party exists.
+    pub fn bottleneck_party(&self) -> Option<usize> {
+        self.party_benefits
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("benefits are finite"))
+            .map(|(idx, _)| idx)
+    }
+
+    /// Identifier of a resource with the maximum usage, if any resource exists.
+    pub fn tightest_resource(&self) -> Option<usize> {
+        self.resource_usages
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("usages are finite"))
+            .map(|(idx, _)| idx)
+    }
+}
+
+/// A detailed feasibility report produced by
+/// [`MaxMinInstance::feasibility`](crate::MaxMinInstance::feasibility).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeasibilityReport {
+    /// The absolute tolerance the check was performed with.
+    pub tolerance: f64,
+    /// Resources whose usage exceeds `1 + tolerance`, with their usages.
+    pub violated_resources: Vec<(ResourceId, f64)>,
+    /// Agents whose activity is below `-tolerance`, with their activities.
+    pub negative_agents: Vec<(AgentId, f64)>,
+    /// `max(0, max_i Σ_v a_iv x_v − 1)`.
+    pub worst_capacity_violation: f64,
+    /// `max(0, max_v −x_v)`.
+    pub worst_negativity: f64,
+}
+
+impl FeasibilityReport {
+    /// `true` iff no constraint is violated beyond the tolerance.
+    pub fn is_feasible(&self) -> bool {
+        self.violated_resources.is_empty() && self.negative_agents.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::agent;
+
+    #[test]
+    fn construction_and_access() {
+        let mut x = Solution::zeros(3);
+        assert_eq!(x.len(), 3);
+        assert!(!x.is_empty());
+        x.set_activity(agent(1), 2.5);
+        assert_eq!(x.activity(agent(1)), 2.5);
+        assert_eq!(x[agent(1)], 2.5);
+        assert_eq!(x.activities(), &[0.0, 2.5, 0.0]);
+        assert_eq!(x.total_activity(), 2.5);
+        assert_eq!(x.max_activity(), 2.5);
+    }
+
+    #[test]
+    fn constant_and_from_vec() {
+        let x = Solution::constant(4, 0.25);
+        assert_eq!(x.activities(), &[0.25; 4]);
+        let y: Solution = vec![1.0, 2.0].into();
+        assert_eq!(y.len(), 2);
+        assert_eq!(y.into_vec(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn scaling() {
+        let x = Solution::new(vec![1.0, 2.0, 4.0]);
+        let y = x.scaled(0.5);
+        assert_eq!(y.activities(), &[0.5, 1.0, 2.0]);
+        // scaling does not mutate the original
+        assert_eq!(x.activities(), &[1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_solution() {
+        let x = Solution::zeros(0);
+        assert!(x.is_empty());
+        assert_eq!(x.total_activity(), 0.0);
+        assert_eq!(x.max_activity(), 0.0);
+    }
+
+    #[test]
+    fn evaluation_bottlenecks() {
+        let eval = Evaluation {
+            objective: 1.0,
+            party_benefits: vec![3.0, 1.0, 2.0],
+            resource_usages: vec![0.5, 0.9, 0.2],
+            max_resource_usage: 0.9,
+            min_activity: 0.0,
+        };
+        assert_eq!(eval.bottleneck_party(), Some(1));
+        assert_eq!(eval.tightest_resource(), Some(1));
+    }
+
+    #[test]
+    fn evaluation_bottlenecks_empty() {
+        let eval = Evaluation {
+            objective: f64::INFINITY,
+            party_benefits: vec![],
+            resource_usages: vec![],
+            max_resource_usage: 0.0,
+            min_activity: 0.0,
+        };
+        assert_eq!(eval.bottleneck_party(), None);
+        assert_eq!(eval.tightest_resource(), None);
+    }
+
+    #[test]
+    fn feasibility_report_flags() {
+        let ok = FeasibilityReport {
+            tolerance: 1e-9,
+            violated_resources: vec![],
+            negative_agents: vec![],
+            worst_capacity_violation: 0.0,
+            worst_negativity: 0.0,
+        };
+        assert!(ok.is_feasible());
+        let bad = FeasibilityReport {
+            violated_resources: vec![(ResourceId::new(0), 1.5)],
+            ..ok.clone()
+        };
+        assert!(!bad.is_feasible());
+    }
+}

@@ -1,0 +1,274 @@
+//! The neighbourhood-gathering protocol.
+//!
+//! Every local algorithm in the paper has the same communication pattern:
+//! collect everything that is known within radius `r`, then decide.  This
+//! module implements that pattern once, as a [`NodeProgram`]:
+//!
+//! * round 0: every agent broadcasts its own native knowledge;
+//! * round `t`: every agent broadcasts the records it first learned in round
+//!   `t − 1` (delta flooding), and records arriving in round `t` are at
+//!   hypergraph distance exactly `t`;
+//! * after processing the round-`r` inbox the agent halts and outputs its
+//!   [`LocalView`].
+//!
+//! The number of rounds used is therefore exactly the local horizon `r`, and
+//! the message volume reported by the simulator measures the true
+//! communication cost of the algorithm.
+
+use crate::network::Network;
+use crate::program::{Action, MessageSize, NodeProgram};
+use crate::simulator::{SimError, SimulationResult, Simulator};
+use crate::view::LocalView;
+use mmlp_core::{AgentId, MaxMinInstance, PartyId, ResourceId};
+use mmlp_hypergraph::communication_hypergraph;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The information an agent holds at system startup (Section 1.4): its own
+/// coefficients towards the resources it consumes and the parties it serves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocalKnowledge {
+    /// The agent this record belongs to.
+    pub agent: AgentId,
+    /// Pairs `(i, a_iv)` for `i ∈ I_v`.
+    pub resources: Vec<(ResourceId, f64)>,
+    /// Pairs `(k, c_kv)` for `k ∈ K_v`.
+    pub parties: Vec<(PartyId, f64)>,
+}
+
+impl LocalKnowledge {
+    /// Extracts the native knowledge of `agent` from the instance.
+    pub fn of_agent(instance: &MaxMinInstance, agent: AgentId) -> Self {
+        let record = instance.agent(agent);
+        Self {
+            agent,
+            resources: record.resources.clone(),
+            parties: record.parties.clone(),
+        }
+    }
+}
+
+/// A gathering message: the knowledge records the sender first learned in the
+/// previous round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GatherMessage {
+    /// The forwarded records.
+    pub records: Vec<LocalKnowledge>,
+}
+
+impl MessageSize for GatherMessage {
+    fn size_units(&self) -> u64 {
+        self.records.len() as u64
+    }
+}
+
+/// Per-node state of the gathering protocol.
+#[derive(Debug, Clone)]
+pub struct GatherState {
+    known: BTreeMap<u32, (usize, LocalKnowledge)>,
+    fresh: Vec<LocalKnowledge>,
+}
+
+/// The gathering protocol as a [`NodeProgram`].
+#[derive(Debug, Clone)]
+pub struct GatherProgram {
+    radius: usize,
+    knowledge: Vec<LocalKnowledge>,
+}
+
+impl GatherProgram {
+    /// Creates the protocol for the given instance and information radius.
+    pub fn new(instance: &MaxMinInstance, radius: usize) -> Self {
+        let knowledge = instance
+            .agent_ids()
+            .map(|v| LocalKnowledge::of_agent(instance, v))
+            .collect();
+        Self { radius, knowledge }
+    }
+
+    /// The information radius the protocol gathers.
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+}
+
+impl NodeProgram for GatherProgram {
+    type State = GatherState;
+    type Message = GatherMessage;
+    type Output = LocalView;
+
+    fn init(&self, node: usize, _network: &Network) -> GatherState {
+        let own = self.knowledge[node].clone();
+        let mut known = BTreeMap::new();
+        known.insert(own.agent.0, (0usize, own.clone()));
+        GatherState { known, fresh: vec![own] }
+    }
+
+    fn step(
+        &self,
+        node: usize,
+        state: &mut GatherState,
+        inbox: &[(usize, GatherMessage)],
+        round: usize,
+        _network: &Network,
+    ) -> Action<GatherMessage, LocalView> {
+        // Records arriving in round `t` travelled over `t` hops, so their
+        // distance from this node is exactly `t` (if not already known at a
+        // smaller distance).
+        let mut fresh = Vec::new();
+        for (_, message) in inbox {
+            for record in &message.records {
+                if !state.known.contains_key(&record.agent.0) {
+                    state.known.insert(record.agent.0, (round, record.clone()));
+                    fresh.push(record.clone());
+                }
+            }
+        }
+        if round == 0 {
+            // The initial "fresh" record is the agent's own knowledge set in
+            // `init`; nothing arrives in round 0.
+            fresh = std::mem::take(&mut state.fresh);
+        }
+
+        if round >= self.radius {
+            let view = LocalView::from_records(
+                AgentId::new(node),
+                self.radius,
+                state
+                    .known
+                    .iter()
+                    .map(|(&id, (d, k))| (AgentId(id), *d, k.clone())),
+            );
+            return Action::Halt(view);
+        }
+        if fresh.is_empty() {
+            // Nothing new to forward; stay silent but keep listening until the
+            // horizon is reached (neighbours may still send us records).
+            return Action::Idle;
+        }
+        Action::Broadcast(GatherMessage { records: fresh })
+    }
+}
+
+/// Runs the gathering protocol for `instance` with information radius
+/// `radius` and returns every agent's [`LocalView`] (plus the simulation
+/// statistics).
+///
+/// The communication topology is the full communication hypergraph of the
+/// instance (resource and party hyperedges).
+pub fn gather_views(
+    instance: &MaxMinInstance,
+    radius: usize,
+    simulator: &Simulator,
+) -> Result<SimulationResult<LocalView>, SimError> {
+    let (h, _) = communication_hypergraph(instance);
+    let network = Network::from_hypergraph(&h);
+    let program = GatherProgram::new(instance, radius);
+    simulator.run(&network, &program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmlp_core::InstanceBuilder;
+
+    /// A path of `n` agents connected by shared resources, one party per
+    /// agent.
+    fn path_instance(n: usize) -> MaxMinInstance {
+        let mut b = InstanceBuilder::new();
+        let v = b.add_agents(n);
+        for w in v.windows(2) {
+            let i = b.add_resource();
+            b.set_consumption(i, w[0], 1.0);
+            b.set_consumption(i, w[1], 1.0);
+        }
+        if n == 1 {
+            let i = b.add_resource();
+            b.set_consumption(i, v[0], 1.0);
+        }
+        for &vv in &v {
+            let k = b.add_party();
+            b.set_benefit(k, vv, 1.0);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn gathered_views_match_direct_construction() {
+        let inst = path_instance(7);
+        let (h, _) = communication_hypergraph(&inst);
+        for radius in 0..4 {
+            let result = gather_views(&inst, radius, &Simulator::sequential()).unwrap();
+            assert_eq!(result.outputs.len(), 7);
+            for v in inst.agent_ids() {
+                let direct = LocalView::from_instance(&inst, &h, v, radius);
+                assert_eq!(result.outputs[v.index()], direct, "radius {radius}, agent {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn horizon_equals_radius() {
+        let inst = path_instance(6);
+        for radius in 0..4 {
+            let result = gather_views(&inst, radius, &Simulator::sequential()).unwrap();
+            // The protocol halts after processing the round-`radius` inbox,
+            // i.e. it runs exactly radius + 1 steps.
+            assert_eq!(result.rounds, radius + 1);
+            assert!(result.halting_round.iter().all(|&r| r == radius));
+        }
+    }
+
+    #[test]
+    fn radius_zero_views_know_only_themselves() {
+        let inst = path_instance(4);
+        let result = gather_views(&inst, 0, &Simulator::sequential()).unwrap();
+        assert_eq!(result.messages, 0);
+        for (idx, view) in result.outputs.iter().enumerate() {
+            assert_eq!(view.len(), 1);
+            assert!(view.contains(AgentId::new(idx)));
+        }
+    }
+
+    #[test]
+    fn message_volume_grows_with_radius() {
+        let inst = path_instance(10);
+        let r1 = gather_views(&inst, 1, &Simulator::sequential()).unwrap();
+        let r3 = gather_views(&inst, 3, &Simulator::sequential()).unwrap();
+        assert!(r3.message_units > r1.message_units);
+        assert!(r3.messages > r1.messages);
+    }
+
+    #[test]
+    fn parallel_and_sequential_gathering_agree() {
+        let inst = path_instance(12);
+        let seq = gather_views(&inst, 2, &Simulator::sequential()).unwrap();
+        let par = gather_views(&inst, 2, &Simulator::new()).unwrap();
+        assert_eq!(seq.outputs, par.outputs);
+        assert_eq!(seq.message_units, par.message_units);
+    }
+
+    #[test]
+    fn single_agent_instance_gathers_itself() {
+        let inst = path_instance(1);
+        let result = gather_views(&inst, 3, &Simulator::sequential()).unwrap();
+        assert_eq!(result.outputs.len(), 1);
+        assert_eq!(result.outputs[0].len(), 1);
+    }
+
+    #[test]
+    fn delta_flooding_does_not_resend_old_records() {
+        // On a path with radius large enough to cover everything, total
+        // message units are bounded: each record crosses each link at most
+        // once in each direction.
+        let n = 8;
+        let inst = path_instance(n);
+        let result = gather_views(&inst, n, &Simulator::sequential()).unwrap();
+        let links = n - 1;
+        // Upper bound: every one of the n records crosses every link at most
+        // twice (once per direction).
+        assert!(result.message_units <= (2 * links * n) as u64);
+        // Lower bound sanity: at least each agent's record reaches both ends.
+        assert!(result.message_units >= (2 * links) as u64);
+    }
+}

@@ -1,0 +1,39 @@
+//! A synchronous LOCAL-model simulator for distributed max-min LP algorithms.
+//!
+//! The paper's model (Sections 1.4–1.5): each agent `v` controls the variable
+//! `x_v`; two agents can communicate directly iff they are adjacent in the
+//! communication hypergraph `H`; a *local algorithm* with horizon `r` must
+//! choose `x_v` based solely on the information initially available within
+//! `B_H(v, r)`.
+//!
+//! This crate simulates that model on a single machine:
+//!
+//! * [`Network`] — the communication topology derived from `H`;
+//! * [`NodeProgram`] / [`Action`] — synchronous message-passing programs
+//!   (send, receive, compute, possibly halt with an output);
+//! * [`Simulator`] — deterministic round-by-round execution with message
+//!   accounting and optional multi-threaded rounds;
+//! * [`gather`] — the generic *neighbourhood-gathering* protocol: after `r`
+//!   rounds every agent holds exactly the information available in
+//!   `B_H(v, r)`, packaged as a [`LocalView`];
+//! * [`view`] — the [`LocalView`] type that local algorithms consume.
+//!
+//! The simulator is exact rather than approximate: a deterministic local
+//! algorithm executed through it produces precisely the same outputs it would
+//! produce on a real network, while letting the experiments *measure* rounds,
+//! messages and information radius.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gather;
+pub mod network;
+pub mod program;
+pub mod simulator;
+pub mod view;
+
+pub use gather::{gather_views, GatherMessage, GatherProgram, LocalKnowledge};
+pub use network::Network;
+pub use program::{Action, MessageSize, NodeProgram};
+pub use simulator::{SimError, SimulationResult, Simulator, SimulatorConfig};
+pub use view::LocalView;

@@ -1,0 +1,134 @@
+//! The communication topology used by the simulator.
+
+use mmlp_hypergraph::Hypergraph;
+use serde::{Deserialize, Serialize};
+
+/// An undirected communication network on nodes `0..num_nodes`.
+///
+/// In the paper the network is the communication hypergraph `H`; two agents
+/// can exchange messages iff they share a hyperedge.  The simulator only
+/// needs the resulting pairwise adjacency, which is what this type stores
+/// (sorted, deduplicated adjacency lists).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Network {
+    neighbors: Vec<Vec<usize>>,
+}
+
+impl Network {
+    /// Builds a network with explicit adjacency lists.
+    ///
+    /// Lists are sorted and deduplicated; self-loops are removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if adjacency is not symmetric or mentions unknown nodes.
+    pub fn from_adjacency(adjacency: Vec<Vec<usize>>) -> Self {
+        let n = adjacency.len();
+        let mut neighbors: Vec<Vec<usize>> = adjacency
+            .into_iter()
+            .enumerate()
+            .map(|(v, mut list)| {
+                list.retain(|&u| u != v);
+                list.sort_unstable();
+                list.dedup();
+                for &u in &list {
+                    assert!(u < n, "node {v} lists unknown neighbour {u}");
+                }
+                list
+            })
+            .collect();
+        // Verify symmetry.
+        for v in 0..n {
+            for idx in 0..neighbors[v].len() {
+                let u = neighbors[v][idx];
+                assert!(
+                    neighbors[u].binary_search(&v).is_ok(),
+                    "adjacency is not symmetric: {v} lists {u} but not vice versa"
+                );
+            }
+        }
+        neighbors.shrink_to_fit();
+        Self { neighbors }
+    }
+
+    /// Builds the network induced by a communication hypergraph: nodes are the
+    /// hypergraph's nodes, and two nodes are adjacent iff they share a
+    /// hyperedge.
+    pub fn from_hypergraph(h: &Hypergraph) -> Self {
+        let neighbors = (0..h.num_nodes()).map(|v| h.neighbors(v)).collect();
+        Self { neighbors }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Neighbours of `v` (sorted).
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.neighbors[v]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.neighbors[v].len()
+    }
+
+    /// Total number of undirected communication links.
+    pub fn num_links(&self) -> usize {
+        self.neighbors.iter().map(|l| l.len()).sum::<usize>() / 2
+    }
+
+    /// Maximum degree over all nodes.
+    pub fn max_degree(&self) -> usize {
+        self.neighbors.iter().map(|l| l.len()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_adjacency_normalises() {
+        let net = Network::from_adjacency(vec![vec![1, 1, 0], vec![0], vec![]]);
+        assert_eq!(net.num_nodes(), 3);
+        assert_eq!(net.neighbors(0), &[1]);
+        assert_eq!(net.neighbors(1), &[0]);
+        assert_eq!(net.degree(2), 0);
+        assert_eq!(net.num_links(), 1);
+        assert_eq!(net.max_degree(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn asymmetric_adjacency_is_rejected() {
+        Network::from_adjacency(vec![vec![1], vec![]]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_neighbor_is_rejected() {
+        Network::from_adjacency(vec![vec![5]]);
+    }
+
+    #[test]
+    fn from_hypergraph_uses_shared_edges() {
+        // Hyperedge {0,1,2} plus edge {2,3}.
+        let h = Hypergraph::from_edges(4, vec![vec![0, 1, 2], vec![2, 3]]);
+        let net = Network::from_hypergraph(&h);
+        assert_eq!(net.neighbors(0), &[1, 2]);
+        assert_eq!(net.neighbors(2), &[0, 1, 3]);
+        assert_eq!(net.neighbors(3), &[2]);
+        assert_eq!(net.num_links(), 4);
+        assert_eq!(net.max_degree(), 3);
+    }
+
+    #[test]
+    fn empty_network() {
+        let net = Network::from_adjacency(vec![]);
+        assert_eq!(net.num_nodes(), 0);
+        assert_eq!(net.num_links(), 0);
+        assert_eq!(net.max_degree(), 0);
+    }
+}

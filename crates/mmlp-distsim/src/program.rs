@@ -1,0 +1,101 @@
+//! The node-program abstraction executed by the simulator.
+
+use crate::network::Network;
+
+/// Size accounting for messages, in abstract "units" (the experiments report
+/// communication volume in these units; for the gathering protocol one unit
+/// is one agent record).
+pub trait MessageSize {
+    /// The size of this message in abstract units.
+    fn size_units(&self) -> u64 {
+        1
+    }
+}
+
+impl MessageSize for () {}
+impl MessageSize for u64 {}
+impl MessageSize for f64 {}
+impl MessageSize for String {
+    fn size_units(&self) -> u64 {
+        self.len() as u64
+    }
+}
+impl<T> MessageSize for Vec<T> {
+    fn size_units(&self) -> u64 {
+        self.len() as u64
+    }
+}
+
+/// What a node does at the end of a round.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action<M, O> {
+    /// Send the same message to every neighbour and keep running.
+    Broadcast(M),
+    /// Send individually addressed messages (to neighbours only) and keep
+    /// running.
+    Send(Vec<(usize, M)>),
+    /// Send nothing this round and keep running.
+    Idle,
+    /// Stop participating and produce the node's final output.  A halted node
+    /// neither sends nor receives in later rounds.
+    Halt(O),
+}
+
+/// A deterministic synchronous message-passing program, executed identically
+/// by every node.
+///
+/// Execution proceeds in synchronous rounds.  In round `t` every running node
+/// is handed the messages sent to it in round `t − 1` (round 0 receives an
+/// empty inbox), updates its state, and returns an [`Action`].  The
+/// simulator stops when every node has halted or the round limit is reached.
+///
+/// The paper's *local horizon* corresponds directly to the number of rounds a
+/// program runs before halting: after `r` rounds a node can have received
+/// information from distance at most `r`.
+pub trait NodeProgram: Sync {
+    /// Per-node mutable state.
+    type State: Send;
+    /// Message type exchanged between neighbours.
+    type Message: Clone + Send + Sync + MessageSize;
+    /// Final per-node output.
+    type Output: Send;
+
+    /// Creates the initial state of `node` (its "knowledge at system
+    /// startup").
+    fn init(&self, node: usize, network: &Network) -> Self::State;
+
+    /// Executes one round at `node`.
+    ///
+    /// `inbox` contains `(sender, message)` pairs sorted by sender, and
+    /// `round` counts from 0.
+    fn step(
+        &self,
+        node: usize,
+        state: &mut Self::State,
+        inbox: &[(usize, Self::Message)],
+        round: usize,
+        network: &Network,
+    ) -> Action<Self::Message, Self::Output>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_message_sizes() {
+        assert_eq!(().size_units(), 1);
+        assert_eq!(42u64.size_units(), 1);
+        assert_eq!(1.5f64.size_units(), 1);
+        assert_eq!("abcd".to_string().size_units(), 4);
+        assert_eq!(vec![1, 2, 3].size_units(), 3);
+    }
+
+    #[test]
+    fn action_variants_are_distinguishable() {
+        let a: Action<u64, u64> = Action::Broadcast(1);
+        let b: Action<u64, u64> = Action::Halt(1);
+        assert_ne!(a, b);
+        assert_eq!(Action::<u64, u64>::Idle, Action::Idle);
+    }
+}

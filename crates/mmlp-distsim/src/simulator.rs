@@ -1,0 +1,442 @@
+//! Deterministic synchronous execution of node programs.
+
+use crate::network::Network;
+use crate::program::{Action, MessageSize, NodeProgram};
+use mmlp_parallel::{par_map_with, ParallelConfig};
+use parking_lot::Mutex;
+use std::fmt;
+
+/// Configuration of the [`Simulator`].
+#[derive(Debug, Clone, Copy)]
+pub struct SimulatorConfig {
+    /// Maximum number of synchronous rounds before the run is aborted.
+    pub max_rounds: usize,
+    /// Thread configuration for executing the per-node steps of one round.
+    pub parallel: ParallelConfig,
+}
+
+impl Default for SimulatorConfig {
+    fn default() -> Self {
+        Self { max_rounds: 10_000, parallel: ParallelConfig::default() }
+    }
+}
+
+/// Errors produced by the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Some nodes were still running when the round limit was reached.
+    RoundLimitExceeded {
+        /// The configured limit.
+        limit: usize,
+        /// How many nodes had not halted.
+        still_running: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::RoundLimitExceeded { limit, still_running } => write!(
+                f,
+                "{still_running} nodes still running after the round limit of {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The result of a completed simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationResult<O> {
+    /// Final output of each node, indexed by node id.
+    pub outputs: Vec<O>,
+    /// Number of rounds executed (the maximum halting round plus one, i.e.
+    /// the local horizon actually used).
+    pub rounds: usize,
+    /// The round (0-based) in which each node halted.
+    pub halting_round: Vec<usize>,
+    /// Total number of point-to-point messages delivered.
+    pub messages: u64,
+    /// Total communication volume in abstract [`MessageSize`] units.
+    pub message_units: u64,
+    /// Messages delivered per round.
+    pub messages_per_round: Vec<u64>,
+}
+
+impl<O> SimulationResult<O> {
+    /// Average number of messages sent per node over the whole run.
+    pub fn messages_per_node(&self) -> f64 {
+        if self.outputs.is_empty() {
+            0.0
+        } else {
+            self.messages as f64 / self.outputs.len() as f64
+        }
+    }
+}
+
+/// Executes [`NodeProgram`]s in synchronous rounds over a [`Network`].
+#[derive(Debug, Clone, Default)]
+pub struct Simulator {
+    config: SimulatorConfig,
+}
+
+impl Simulator {
+    /// Simulator with the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Simulator with an explicit configuration.
+    pub fn with_config(config: SimulatorConfig) -> Self {
+        Self { config }
+    }
+
+    /// Simulator that executes each round sequentially (fully deterministic
+    /// timing, useful in tests and when the caller is already parallel).
+    pub fn sequential() -> Self {
+        Self::with_config(SimulatorConfig {
+            parallel: ParallelConfig::sequential(),
+            ..SimulatorConfig::default()
+        })
+    }
+
+    /// Runs `program` on every node of `network` until all nodes halt.
+    pub fn run<P: NodeProgram>(
+        &self,
+        network: &Network,
+        program: &P,
+    ) -> Result<SimulationResult<P::Output>, SimError> {
+        let n = network.num_nodes();
+        let states: Vec<Mutex<Option<P::State>>> =
+            (0..n).map(|v| Mutex::new(Some(program.init(v, network)))).collect();
+        let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
+        let mut halting_round: Vec<usize> = vec![0; n];
+        // inboxes[v] = messages to be delivered to v at the start of the
+        // current round, sorted by sender.
+        let mut inboxes: Vec<Vec<(usize, P::Message)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut running: Vec<usize> = (0..n).collect();
+
+        let mut messages: u64 = 0;
+        let mut message_units: u64 = 0;
+        let mut messages_per_round: Vec<u64> = Vec::new();
+        let mut round = 0usize;
+
+        while !running.is_empty() {
+            if round >= self.config.max_rounds {
+                return Err(SimError::RoundLimitExceeded {
+                    limit: self.config.max_rounds,
+                    still_running: running.len(),
+                });
+            }
+
+            // Step every running node (in parallel); the per-node state is
+            // protected by its own uncontended mutex.
+            let actions: Vec<Action<P::Message, P::Output>> =
+                par_map_with(&self.config.parallel, &running, |&node| {
+                    let mut guard = states[node].lock();
+                    let state = guard.as_mut().expect("running node has state");
+                    let inbox = &inboxes[node];
+                    program.step(node, state, inbox, round, network)
+                });
+
+            // Clear the inboxes we just consumed.
+            for &node in &running {
+                inboxes[node].clear();
+            }
+
+            // Deliver messages and record halts.
+            let mut round_messages = 0u64;
+            let mut outgoing: Vec<(usize, usize, P::Message)> = Vec::new();
+            let mut still_running = Vec::with_capacity(running.len());
+            for (&node, action) in running.iter().zip(actions) {
+                match action {
+                    Action::Broadcast(msg) => {
+                        for &to in network.neighbors(node) {
+                            outgoing.push((node, to, msg.clone()));
+                        }
+                        still_running.push(node);
+                    }
+                    Action::Send(list) => {
+                        for (to, msg) in list {
+                            assert!(
+                                network.neighbors(node).contains(&to),
+                                "node {node} attempted to message non-neighbour {to}"
+                            );
+                            outgoing.push((node, to, msg));
+                        }
+                        still_running.push(node);
+                    }
+                    Action::Idle => still_running.push(node),
+                    Action::Halt(output) => {
+                        outputs[node] = Some(output);
+                        halting_round[node] = round;
+                        *states[node].lock() = None;
+                    }
+                }
+            }
+            for (from, to, msg) in outgoing {
+                // Halted nodes no longer receive messages.
+                if outputs[to].is_none() {
+                    round_messages += 1;
+                    message_units += msg.size_units();
+                    inboxes[to].push((from, msg));
+                }
+            }
+            for inbox in inboxes.iter_mut() {
+                inbox.sort_by_key(|(from, _)| *from);
+            }
+            messages += round_messages;
+            messages_per_round.push(round_messages);
+            running = still_running;
+            round += 1;
+        }
+
+        Ok(SimulationResult {
+            outputs: outputs
+                .into_iter()
+                .map(|o| o.expect("every node halted with an output"))
+                .collect(),
+            rounds: round,
+            halting_round,
+            messages,
+            message_units,
+            messages_per_round,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every node immediately halts with its own id.
+    struct IdentityProgram;
+    impl NodeProgram for IdentityProgram {
+        type State = ();
+        type Message = ();
+        type Output = usize;
+        fn init(&self, _node: usize, _network: &Network) -> Self::State {}
+        fn step(
+            &self,
+            node: usize,
+            _state: &mut Self::State,
+            _inbox: &[(usize, ())],
+            _round: usize,
+            _network: &Network,
+        ) -> Action<(), usize> {
+            Action::Halt(node)
+        }
+    }
+
+    /// Each node floods a counter for `rounds` rounds, then outputs the sum of
+    /// everything it received (used to check message accounting).
+    struct FloodSum {
+        rounds: usize,
+    }
+    impl NodeProgram for FloodSum {
+        type State = u64;
+        type Message = u64;
+        type Output = u64;
+        fn init(&self, node: usize, _network: &Network) -> Self::State {
+            node as u64
+        }
+        fn step(
+            &self,
+            _node: usize,
+            state: &mut Self::State,
+            inbox: &[(usize, u64)],
+            round: usize,
+            _network: &Network,
+        ) -> Action<u64, u64> {
+            for (_, m) in inbox {
+                *state += m;
+            }
+            if round >= self.rounds {
+                Action::Halt(*state)
+            } else {
+                Action::Broadcast(*state)
+            }
+        }
+    }
+
+    /// Computes the maximum node id within the node's connected component by
+    /// flooding; halts when the value is stable for two consecutive rounds.
+    struct MaxFlood;
+    impl NodeProgram for MaxFlood {
+        type State = (u64, usize); // (current max, rounds since change)
+        type Message = u64;
+        type Output = u64;
+        fn init(&self, node: usize, _network: &Network) -> Self::State {
+            (node as u64, 0)
+        }
+        fn step(
+            &self,
+            _node: usize,
+            state: &mut Self::State,
+            inbox: &[(usize, u64)],
+            _round: usize,
+            network: &Network,
+        ) -> Action<u64, u64> {
+            let before = state.0;
+            for (_, m) in inbox {
+                state.0 = state.0.max(*m);
+            }
+            if state.0 == before {
+                state.1 += 1;
+            } else {
+                state.1 = 0;
+            }
+            // Everyone waits diameter-many stable rounds; n is a safe bound.
+            if state.1 > network.num_nodes() {
+                Action::Halt(state.0)
+            } else {
+                Action::Broadcast(state.0)
+            }
+        }
+    }
+
+    fn path_network(n: usize) -> Network {
+        let mut adj = vec![Vec::new(); n];
+        for v in 0..n.saturating_sub(1) {
+            adj[v].push(v + 1);
+            adj[v + 1].push(v);
+        }
+        Network::from_adjacency(adj)
+    }
+
+    #[test]
+    fn identity_program_halts_in_one_round() {
+        let net = path_network(5);
+        let result = Simulator::new().run(&net, &IdentityProgram).unwrap();
+        assert_eq!(result.outputs, vec![0, 1, 2, 3, 4]);
+        assert_eq!(result.rounds, 1);
+        assert_eq!(result.messages, 0);
+        assert_eq!(result.halting_round, vec![0; 5]);
+    }
+
+    #[test]
+    fn flooding_respects_the_horizon() {
+        // On a path, after r rounds of flooding a node can only have been
+        // influenced by nodes within distance r.
+        let net = path_network(7);
+        let one_round = Simulator::sequential().run(&net, &FloodSum { rounds: 1 }).unwrap();
+        // Node 0 hears only node 1's initial value.
+        assert_eq!(one_round.outputs[0], 0 + 1);
+        // Node 3 hears nodes 2 and 4.
+        assert_eq!(one_round.outputs[3], 3 + 2 + 4);
+        assert_eq!(one_round.rounds, 2);
+    }
+
+    #[test]
+    fn message_accounting_matches_topology() {
+        let net = path_network(4); // 3 links
+        let result = Simulator::sequential().run(&net, &FloodSum { rounds: 2 }).unwrap();
+        // Rounds 0 and 1 broadcast on every link in both directions; round 2
+        // halts without sending.
+        assert_eq!(result.messages, 2 * 2 * 3);
+        assert_eq!(result.messages_per_round, vec![6, 6, 0]);
+        assert_eq!(result.message_units, result.messages);
+        assert!(result.messages_per_node() > 0.0);
+    }
+
+    #[test]
+    fn max_flood_finds_global_maximum() {
+        let net = path_network(9);
+        let result = Simulator::new().run(&net, &MaxFlood).unwrap();
+        assert!(result.outputs.iter().all(|&m| m == 8));
+    }
+
+    #[test]
+    fn parallel_and_sequential_runs_agree() {
+        let net = path_network(20);
+        let seq = Simulator::sequential().run(&net, &FloodSum { rounds: 5 }).unwrap();
+        let par = Simulator::with_config(SimulatorConfig {
+            parallel: ParallelConfig::with_threads(8),
+            ..Default::default()
+        })
+        .run(&net, &FloodSum { rounds: 5 })
+        .unwrap();
+        assert_eq!(seq.outputs, par.outputs);
+        assert_eq!(seq.messages, par.messages);
+        assert_eq!(seq.rounds, par.rounds);
+    }
+
+    #[test]
+    fn round_limit_is_enforced() {
+        struct Forever;
+        impl NodeProgram for Forever {
+            type State = ();
+            type Message = ();
+            type Output = ();
+            fn init(&self, _: usize, _: &Network) {}
+            fn step(
+                &self,
+                _: usize,
+                _: &mut (),
+                _: &[(usize, ())],
+                _: usize,
+                _: &Network,
+            ) -> Action<(), ()> {
+                Action::Idle
+            }
+        }
+        let net = path_network(3);
+        let sim = Simulator::with_config(SimulatorConfig {
+            max_rounds: 10,
+            parallel: ParallelConfig::sequential(),
+        });
+        assert_eq!(
+            sim.run(&net, &Forever),
+            Err(SimError::RoundLimitExceeded { limit: 10, still_running: 3 })
+        );
+    }
+
+    #[test]
+    fn empty_network_produces_empty_result() {
+        let net = Network::from_adjacency(vec![]);
+        let result = Simulator::new().run(&net, &IdentityProgram).unwrap();
+        assert!(result.outputs.is_empty());
+        assert_eq!(result.rounds, 0);
+        assert_eq!(result.messages_per_node(), 0.0);
+    }
+
+    #[test]
+    fn directed_send_reaches_only_target() {
+        /// Node 0 sends its id to its smallest neighbour only; everyone halts
+        /// in round 1 with the count of messages received.
+        struct SendOne;
+        impl NodeProgram for SendOne {
+            type State = usize;
+            type Message = u64;
+            type Output = usize;
+            fn init(&self, _: usize, _: &Network) -> usize {
+                0
+            }
+            fn step(
+                &self,
+                node: usize,
+                state: &mut usize,
+                inbox: &[(usize, u64)],
+                round: usize,
+                network: &Network,
+            ) -> Action<u64, usize> {
+                *state += inbox.len();
+                if round == 0 {
+                    if node == 0 {
+                        let target = network.neighbors(0)[0];
+                        Action::Send(vec![(target, 7)])
+                    } else {
+                        Action::Idle
+                    }
+                } else {
+                    Action::Halt(*state)
+                }
+            }
+        }
+        let net = path_network(3);
+        let result = Simulator::sequential().run(&net, &SendOne).unwrap();
+        assert_eq!(result.outputs, vec![0, 1, 0]);
+        assert_eq!(result.messages, 1);
+    }
+}

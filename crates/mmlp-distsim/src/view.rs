@@ -1,0 +1,271 @@
+//! The radius-`r` local view an agent bases its decision on.
+
+use crate::gather::LocalKnowledge;
+use mmlp_core::{AgentId, MaxMinInstance, PartyId, ResourceId};
+use mmlp_hypergraph::Hypergraph;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Everything an agent can possibly know after gathering information from its
+/// radius-`r` neighbourhood `B_H(v, r)`:
+///
+/// * which agents are within distance `r`, and at what distance;
+/// * for each such agent, its native knowledge (its coefficients `a_iv` and
+///   `c_kv` — Section 1.4 of the paper).
+///
+/// Local algorithms are, by definition, functions of a `LocalView`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocalView {
+    /// The agent at the centre of the view.
+    pub center: AgentId,
+    /// The information radius of the view.
+    pub radius: usize,
+    /// Known agents, keyed by agent id: `(distance from centre, knowledge)`.
+    known: BTreeMap<u32, (usize, LocalKnowledge)>,
+}
+
+impl LocalView {
+    /// Assembles a view from explicit records.
+    pub fn from_records(
+        center: AgentId,
+        radius: usize,
+        records: impl IntoIterator<Item = (AgentId, usize, LocalKnowledge)>,
+    ) -> Self {
+        let known = records
+            .into_iter()
+            .map(|(v, dist, knowledge)| (v.0, (dist, knowledge)))
+            .collect();
+        Self { center, radius, known }
+    }
+
+    /// Builds the radius-`r` view of `center` directly from the instance and
+    /// its communication hypergraph, without running the simulator.
+    ///
+    /// This is the "omniscient" construction used by the centralised variants
+    /// of the local algorithms; running the gathering protocol through the
+    /// simulator produces an identical view (this equality is checked by the
+    /// integration tests).
+    pub fn from_instance(
+        instance: &MaxMinInstance,
+        hypergraph: &Hypergraph,
+        center: AgentId,
+        radius: usize,
+    ) -> Self {
+        let distances = hypergraph.bfs_distances(center.index(), radius);
+        let records = (0..instance.num_agents()).filter_map(|v| {
+            let d = distances[v];
+            (d <= radius).then(|| {
+                let agent = AgentId::new(v);
+                (agent, d, LocalKnowledge::of_agent(instance, agent))
+            })
+        });
+        Self::from_records(center, radius, records)
+    }
+
+    /// Number of known agents, `|B_H(v, r)|`.
+    pub fn len(&self) -> usize {
+        self.known.len()
+    }
+
+    /// `true` iff the view contains no agents (never the case for a view of a
+    /// real agent, which always knows itself).
+    pub fn is_empty(&self) -> bool {
+        self.known.is_empty()
+    }
+
+    /// `true` iff agent `v` is within the view.
+    pub fn contains(&self, v: AgentId) -> bool {
+        self.known.contains_key(&v.0)
+    }
+
+    /// Distance from the centre to `v`, if `v` is within the view.
+    pub fn distance(&self, v: AgentId) -> Option<usize> {
+        self.known.get(&v.0).map(|(d, _)| *d)
+    }
+
+    /// The native knowledge of `v`, if `v` is within the view.
+    pub fn knowledge(&self, v: AgentId) -> Option<&LocalKnowledge> {
+        self.known.get(&v.0).map(|(_, k)| k)
+    }
+
+    /// All known agents in increasing id order.
+    pub fn known_agents(&self) -> impl Iterator<Item = AgentId> + '_ {
+        self.known.keys().map(|&id| AgentId(id))
+    }
+
+    /// Known agents within distance `d` of the centre.
+    pub fn agents_within(&self, d: usize) -> Vec<AgentId> {
+        self.known
+            .iter()
+            .filter(|(_, (dist, _))| *dist <= d)
+            .map(|(&id, _)| AgentId(id))
+            .collect()
+    }
+
+    /// The *visible part* of every resource's support: for each resource `i`
+    /// known to some agent in the view, the pairs `(v, a_iv)` restricted to
+    /// agents in the view.  This is exactly the set `V_i ∩ V^u` (the paper's
+    /// `V^u_i`).
+    pub fn visible_resources(&self) -> BTreeMap<ResourceId, Vec<(AgentId, f64)>> {
+        let mut out: BTreeMap<ResourceId, Vec<(AgentId, f64)>> = BTreeMap::new();
+        for (&id, (_, knowledge)) in &self.known {
+            for (i, a) in &knowledge.resources {
+                out.entry(*i).or_default().push((AgentId(id), *a));
+            }
+        }
+        out
+    }
+
+    /// The visible part of every party's support (`V_k ∩ V^u`).
+    pub fn visible_parties(&self) -> BTreeMap<PartyId, Vec<(AgentId, f64)>> {
+        let mut out: BTreeMap<PartyId, Vec<(AgentId, f64)>> = BTreeMap::new();
+        for (&id, (_, knowledge)) in &self.known {
+            for (k, c) in &knowledge.parties {
+                out.entry(*k).or_default().push((AgentId(id), *c));
+            }
+        }
+        out
+    }
+
+    /// Smallest distance from the centre to any visible member of party `k`.
+    pub fn min_distance_to_party(&self, k: PartyId) -> Option<usize> {
+        self.known
+            .values()
+            .filter(|(_, knowledge)| knowledge.parties.iter().any(|(kk, _)| *kk == k))
+            .map(|(d, _)| *d)
+            .min()
+    }
+
+    /// Smallest distance from the centre to any visible member of resource
+    /// `i`'s support.
+    pub fn min_distance_to_resource(&self, i: ResourceId) -> Option<usize> {
+        self.known
+            .values()
+            .filter(|(_, knowledge)| knowledge.resources.iter().any(|(ii, _)| *ii == i))
+            .map(|(d, _)| *d)
+            .min()
+    }
+
+    /// Parties `k` whose support `V_k` is *guaranteed* to lie entirely inside
+    /// this view.
+    ///
+    /// If some member of `V_k` lies within distance `radius − 1` of the
+    /// centre, then every member of `V_k` (being adjacent to that member via
+    /// the hyperedge `V_k`) lies within distance `radius`, hence inside the
+    /// view.  This is the locally checkable version of the paper's
+    /// `K^u = {k : V_k ⊆ V^u}`.
+    pub fn certainly_complete_parties(&self) -> Vec<PartyId> {
+        if self.radius == 0 {
+            return Vec::new();
+        }
+        let mut out: Vec<PartyId> = self
+            .visible_parties()
+            .keys()
+            .copied()
+            .filter(|&k| self.min_distance_to_party(k).is_some_and(|d| d + 1 <= self.radius))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmlp_core::InstanceBuilder;
+    use mmlp_hypergraph::communication_hypergraph;
+
+    /// A path of three agents: v0 –(i0)– v1 –(i1)– v2, one party per agent.
+    fn path_instance() -> MaxMinInstance {
+        let mut b = InstanceBuilder::new();
+        let v = b.add_agents(3);
+        let i0 = b.add_resource();
+        let i1 = b.add_resource();
+        b.set_consumption(i0, v[0], 1.0);
+        b.set_consumption(i0, v[1], 1.0);
+        b.set_consumption(i1, v[1], 1.0);
+        b.set_consumption(i1, v[2], 1.0);
+        for (idx, &vv) in v.iter().enumerate() {
+            let k = b.add_party();
+            b.set_benefit(k, vv, 1.0 + idx as f64);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn view_from_instance_respects_radius() {
+        let inst = path_instance();
+        let (h, _) = communication_hypergraph(&inst);
+        let view0 = LocalView::from_instance(&inst, &h, AgentId::new(0), 0);
+        assert_eq!(view0.len(), 1);
+        assert!(view0.contains(AgentId::new(0)));
+        assert!(!view0.contains(AgentId::new(1)));
+
+        let view1 = LocalView::from_instance(&inst, &h, AgentId::new(0), 1);
+        assert_eq!(view1.len(), 2);
+        assert_eq!(view1.distance(AgentId::new(1)), Some(1));
+        assert_eq!(view1.distance(AgentId::new(2)), None);
+
+        let view2 = LocalView::from_instance(&inst, &h, AgentId::new(0), 2);
+        assert_eq!(view2.len(), 3);
+        assert_eq!(view2.distance(AgentId::new(2)), Some(2));
+        assert_eq!(view2.agents_within(1), vec![AgentId::new(0), AgentId::new(1)]);
+    }
+
+    #[test]
+    fn visible_supports_are_restrictions() {
+        let inst = path_instance();
+        let (h, _) = communication_hypergraph(&inst);
+        let view = LocalView::from_instance(&inst, &h, AgentId::new(0), 1);
+        let resources = view.visible_resources();
+        // Resource 0 is fully visible; resource 1 only through agent 1.
+        assert_eq!(resources[&ResourceId::new(0)].len(), 2);
+        assert_eq!(resources[&ResourceId::new(1)].len(), 1);
+        let parties = view.visible_parties();
+        assert_eq!(parties.len(), 2); // parties of agents 0 and 1
+        assert_eq!(parties[&PartyId::new(1)], vec![(AgentId::new(1), 2.0)]);
+    }
+
+    #[test]
+    fn complete_party_detection() {
+        let inst = path_instance();
+        let (h, _) = communication_hypergraph(&inst);
+        // Radius 1 around agent 0: its own party (distance 0 ≤ radius−1 = 0)
+        // is certainly complete; agent 1's party has min distance 1 which is
+        // not ≤ 0, so it is not guaranteed complete.
+        let view = LocalView::from_instance(&inst, &h, AgentId::new(0), 1);
+        assert_eq!(view.certainly_complete_parties(), vec![PartyId::new(0)]);
+        // Radius 2: both parties of agents 0 and 1 are certainly complete.
+        let view = LocalView::from_instance(&inst, &h, AgentId::new(0), 2);
+        assert_eq!(
+            view.certainly_complete_parties(),
+            vec![PartyId::new(0), PartyId::new(1)]
+        );
+        // Radius 0: nothing is guaranteed.
+        let view = LocalView::from_instance(&inst, &h, AgentId::new(0), 0);
+        assert!(view.certainly_complete_parties().is_empty());
+    }
+
+    #[test]
+    fn min_distances() {
+        let inst = path_instance();
+        let (h, _) = communication_hypergraph(&inst);
+        let view = LocalView::from_instance(&inst, &h, AgentId::new(0), 2);
+        assert_eq!(view.min_distance_to_party(PartyId::new(0)), Some(0));
+        assert_eq!(view.min_distance_to_party(PartyId::new(2)), Some(2));
+        assert_eq!(view.min_distance_to_resource(ResourceId::new(1)), Some(1));
+        assert_eq!(view.min_distance_to_party(PartyId::new(99)), None);
+    }
+
+    #[test]
+    fn knowledge_lookup() {
+        let inst = path_instance();
+        let (h, _) = communication_hypergraph(&inst);
+        let view = LocalView::from_instance(&inst, &h, AgentId::new(1), 1);
+        let k = view.knowledge(AgentId::new(2)).unwrap();
+        assert_eq!(k.agent, AgentId::new(2));
+        assert_eq!(k.resources, vec![(ResourceId::new(1), 1.0)]);
+        assert!(view.knowledge(AgentId::new(99)).is_none());
+        assert!(!view.is_empty());
+    }
+}

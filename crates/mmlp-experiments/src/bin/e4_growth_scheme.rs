@@ -1,0 +1,76 @@
+//! Experiment E4 — Theorem 3 / Figure 2: the local averaging algorithm as a
+//! local approximation scheme on bounded-growth networks.
+//!
+//! For tori of dimensions 1 and 2, sweep the radius `R`, and report the
+//! measured growth `γ(R)`, the Theorem 3 bound `γ(R−1)·γ(R)`, the
+//! instance-specific a-posteriori guarantee, and the measured approximation
+//! ratio.  The paper's claim is that on `d`-dimensional grids
+//! `γ(r) = 1 + Θ(1/r)`, so all of these columns converge to 1 as `R` grows.
+
+use maxmin_local_lp::prelude::*;
+use mmlp_experiments::{banner, fmt, print_row};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let widths = [14usize, 4, 10, 14, 14, 12, 14];
+    let mut rng = StdRng::seed_from_u64(13);
+    for (label, sides) in [
+        ("cycle (1-D)", vec![64usize]),
+        ("torus (2-D)", vec![10, 10]),
+    ] {
+        banner(&format!("E4: local approximation scheme on a {label}"));
+        let config = GridConfig { side_lengths: sides, torus: true, random_weights: true };
+        let instance = grid_instance(&config, &mut rng);
+        let (h, _) = communication_hypergraph(&instance);
+        let max_radius = 4usize;
+        let profile = growth_profile(&h, max_radius);
+        let optimum = solve_maxmin(&instance).unwrap().objective;
+        let safe_obj = instance.objective(&safe_algorithm(&instance)).unwrap();
+
+        print_row(
+            &[
+                "network".into(),
+                "R".into(),
+                "γ(R)".into(),
+                "γ(R−1)·γ(R)".into(),
+                "a-post bound".into(),
+                "ratio".into(),
+                "infinite-grid γ".into(),
+            ],
+            &widths,
+        );
+        print_row(
+            &[
+                label.into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                fmt(instance.degree_bounds().safe_algorithm_ratio(), 3),
+                fmt(optimum / safe_obj, 4),
+                "(safe)".into(),
+            ],
+            &widths,
+        );
+        let dim = config.side_lengths.len() as u32;
+        for radius in 1..=max_radius {
+            let result = local_averaging(&instance, &LocalAveragingOptions::new(radius)).unwrap();
+            let achieved = instance.objective(&result.solution).unwrap();
+            let gamma_bound = profile.gamma[radius - 1] * profile.gamma[radius];
+            print_row(
+                &[
+                    label.into(),
+                    radius.to_string(),
+                    fmt(profile.gamma[radius], 4),
+                    fmt(gamma_bound, 4),
+                    fmt(result.guaranteed_ratio, 4),
+                    fmt(optimum / achieved, 4),
+                    fmt(bounds::grid_growth(dim, radius as u32), 4),
+                ],
+                &widths,
+            );
+        }
+    }
+    println!("\nReading: γ(R) → 1 and both bounds and the measured ratio converge towards 1 as R");
+    println!("grows — the algorithm is a local approximation scheme on these families (Theorem 3).");
+}

@@ -1,0 +1,119 @@
+//! Experiment E5 — the Section 2 applications: two-tier sensor networks and
+//! the ISP variant.
+//!
+//! Reports, for several network densities, the minimum per-area data rate
+//! achieved by the uniform baseline, the safe algorithm and the local
+//! averaging algorithm relative to the centralised optimum.
+
+use maxmin_local_lp::prelude::*;
+use mmlp_experiments::{banner, fmt, print_row};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    banner("E5a: two-tier sensor network (Section 2) — minimum area rate vs optimum");
+    let widths = [10usize, 8, 8, 10, 12, 10, 12, 12];
+    print_row(
+        &[
+            "sensors".into(),
+            "relays".into(),
+            "links".into(),
+            "ω* (opt)".into(),
+            "uniform".into(),
+            "safe".into(),
+            "avg R=1".into(),
+            "avg R=2".into(),
+        ],
+        &widths,
+    );
+    let mut rng = StdRng::seed_from_u64(2008);
+    for (sensors, relays) in [(40usize, 15usize), (80, 25), (120, 35)] {
+        let cfg = SensorNetworkConfig {
+            num_sensors: sensors,
+            num_relays: relays,
+            num_areas: 16,
+            ..Default::default()
+        };
+        let network = sensor_network_instance(&cfg, &mut rng);
+        let inst = &network.instance;
+        let opt = solve_maxmin(inst).unwrap().objective;
+        let ratio = |x: &Solution| {
+            let obj = inst.objective(x).unwrap();
+            if obj > 0.0 {
+                opt / obj
+            } else {
+                f64::INFINITY
+            }
+        };
+        let uniform = uniform_baseline(inst);
+        let safe = safe_algorithm(inst);
+        let avg1 = local_averaging(inst, &LocalAveragingOptions::new(1)).unwrap().solution;
+        let avg2 = local_averaging(inst, &LocalAveragingOptions::new(2)).unwrap().solution;
+        print_row(
+            &[
+                sensors.to_string(),
+                relays.to_string(),
+                network.num_links().to_string(),
+                fmt(opt, 4),
+                fmt(ratio(&uniform), 3),
+                fmt(ratio(&safe), 3),
+                fmt(ratio(&avg1), 3),
+                fmt(ratio(&avg2), 3),
+            ],
+            &widths,
+        );
+    }
+
+    banner("E5b: ISP bandwidth allocation (Section 2 variant) — ratios vs optimum");
+    let widths = [11usize, 9, 8, 10, 12, 10, 12];
+    print_row(
+        &[
+            "customers".into(),
+            "routers".into(),
+            "routes".into(),
+            "ω* (opt)".into(),
+            "uniform".into(),
+            "safe".into(),
+            "avg R=1".into(),
+        ],
+        &widths,
+    );
+    for (customers, routers) in [(16usize, 6usize), (32, 10), (48, 12)] {
+        let cfg = IspConfig {
+            num_customers: customers,
+            num_routers: routers,
+            routers_per_customer: 3,
+            heterogeneous: true,
+            ..Default::default()
+        };
+        let inst = isp_instance(&cfg, &mut rng);
+        let opt = solve_maxmin(&inst).unwrap().objective;
+        let ratio = |x: &Solution| {
+            let obj = inst.objective(x).unwrap();
+            if obj > 0.0 {
+                opt / obj
+            } else {
+                f64::INFINITY
+            }
+        };
+        let uniform = uniform_baseline(&inst);
+        let safe = safe_algorithm(&inst);
+        let avg1 = local_averaging(&inst, &LocalAveragingOptions::new(1)).unwrap().solution;
+        print_row(
+            &[
+                customers.to_string(),
+                routers.to_string(),
+                inst.num_agents().to_string(),
+                fmt(opt, 4),
+                fmt(ratio(&uniform), 3),
+                fmt(ratio(&safe), 3),
+                fmt(ratio(&avg1), 3),
+            ],
+            &widths,
+        );
+    }
+    println!("\nReading: the safe algorithm stays within a small constant factor of the optimum on");
+    println!("both applications.  Local averaging improves with its radius on the sensor networks");
+    println!("(moderate neighbourhood growth) but can trail the safe algorithm on the dense ISP");
+    println!("topology — exactly the growth-dependence that Theorem 3's γ(R−1)·γ(R) bound predicts.");
+}

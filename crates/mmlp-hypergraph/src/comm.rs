@@ -1,0 +1,139 @@
+//! Construction of the communication hypergraph of a max-min LP.
+//!
+//! Section 1.4 of the paper: the communication graph is the hypergraph
+//! `H = (V, E)` with `E = {V_i : i ∈ I} ∪ {V_k : k ∈ K}`.  Two agents can
+//! talk directly iff they are adjacent in `H`, i.e. they either compete for a
+//! resource or collaborate towards a party.
+//!
+//! The paper also introduces the *collaboration-oblivious* variant (used when
+//! comparing against pure packing-LP results), where only the resource
+//! hyperedges `E = {V_i : i ∈ I}` are present.
+
+use crate::hypergraph::Hypergraph;
+use mmlp_core::{MaxMinInstance, PartyId, ResourceId};
+use serde::{Deserialize, Serialize};
+
+/// Which support set a hyperedge of the communication hypergraph represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// The hyperedge is the support set `V_i` of a resource.
+    Resource(ResourceId),
+    /// The hyperedge is the support set `V_k` of a party.
+    Party(PartyId),
+}
+
+/// Builds the communication hypergraph `H` of an instance, together with the
+/// labels saying which resource/party each hyperedge represents.
+///
+/// Nodes of the hypergraph are agent indices; hyperedges appear in the order
+/// "all resources, then all parties", so `labels[e]` identifies edge `e`.
+pub fn communication_hypergraph(instance: &MaxMinInstance) -> (Hypergraph, Vec<EdgeKind>) {
+    let mut h = Hypergraph::new(instance.num_agents());
+    let mut labels = Vec::with_capacity(instance.num_resources() + instance.num_parties());
+    for i in instance.resource_ids() {
+        h.add_edge(instance.resource_support(i).map(|v| v.index()).collect());
+        labels.push(EdgeKind::Resource(i));
+    }
+    for k in instance.party_ids() {
+        h.add_edge(instance.party_support(k).map(|v| v.index()).collect());
+        labels.push(EdgeKind::Party(k));
+    }
+    (h, labels)
+}
+
+/// Builds the collaboration-oblivious communication hypergraph: only the
+/// resource hyperedges `V_i` are present (Section 1.4).
+pub fn collaboration_oblivious_hypergraph(
+    instance: &MaxMinInstance,
+) -> (Hypergraph, Vec<ResourceId>) {
+    let mut h = Hypergraph::new(instance.num_agents());
+    let mut labels = Vec::with_capacity(instance.num_resources());
+    for i in instance.resource_ids() {
+        h.add_edge(instance.resource_support(i).map(|v| v.index()).collect());
+        labels.push(i);
+    }
+    (h, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmlp_core::InstanceBuilder;
+
+    /// Three agents; resource 0 shared by agents {0,1}, resource 1 by {1,2};
+    /// party 0 served by {0,1,2}, party 1 by {2}.
+    fn sample_instance() -> MaxMinInstance {
+        let mut b = InstanceBuilder::new();
+        let v = b.add_agents(3);
+        let i0 = b.add_resource();
+        let i1 = b.add_resource();
+        let k0 = b.add_party();
+        let k1 = b.add_party();
+        b.set_consumption(i0, v[0], 1.0);
+        b.set_consumption(i0, v[1], 1.0);
+        b.set_consumption(i1, v[1], 1.0);
+        b.set_consumption(i1, v[2], 1.0);
+        b.set_benefit(k0, v[0], 1.0);
+        b.set_benefit(k0, v[1], 1.0);
+        b.set_benefit(k0, v[2], 1.0);
+        b.set_benefit(k1, v[2], 1.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn full_hypergraph_has_resource_and_party_edges() {
+        let inst = sample_instance();
+        let (h, labels) = communication_hypergraph(&inst);
+        assert_eq!(h.num_nodes(), 3);
+        assert_eq!(h.num_edges(), 4);
+        assert_eq!(labels.len(), 4);
+        assert_eq!(h.edge(0), &[0, 1]);
+        assert_eq!(h.edge(1), &[1, 2]);
+        assert_eq!(h.edge(2), &[0, 1, 2]);
+        assert_eq!(h.edge(3), &[2]);
+        assert!(matches!(labels[0], EdgeKind::Resource(i) if i.index() == 0));
+        assert!(matches!(labels[2], EdgeKind::Party(k) if k.index() == 0));
+    }
+
+    #[test]
+    fn collaboration_oblivious_drops_party_edges() {
+        let inst = sample_instance();
+        let (h, labels) = collaboration_oblivious_hypergraph(&inst);
+        assert_eq!(h.num_edges(), 2);
+        assert_eq!(labels.len(), 2);
+        // Without the party edge {0,1,2}, agents 0 and 2 are at distance 2.
+        assert_eq!(h.distance(0, 2), Some(2));
+        // With it, they are adjacent.
+        let (full, _) = communication_hypergraph(&inst);
+        assert_eq!(full.distance(0, 2), Some(1));
+    }
+
+    #[test]
+    fn hypergraph_distances_respect_sharing_structure() {
+        let inst = sample_instance();
+        let (h, _) = communication_hypergraph(&inst);
+        // Agent 1 shares a resource with both other agents.
+        assert_eq!(h.distance(1, 0), Some(1));
+        assert_eq!(h.distance(1, 2), Some(1));
+        assert!(h.is_connected());
+    }
+
+    #[test]
+    fn labels_align_with_edge_order() {
+        let inst = sample_instance();
+        let (h, labels) = communication_hypergraph(&inst);
+        for (e, label) in labels.iter().enumerate() {
+            match label {
+                EdgeKind::Resource(i) => {
+                    let support: Vec<usize> =
+                        inst.resource_support(*i).map(|v| v.index()).collect();
+                    assert_eq!(h.edge(e), support.as_slice());
+                }
+                EdgeKind::Party(k) => {
+                    let support: Vec<usize> = inst.party_support(*k).map(|v| v.index()).collect();
+                    assert_eq!(h.edge(e), support.as_slice());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! A plain undirected graph with the structural checks needed by the
+//! lower-bound construction of Section 4.
+//!
+//! The construction starts from a `dR·D^{R−1}`-regular *bipartite* graph `Q`
+//! with no cycle shorter than `4r + 2`.  The generators in `mmlp-instances`
+//! produce candidate graphs; this module provides the verification machinery
+//! (regularity, bipartiteness, girth) and basic traversals.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A simple undirected graph on nodes `0..num_nodes` stored as adjacency
+/// lists.  Parallel edges and self-loops are rejected.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    adjacency: Vec<Vec<usize>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `num_nodes` isolated nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Self {
+            adjacency: vec![Vec::new(); num_nodes],
+            num_edges: 0,
+        }
+    }
+
+    /// Creates a graph from an explicit edge list.
+    pub fn from_edges(num_nodes: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut g = Self::new(num_nodes);
+        for (u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops, unknown nodes, or duplicate edges.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u != v, "self-loops are not allowed");
+        assert!(
+            u < self.adjacency.len() && v < self.adjacency.len(),
+            "edge ({u},{v}) mentions an unknown node"
+        );
+        assert!(
+            !self.adjacency[u].contains(&v),
+            "duplicate edge ({u},{v})"
+        );
+        self.adjacency[u].push(v);
+        self.adjacency[v].push(u);
+        self.num_edges += 1;
+    }
+
+    /// `true` iff `{u, v}` is an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adjacency[u].contains(&v)
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of (undirected) edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Neighbours of `v`.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adjacency[v]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adjacency[v].len()
+    }
+
+    /// All edges as `(u, v)` pairs with `u < v`, sorted.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.num_edges);
+        for (u, neighbors) in self.adjacency.iter().enumerate() {
+            for &v in neighbors {
+                if u < v {
+                    out.push((u, v));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// `true` iff every node has degree exactly `d`.
+    pub fn is_regular(&self, d: usize) -> bool {
+        self.adjacency.iter().all(|n| n.len() == d)
+    }
+
+    /// Returns a proper 2-colouring (`Some(colours)`) if the graph is
+    /// bipartite, `None` otherwise.  Isolated nodes get colour 0.
+    pub fn bipartition(&self) -> Option<Vec<u8>> {
+        let n = self.num_nodes();
+        let mut colour = vec![u8::MAX; n];
+        for start in 0..n {
+            if colour[start] != u8::MAX {
+                continue;
+            }
+            colour[start] = 0;
+            let mut queue = VecDeque::from([start]);
+            while let Some(u) = queue.pop_front() {
+                for &v in &self.adjacency[u] {
+                    if colour[v] == u8::MAX {
+                        colour[v] = 1 - colour[u];
+                        queue.push_back(v);
+                    } else if colour[v] == colour[u] {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(colour)
+    }
+
+    /// `true` iff the graph is bipartite.
+    pub fn is_bipartite(&self) -> bool {
+        self.bipartition().is_some()
+    }
+
+    /// Breadth-first distances from `v`; unreachable nodes map to `usize::MAX`.
+    pub fn bfs_distances(&self, v: usize) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.num_nodes()];
+        dist[v] = 0;
+        let mut queue = VecDeque::from([v]);
+        while let Some(u) = queue.pop_front() {
+            for &w in &self.adjacency[u] {
+                if dist[w] == usize::MAX {
+                    dist[w] = dist[u] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// `true` iff the graph is connected (and non-empty).
+    pub fn is_connected(&self) -> bool {
+        if self.num_nodes() == 0 {
+            return false;
+        }
+        self.bfs_distances(0).iter().all(|&d| d != usize::MAX)
+    }
+
+    /// The girth (length of the shortest cycle, counted in edges), or `None`
+    /// if the graph is acyclic.
+    ///
+    /// Runs a BFS from every node; when a BFS from `s` finds an edge `{u,w}`
+    /// joining two already-visited nodes of the same BFS tree, the cycle
+    /// through `s` has length `dist(u) + dist(w) + 1` — taking the minimum
+    /// over all starts yields the girth (possibly overestimating per-start but
+    /// exact over all starts, the standard argument).
+    pub fn girth(&self) -> Option<usize> {
+        let n = self.num_nodes();
+        let mut best: usize = usize::MAX;
+        for start in 0..n {
+            let mut dist = vec![usize::MAX; n];
+            let mut parent = vec![usize::MAX; n];
+            dist[start] = 0;
+            let mut queue = VecDeque::from([start]);
+            while let Some(u) = queue.pop_front() {
+                // No shorter cycle through `start` can be found once we are
+                // this deep.
+                if 2 * dist[u] >= best {
+                    continue;
+                }
+                for &w in &self.adjacency[u] {
+                    if dist[w] == usize::MAX {
+                        dist[w] = dist[u] + 1;
+                        parent[w] = u;
+                        queue.push_back(w);
+                    } else if parent[u] != w && parent[w] != u {
+                        // Non-tree edge: closes a cycle through `start` of
+                        // length at most dist[u] + dist[w] + 1.
+                        best = best.min(dist[u] + dist[w] + 1);
+                    }
+                }
+            }
+        }
+        (best != usize::MAX).then_some(best)
+    }
+
+    /// `true` iff the graph contains no cycle with fewer than `min_edges`
+    /// edges (the property the lower-bound construction requires of `Q`).
+    pub fn has_girth_at_least(&self, min_edges: usize) -> bool {
+        match self.girth() {
+            None => true,
+            Some(g) => g >= min_edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
+    }
+
+    fn complete_bipartite(a: usize, b: usize) -> Graph {
+        let mut g = Graph::new(a + b);
+        for u in 0..a {
+            for v in 0..b {
+                g.add_edge(u, a + v);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn basic_construction() {
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(1, 2));
+        assert!(g.has_edge(2, 1));
+        assert!(!g.has_edge(0, 3));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.edges(), vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_self_loop() {
+        let mut g = Graph::new(2);
+        g.add_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_duplicate_edge() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+    }
+
+    #[test]
+    fn regularity() {
+        assert!(cycle(6).is_regular(2));
+        assert!(!cycle(6).is_regular(3));
+        assert!(complete_bipartite(3, 3).is_regular(3));
+        assert!(!complete_bipartite(2, 3).is_regular(2));
+    }
+
+    #[test]
+    fn bipartiteness() {
+        assert!(cycle(6).is_bipartite());
+        assert!(!cycle(5).is_bipartite());
+        assert!(complete_bipartite(4, 7).is_bipartite());
+        // Check the returned bipartition is proper.
+        let g = complete_bipartite(3, 2);
+        let col = g.bipartition().unwrap();
+        for (u, v) in g.edges() {
+            assert_ne!(col[u], col[v]);
+        }
+    }
+
+    #[test]
+    fn girth_of_cycles() {
+        for n in 3..12 {
+            assert_eq!(cycle(n).girth(), Some(n));
+        }
+    }
+
+    #[test]
+    fn girth_of_trees_is_none() {
+        let path = Graph::from_edges(5, (0..4).map(|i| (i, i + 1)));
+        assert_eq!(path.girth(), None);
+        assert!(path.has_girth_at_least(1_000_000));
+    }
+
+    #[test]
+    fn girth_of_complete_bipartite_is_four() {
+        assert_eq!(complete_bipartite(3, 3).girth(), Some(4));
+        assert_eq!(complete_bipartite(2, 2).girth(), Some(4));
+        assert!(complete_bipartite(3, 3).has_girth_at_least(4));
+        assert!(!complete_bipartite(3, 3).has_girth_at_least(5));
+    }
+
+    #[test]
+    fn girth_with_pendant_paths() {
+        // A 5-cycle with a tail: girth stays 5.
+        let mut g = cycle(5);
+        let mut g2 = Graph::new(7);
+        for (u, v) in g.edges() {
+            g2.add_edge(u, v);
+        }
+        g2.add_edge(0, 5);
+        g2.add_edge(5, 6);
+        g = g2;
+        assert_eq!(g.girth(), Some(5));
+    }
+
+    #[test]
+    fn connectivity_and_bfs() {
+        let g = Graph::from_edges(5, vec![(0, 1), (1, 2), (3, 4)]);
+        assert!(!g.is_connected());
+        let d = g.bfs_distances(0);
+        assert_eq!(d[2], 2);
+        assert_eq!(d[4], usize::MAX);
+        assert!(cycle(8).is_connected());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0);
+        assert!(!g.is_connected());
+        assert_eq!(g.girth(), None);
+        assert_eq!(g.edges(), vec![]);
+    }
+
+    #[test]
+    fn petersen_graph_girth_five() {
+        // The Petersen graph: outer 5-cycle, inner 5-cycle with step 2, spokes.
+        let mut g = Graph::new(10);
+        for i in 0..5 {
+            g.add_edge(i, (i + 1) % 5); // outer cycle
+            g.add_edge(5 + i, 5 + (i + 2) % 5); // inner pentagram
+            g.add_edge(i, 5 + i); // spokes
+        }
+        assert!(g.is_regular(3));
+        assert!(!g.is_bipartite());
+        assert_eq!(g.girth(), Some(5));
+    }
+}

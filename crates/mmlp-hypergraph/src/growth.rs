@@ -1,0 +1,175 @@
+//! Relative neighbourhood growth `γ(r)`.
+//!
+//! Section 5 of the paper defines
+//!
+//! ```text
+//! γ(r) = max_{v ∈ V} |B_H(v, r+1)| / |B_H(v, r)|
+//! ```
+//!
+//! and proves (Theorem 3) that the local averaging algorithm with radius `R`
+//! achieves the approximation ratio `γ(R−1)·γ(R)`.  On `d`-dimensional grids
+//! `γ(r) = 1 + Θ(1/r)`, so the algorithm is a local approximation scheme for
+//! bounded-growth families.
+
+use crate::hypergraph::Hypergraph;
+use serde::{Deserialize, Serialize};
+
+/// Growth statistics of a hypergraph up to a maximum radius.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GrowthProfile {
+    /// `gamma[r] = max_v |B(v, r+1)| / |B(v, r)|` for `r = 0..=max_radius`.
+    pub gamma: Vec<f64>,
+    /// `min_ball[r]` / `max_ball[r]`: extremes of `|B(v, r)|` over all nodes,
+    /// for `r = 0..=max_radius + 1`.
+    pub min_ball: Vec<usize>,
+    /// See [`GrowthProfile::min_ball`].
+    pub max_ball: Vec<usize>,
+}
+
+impl GrowthProfile {
+    /// The Theorem 3 approximation guarantee `γ(R−1)·γ(R)` for a given radius
+    /// `R ≥ 1`, if the profile extends that far.
+    pub fn theorem3_ratio(&self, radius: usize) -> Option<f64> {
+        if radius == 0 || radius >= self.gamma.len() {
+            return None;
+        }
+        Some(self.gamma[radius - 1] * self.gamma[radius])
+    }
+}
+
+/// Computes the growth profile of `h` for radii `0..=max_radius`.
+///
+/// Each node contributes its ball sizes `|B(v, r)|` for
+/// `r = 0..=max_radius + 1`; the profile aggregates the per-radius maxima of
+/// the ratios and the per-radius extremes of the sizes.
+pub fn growth_profile(h: &Hypergraph, max_radius: usize) -> GrowthProfile {
+    let n = h.num_nodes();
+    let mut gamma = vec![1.0f64; max_radius + 1];
+    let mut min_ball = vec![usize::MAX; max_radius + 2];
+    let mut max_ball = vec![0usize; max_radius + 2];
+    if n == 0 {
+        return GrowthProfile {
+            gamma,
+            min_ball: vec![0; max_radius + 2],
+            max_ball,
+        };
+    }
+    for v in 0..n {
+        let sizes = h.ball_sizes(v, max_radius + 1);
+        for r in 0..=max_radius + 1 {
+            min_ball[r] = min_ball[r].min(sizes[r]);
+            max_ball[r] = max_ball[r].max(sizes[r]);
+        }
+        for r in 0..=max_radius {
+            let ratio = sizes[r + 1] as f64 / sizes[r] as f64;
+            if ratio > gamma[r] {
+                gamma[r] = ratio;
+            }
+        }
+    }
+    GrowthProfile { gamma, min_ball, max_ball }
+}
+
+/// The single growth value `γ(r)` of `h`.
+pub fn max_relative_growth(h: &Hypergraph, r: usize) -> f64 {
+    growth_profile(h, r).gamma[r]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A cycle of `n` nodes realised with 2-element hyperedges.
+    fn cycle_hypergraph(n: usize) -> Hypergraph {
+        Hypergraph::from_edges(n, (0..n).map(|i| vec![i, (i + 1) % n]))
+    }
+
+    /// A complete binary tree of the given depth (2-element hyperedges).
+    fn binary_tree(depth: u32) -> Hypergraph {
+        let n = (1usize << (depth + 1)) - 1;
+        let mut edges = Vec::new();
+        for v in 1..n {
+            edges.push(vec![v, (v - 1) / 2]);
+        }
+        Hypergraph::from_edges(n, edges)
+    }
+
+    #[test]
+    fn growth_on_a_long_cycle_is_small() {
+        // On a large cycle, |B(v,r)| = 2r+1 for r below half the length, so
+        // γ(r) = (2r+3)/(2r+1), which tends to 1.
+        let h = cycle_hypergraph(101);
+        let profile = growth_profile(&h, 10);
+        for r in 1..=10 {
+            let expected = (2.0 * r as f64 + 3.0) / (2.0 * r as f64 + 1.0);
+            assert!(
+                (profile.gamma[r] - expected).abs() < 1e-12,
+                "gamma({r}) = {} expected {expected}",
+                profile.gamma[r]
+            );
+        }
+        // Balls are the same size everywhere on a vertex-transitive graph.
+        assert_eq!(profile.min_ball[3], profile.max_ball[3]);
+        assert_eq!(profile.min_ball[3], 7);
+    }
+
+    #[test]
+    fn growth_on_a_binary_tree_is_large() {
+        // On a deep binary tree the root's ball grows by a factor close to 2
+        // (new level roughly doubles the ball), so γ(r) stays well above 1.
+        let h = binary_tree(8);
+        let profile = growth_profile(&h, 4);
+        for r in 0..=4 {
+            assert!(
+                profile.gamma[r] > 1.4,
+                "expected exponential-ish growth, got gamma({r}) = {}",
+                profile.gamma[r]
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_is_at_least_one() {
+        let h = cycle_hypergraph(6);
+        let profile = growth_profile(&h, 8);
+        for (r, g) in profile.gamma.iter().enumerate() {
+            assert!(*g >= 1.0, "gamma({r}) = {g} < 1");
+        }
+        // Once the ball covers the whole cycle the growth is exactly 1.
+        assert_eq!(profile.gamma[5], 1.0);
+    }
+
+    #[test]
+    fn theorem3_ratio_lookup() {
+        let h = cycle_hypergraph(50);
+        let profile = growth_profile(&h, 5);
+        let ratio = profile.theorem3_ratio(3).unwrap();
+        assert!((ratio - profile.gamma[2] * profile.gamma[3]).abs() < 1e-15);
+        assert!(profile.theorem3_ratio(0).is_none());
+        assert!(profile.theorem3_ratio(6).is_none());
+    }
+
+    #[test]
+    fn single_value_helper_matches_profile() {
+        let h = cycle_hypergraph(20);
+        let profile = growth_profile(&h, 4);
+        assert_eq!(max_relative_growth(&h, 4), profile.gamma[4]);
+    }
+
+    #[test]
+    fn empty_hypergraph_profile() {
+        let h = Hypergraph::new(0);
+        let profile = growth_profile(&h, 3);
+        assert_eq!(profile.gamma, vec![1.0; 4]);
+        assert_eq!(profile.max_ball, vec![0; 5]);
+    }
+
+    #[test]
+    fn isolated_nodes_have_unit_growth() {
+        let h = Hypergraph::new(5);
+        let profile = growth_profile(&h, 2);
+        assert_eq!(profile.gamma, vec![1.0; 3]);
+        assert_eq!(profile.min_ball, vec![1; 4]);
+        assert_eq!(profile.max_ball, vec![1; 4]);
+    }
+}

@@ -1,0 +1,468 @@
+//! The core [`Hypergraph`] structure and its traversal primitives.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// An undirected hypergraph on nodes `0..num_nodes`.
+///
+/// Hyperedges are stored as sorted, deduplicated node lists.  The node→edge
+/// incidence lists are kept alongside so that neighbourhood queries are a
+/// linear scan over the (constant-size, in the paper's setting) incident
+/// edges.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hypergraph {
+    num_nodes: usize,
+    /// `edges[e]` is the sorted list of nodes contained in hyperedge `e`.
+    edges: Vec<Vec<usize>>,
+    /// `incident[v]` is the list of hyperedge indices containing node `v`.
+    incident: Vec<Vec<usize>>,
+}
+
+impl Hypergraph {
+    /// Creates a hypergraph with `num_nodes` isolated nodes and no edges.
+    pub fn new(num_nodes: usize) -> Self {
+        Self {
+            num_nodes,
+            edges: Vec::new(),
+            incident: vec![Vec::new(); num_nodes],
+        }
+    }
+
+    /// Creates a hypergraph from an explicit edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge mentions a node `≥ num_nodes`.
+    pub fn from_edges(num_nodes: usize, edges: impl IntoIterator<Item = Vec<usize>>) -> Self {
+        let mut h = Self::new(num_nodes);
+        for e in edges {
+            h.add_edge(e);
+        }
+        h
+    }
+
+    /// Adds a hyperedge (duplicate nodes within the edge are removed) and
+    /// returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge mentions a node `≥ num_nodes` or is empty after
+    /// deduplication.
+    pub fn add_edge(&mut self, mut nodes: Vec<usize>) -> usize {
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert!(!nodes.is_empty(), "hyperedge must contain at least one node");
+        for &v in &nodes {
+            assert!(v < self.num_nodes, "edge mentions unknown node {v}");
+        }
+        let idx = self.edges.len();
+        for &v in &nodes {
+            self.incident[v].push(idx);
+        }
+        self.edges.push(nodes);
+        idx
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of hyperedges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The nodes of hyperedge `e`.
+    #[inline]
+    pub fn edge(&self, e: usize) -> &[usize] {
+        &self.edges[e]
+    }
+
+    /// Iterator over all hyperedges.
+    pub fn edges(&self) -> impl Iterator<Item = &[usize]> {
+        self.edges.iter().map(|e| e.as_slice())
+    }
+
+    /// Hyperedges incident to node `v`.
+    #[inline]
+    pub fn incident_edges(&self, v: usize) -> &[usize] {
+        &self.incident[v]
+    }
+
+    /// Degree of `v` in the hypergraph sense: number of incident hyperedges.
+    pub fn degree(&self, v: usize) -> usize {
+        self.incident[v].len()
+    }
+
+    /// Maximum hyperedge cardinality (the rank of the hypergraph).
+    pub fn rank(&self) -> usize {
+        self.edges.iter().map(|e| e.len()).max().unwrap_or(0)
+    }
+
+    /// Maximum node degree.
+    pub fn max_degree(&self) -> usize {
+        self.incident.iter().map(|es| es.len()).max().unwrap_or(0)
+    }
+
+    /// The distinct neighbours of `v` (nodes sharing at least one hyperedge
+    /// with `v`, excluding `v` itself), in sorted order.
+    pub fn neighbors(&self, v: usize) -> Vec<usize> {
+        let mut result: Vec<usize> = self.incident[v]
+            .iter()
+            .flat_map(|&e| self.edges[e].iter().copied())
+            .filter(|&u| u != v)
+            .collect();
+        result.sort_unstable();
+        result.dedup();
+        result
+    }
+
+    /// Breadth-first distances from `v`, up to radius `max_radius`
+    /// (`usize::MAX` for unbounded).  Unreached nodes map to `usize::MAX`.
+    pub fn bfs_distances(&self, v: usize, max_radius: usize) -> Vec<usize> {
+        assert!(v < self.num_nodes, "unknown node {v}");
+        let mut dist = vec![usize::MAX; self.num_nodes];
+        dist[v] = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back(v);
+        while let Some(u) = queue.pop_front() {
+            if dist[u] >= max_radius {
+                continue;
+            }
+            for &e in &self.incident[u] {
+                for &w in &self.edges[e] {
+                    if dist[w] == usize::MAX {
+                        dist[w] = dist[u] + 1;
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        dist
+    }
+
+    /// Shortest-path distance `d_H(u, v)`, or `None` if disconnected.
+    pub fn distance(&self, u: usize, v: usize) -> Option<usize> {
+        let d = self.bfs_distances(u, usize::MAX)[v];
+        (d != usize::MAX).then_some(d)
+    }
+
+    /// The radius-`r` ball `B_H(v, r) = {u : d_H(u,v) ≤ r}`, in sorted order.
+    pub fn ball(&self, v: usize, r: usize) -> Vec<usize> {
+        let dist = self.bfs_distances(v, r);
+        (0..self.num_nodes).filter(|&u| dist[u] <= r).collect()
+    }
+
+    /// Sizes `|B_H(v, r)|` for `r = 0, 1, …, max_radius`.
+    pub fn ball_sizes(&self, v: usize, max_radius: usize) -> Vec<usize> {
+        let dist = self.bfs_distances(v, max_radius);
+        let mut sizes = vec![0usize; max_radius + 1];
+        for &d in &dist {
+            if d <= max_radius {
+                sizes[d] += 1;
+            }
+        }
+        // prefix sums: sizes[r] = number of nodes at distance ≤ r
+        for r in 1..=max_radius {
+            sizes[r] += sizes[r - 1];
+        }
+        sizes
+    }
+
+    /// Eccentricity of `v` (largest finite distance from `v`), or `None` if
+    /// the graph has unreachable nodes from `v`.
+    pub fn eccentricity(&self, v: usize) -> Option<usize> {
+        let dist = self.bfs_distances(v, usize::MAX);
+        if dist.iter().any(|&d| d == usize::MAX) {
+            return None;
+        }
+        dist.into_iter().max()
+    }
+
+    /// Diameter of the hypergraph, or `None` if it is disconnected or empty.
+    pub fn diameter(&self) -> Option<usize> {
+        if self.num_nodes == 0 {
+            return None;
+        }
+        let mut best = 0;
+        for v in 0..self.num_nodes {
+            best = best.max(self.eccentricity(v)?);
+        }
+        Some(best)
+    }
+
+    /// Connected components as lists of nodes; each component is sorted, and
+    /// components are ordered by their smallest node.
+    pub fn connected_components(&self) -> Vec<Vec<usize>> {
+        let mut seen = vec![false; self.num_nodes];
+        let mut components = Vec::new();
+        for start in 0..self.num_nodes {
+            if seen[start] {
+                continue;
+            }
+            let mut component = Vec::new();
+            let mut queue = VecDeque::new();
+            queue.push_back(start);
+            seen[start] = true;
+            while let Some(u) = queue.pop_front() {
+                component.push(u);
+                for &e in &self.incident[u] {
+                    for &w in &self.edges[e] {
+                        if !seen[w] {
+                            seen[w] = true;
+                            queue.push_back(w);
+                        }
+                    }
+                }
+            }
+            component.sort_unstable();
+            components.push(component);
+        }
+        components
+    }
+
+    /// `true` iff the hypergraph is connected (and non-empty).
+    pub fn is_connected(&self) -> bool {
+        self.num_nodes > 0 && self.connected_components().len() == 1
+    }
+
+    /// Berge-acyclicity test: the hypergraph is *tree-like* (as used in
+    /// Section 4.4 of the paper) iff its bipartite incidence graph — one
+    /// vertex per node, one vertex per hyperedge, an incidence edge for every
+    /// `v ∈ e` — contains no cycle.
+    ///
+    /// For a forest, every connected component of the incidence graph with
+    /// `n` vertices has exactly `n − 1` edges, which is what this checks.
+    pub fn is_berge_acyclic(&self) -> bool {
+        // Union-find over nodes (0..num_nodes) and edges (num_nodes..num_nodes+num_edges).
+        let total = self.num_nodes + self.edges.len();
+        let mut parent: Vec<usize> = (0..total).collect();
+        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for (e_idx, edge) in self.edges.iter().enumerate() {
+            let e_vertex = self.num_nodes + e_idx;
+            for &v in edge {
+                let rv = find(&mut parent, v);
+                let re = find(&mut parent, e_vertex);
+                if rv == re {
+                    // Adding this incidence edge would close a cycle.
+                    return false;
+                }
+                parent[rv] = re;
+            }
+        }
+        true
+    }
+
+    /// The sub-hypergraph induced by `nodes`: nodes are re-indexed densely in
+    /// the order given; every hyperedge is intersected with the kept set and
+    /// retained if the intersection is non-empty (when `require_full_edges`
+    /// is `false`) or if the edge is entirely contained in the kept set (when
+    /// `true`).
+    ///
+    /// Returns the sub-hypergraph together with, for every retained edge, the
+    /// index of the original edge it came from.
+    pub fn induced_subhypergraph(
+        &self,
+        nodes: &[usize],
+        require_full_edges: bool,
+    ) -> (Hypergraph, Vec<usize>) {
+        let mut old_to_new = vec![usize::MAX; self.num_nodes];
+        for (new, &old) in nodes.iter().enumerate() {
+            old_to_new[old] = new;
+        }
+        let mut sub = Hypergraph::new(nodes.len());
+        let mut edge_origin = Vec::new();
+        for (e_idx, edge) in self.edges.iter().enumerate() {
+            let kept: Vec<usize> = edge
+                .iter()
+                .filter(|&&v| old_to_new[v] != usize::MAX)
+                .map(|&v| old_to_new[v])
+                .collect();
+            if kept.is_empty() {
+                continue;
+            }
+            if require_full_edges && kept.len() != edge.len() {
+                continue;
+            }
+            sub.add_edge(kept);
+            edge_origin.push(e_idx);
+        }
+        (sub, edge_origin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A path of 5 nodes realised with 2-element hyperedges:
+    /// 0-1, 1-2, 2-3, 3-4.
+    fn path5() -> Hypergraph {
+        Hypergraph::from_edges(5, (0..4).map(|i| vec![i, i + 1]))
+    }
+
+    /// A "star of triangles": hyperedges {0,1,2}, {0,3,4}, {0,5,6}.
+    fn star_of_triples() -> Hypergraph {
+        Hypergraph::from_edges(7, vec![vec![0, 1, 2], vec![0, 3, 4], vec![0, 5, 6]])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let h = path5();
+        assert_eq!(h.num_nodes(), 5);
+        assert_eq!(h.num_edges(), 4);
+        assert_eq!(h.rank(), 2);
+        assert_eq!(h.max_degree(), 2);
+        assert_eq!(h.degree(0), 1);
+        assert_eq!(h.degree(2), 2);
+    }
+
+    #[test]
+    fn edges_are_sorted_and_deduped() {
+        let mut h = Hypergraph::new(4);
+        let e = h.add_edge(vec![3, 1, 3, 2]);
+        assert_eq!(h.edge(e), &[1, 2, 3]);
+        assert_eq!(h.incident_edges(3), &[e]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_edge_is_rejected() {
+        let mut h = Hypergraph::new(3);
+        h.add_edge(vec![]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_edge_is_rejected() {
+        let mut h = Hypergraph::new(3);
+        h.add_edge(vec![0, 3]);
+    }
+
+    #[test]
+    fn neighbors_via_shared_edges() {
+        let h = star_of_triples();
+        assert_eq!(h.neighbors(0), vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(h.neighbors(1), vec![0, 2]);
+        assert_eq!(h.neighbors(6), vec![0, 5]);
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let h = path5();
+        assert_eq!(h.distance(0, 4), Some(4));
+        assert_eq!(h.distance(2, 2), Some(0));
+        assert_eq!(h.distance(1, 3), Some(2));
+        assert_eq!(h.eccentricity(0), Some(4));
+        assert_eq!(h.eccentricity(2), Some(2));
+        assert_eq!(h.diameter(), Some(4));
+    }
+
+    #[test]
+    fn distance_in_hyperedge_is_one() {
+        let h = star_of_triples();
+        // All members of a hyperedge are mutual neighbours.
+        assert_eq!(h.distance(1, 2), Some(1));
+        // Crossing through the centre costs 2.
+        assert_eq!(h.distance(1, 3), Some(2));
+        assert_eq!(h.diameter(), Some(2));
+    }
+
+    #[test]
+    fn disconnected_distance_is_none() {
+        let h = Hypergraph::from_edges(4, vec![vec![0, 1], vec![2, 3]]);
+        assert_eq!(h.distance(0, 3), None);
+        assert_eq!(h.eccentricity(0), None);
+        assert_eq!(h.diameter(), None);
+        assert!(!h.is_connected());
+        assert_eq!(h.connected_components(), vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn balls_grow_with_radius() {
+        let h = path5();
+        assert_eq!(h.ball(0, 0), vec![0]);
+        assert_eq!(h.ball(0, 1), vec![0, 1]);
+        assert_eq!(h.ball(0, 2), vec![0, 1, 2]);
+        assert_eq!(h.ball(2, 1), vec![1, 2, 3]);
+        assert_eq!(h.ball(2, 10), vec![0, 1, 2, 3, 4]);
+        assert_eq!(h.ball_sizes(0, 4), vec![1, 2, 3, 4, 5]);
+        assert_eq!(h.ball_sizes(2, 2), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn bfs_respects_max_radius() {
+        let h = path5();
+        let d = h.bfs_distances(0, 2);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], 2);
+        assert_eq!(d[3], usize::MAX);
+        assert_eq!(d[4], usize::MAX);
+    }
+
+    #[test]
+    fn acyclicity() {
+        // A path (as a hypergraph) is Berge-acyclic.
+        assert!(path5().is_berge_acyclic());
+        // A star of triples is Berge-acyclic (edges pairwise share only node 0).
+        assert!(star_of_triples().is_berge_acyclic());
+        // A triangle of 2-edges is not.
+        let tri = Hypergraph::from_edges(3, vec![vec![0, 1], vec![1, 2], vec![0, 2]]);
+        assert!(!tri.is_berge_acyclic());
+        // Two hyperedges sharing two nodes form a (Berge) cycle.
+        let double = Hypergraph::from_edges(3, vec![vec![0, 1, 2], vec![0, 1]]);
+        assert!(!double.is_berge_acyclic());
+    }
+
+    #[test]
+    fn induced_subhypergraph_partial_edges() {
+        let h = star_of_triples();
+        // Keep the centre and one leaf of each triple.
+        let (sub, origins) = h.induced_subhypergraph(&[0, 1, 3, 5], false);
+        assert_eq!(sub.num_nodes(), 4);
+        assert_eq!(sub.num_edges(), 3);
+        assert_eq!(origins, vec![0, 1, 2]);
+        // Each retained edge is the intersection {centre, leaf}.
+        assert_eq!(sub.edge(0), &[0, 1]);
+        assert_eq!(sub.edge(1), &[0, 2]);
+        assert_eq!(sub.edge(2), &[0, 3]);
+    }
+
+    #[test]
+    fn induced_subhypergraph_full_edges_only() {
+        let h = star_of_triples();
+        let (sub, origins) = h.induced_subhypergraph(&[0, 1, 2, 3], true);
+        // Only the first triple {0,1,2} is fully contained.
+        assert_eq!(sub.num_edges(), 1);
+        assert_eq!(origins, vec![0]);
+        assert_eq!(sub.edge(0), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_hypergraph() {
+        let h = Hypergraph::new(0);
+        assert_eq!(h.num_nodes(), 0);
+        assert_eq!(h.diameter(), None);
+        assert!(!h.is_connected());
+        assert!(h.is_berge_acyclic());
+        assert_eq!(h.connected_components().len(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_are_their_own_components() {
+        let h = Hypergraph::new(3);
+        assert_eq!(h.connected_components().len(), 3);
+        assert_eq!(h.ball(1, 5), vec![1]);
+        assert_eq!(h.neighbors(1), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,33 @@
+//! Hypergraph machinery for the distributed view of max-min LPs.
+//!
+//! The communication structure of a max-min LP is the hypergraph
+//! `H = (V, E)` whose nodes are the agents and whose hyperedges are the
+//! support sets `V_i` (one per resource) and `V_k` (one per party).  Two
+//! agents can communicate directly iff they share a hyperedge.  Everything a
+//! local algorithm may use is a function of a constant-radius ball
+//! `B_H(v, r)` in this hypergraph.
+//!
+//! This crate provides:
+//!
+//! * [`Hypergraph`] — the basic structure with adjacency, BFS, balls,
+//!   distances, connectivity and Berge-acyclicity tests;
+//! * [`growth`] — relative neighbourhood growth `γ(r)`, the quantity that
+//!   controls the approximation ratio of Theorem 3;
+//! * [`comm`] — construction of the communication hypergraph (and its
+//!   collaboration-oblivious variant) from a [`MaxMinInstance`](mmlp_core::MaxMinInstance);
+//! * [`graph`] — a plain undirected graph with girth computation and
+//!   regular-bipartite checks, used as the template `Q` in the lower-bound
+//!   construction of Section 4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod graph;
+pub mod growth;
+pub mod hypergraph;
+
+pub use comm::{collaboration_oblivious_hypergraph, communication_hypergraph, EdgeKind};
+pub use graph::Graph;
+pub use growth::{growth_profile, max_relative_growth, GrowthProfile};
+pub use hypergraph::Hypergraph;

@@ -1,0 +1,278 @@
+//! Grid and torus instances — the bounded-growth family of Section 5.
+//!
+//! Agents sit on the cells of a `d`-dimensional grid.  Every pair of adjacent
+//! cells shares a resource (two agents competing for a link/channel), and
+//! every cell is a beneficiary party served by itself and its neighbours.
+//! The resulting communication hypergraph has the same balls as the grid
+//! graph, so its relative growth is `γ(r) = 1 + Θ(1/r)` — exactly the setting
+//! in which the paper's local averaging algorithm is a local approximation
+//! scheme.
+
+use mmlp_core::{InstanceBuilder, MaxMinInstance};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a grid instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridConfig {
+    /// Side length of each dimension (e.g. `[20, 20]` for a 20×20 grid).
+    pub side_lengths: Vec<usize>,
+    /// Wrap around in every dimension (torus) instead of stopping at the
+    /// border.  A torus is vertex-transitive, which makes measured growth
+    /// match the infinite-grid formula more closely.
+    pub torus: bool,
+    /// If `true`, consumption and benefit coefficients are drawn uniformly
+    /// from `[0.5, 1.5]`; otherwise every coefficient is exactly 1.
+    pub random_weights: bool,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        Self { side_lengths: vec![10, 10], torus: false, random_weights: false }
+    }
+}
+
+impl GridConfig {
+    /// A `side × side` two-dimensional grid with unit weights.
+    pub fn square(side: usize) -> Self {
+        Self { side_lengths: vec![side, side], ..Self::default() }
+    }
+
+    /// A one-dimensional path (or cycle, with `torus`) of the given length.
+    pub fn line(length: usize) -> Self {
+        Self { side_lengths: vec![length], ..Self::default() }
+    }
+
+    /// Total number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.side_lengths.iter().product()
+    }
+}
+
+fn cell_index(coords: &[usize], sides: &[usize]) -> usize {
+    let mut idx = 0;
+    for (c, s) in coords.iter().zip(sides) {
+        idx = idx * s + c;
+    }
+    idx
+}
+
+fn cell_coords(mut idx: usize, sides: &[usize]) -> Vec<usize> {
+    let mut coords = vec![0; sides.len()];
+    for dim in (0..sides.len()).rev() {
+        coords[dim] = idx % sides[dim];
+        idx /= sides[dim];
+    }
+    coords
+}
+
+/// Neighbours of a cell in the grid (or torus) topology.
+fn cell_neighbors(idx: usize, cfg: &GridConfig) -> Vec<usize> {
+    let sides = &cfg.side_lengths;
+    let coords = cell_coords(idx, sides);
+    let mut out = Vec::with_capacity(2 * sides.len());
+    for dim in 0..sides.len() {
+        let side = sides[dim];
+        if side <= 1 {
+            continue;
+        }
+        for delta in [-1isize, 1] {
+            let c = coords[dim] as isize + delta;
+            let wrapped = if cfg.torus {
+                Some(((c % side as isize + side as isize) % side as isize) as usize)
+            } else if (0..side as isize).contains(&c) {
+                Some(c as usize)
+            } else {
+                None
+            };
+            if let Some(new_c) = wrapped {
+                if new_c == coords[dim] {
+                    continue; // wrapping on a side of length 2 duplicates
+                }
+                let mut n = coords.clone();
+                n[dim] = new_c;
+                out.push(cell_index(&n, sides));
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Generates a grid instance.
+///
+/// * one agent per cell;
+/// * one resource per undirected grid edge, consumed by its two endpoints;
+/// * one party per cell, served by the cell and its grid neighbours.
+///
+/// Isolated single-cell grids get a private resource so the instance stays
+/// valid.
+pub fn grid_instance<R: Rng>(cfg: &GridConfig, rng: &mut R) -> MaxMinInstance {
+    assert!(!cfg.side_lengths.is_empty(), "grid needs at least one dimension");
+    assert!(cfg.num_cells() > 0, "grid needs at least one cell");
+    let n = cfg.num_cells();
+    let weight = |rng: &mut R| {
+        if cfg.random_weights {
+            rng.gen_range(0.5..=1.5)
+        } else {
+            1.0
+        }
+    };
+
+    let mut b = InstanceBuilder::with_capacity(n, 2 * n, n);
+    let agents = b.add_agents(n);
+
+    // Resources: one per undirected edge {u, v} with u < v.
+    let mut any_resource = vec![false; n];
+    for u in 0..n {
+        for v in cell_neighbors(u, cfg) {
+            if u < v {
+                let i = b.add_resource();
+                b.set_consumption(i, agents[u], weight(rng));
+                b.set_consumption(i, agents[v], weight(rng));
+                any_resource[u] = true;
+                any_resource[v] = true;
+            }
+        }
+    }
+    // Degenerate 1-cell grids (or 1×1×… grids) need a private resource.
+    for u in 0..n {
+        if !any_resource[u] {
+            let i = b.add_resource();
+            b.set_consumption(i, agents[u], weight(rng));
+        }
+    }
+
+    // Parties: one per cell, served by the closed neighbourhood.
+    for u in 0..n {
+        let k = b.add_party();
+        b.set_benefit(k, agents[u], weight(rng));
+        for v in cell_neighbors(u, cfg) {
+            b.set_benefit(k, agents[v], weight(rng));
+        }
+    }
+
+    b.build().expect("grid construction always yields a valid instance")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmlp_hypergraph::{communication_hypergraph, growth_profile};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn square_grid_counts() {
+        let cfg = GridConfig::square(4);
+        let inst = grid_instance(&cfg, &mut rng());
+        assert_eq!(inst.num_agents(), 16);
+        // 4×4 grid has 2·4·3 = 24 edges.
+        assert_eq!(inst.num_resources(), 24);
+        assert_eq!(inst.num_parties(), 16);
+        let d = inst.degree_bounds();
+        assert_eq!(d.max_resource_support, 2);
+        assert_eq!(d.max_party_support, 5); // centre cell + 4 neighbours
+        assert_eq!(d.max_agent_resources, 4);
+        assert_eq!(d.max_agent_parties, 5);
+    }
+
+    #[test]
+    fn torus_is_regular() {
+        let cfg = GridConfig { side_lengths: vec![5, 5], torus: true, random_weights: false };
+        let inst = grid_instance(&cfg, &mut rng());
+        assert_eq!(inst.num_resources(), 2 * 25);
+        let d = inst.degree_bounds();
+        assert_eq!(d.max_agent_resources, 4);
+        // Every party has exactly 5 members on a torus.
+        for k in inst.party_ids() {
+            assert_eq!(inst.party_support(k).count(), 5);
+        }
+    }
+
+    #[test]
+    fn line_and_cycle() {
+        let line = grid_instance(&GridConfig::line(6), &mut rng());
+        assert_eq!(line.num_agents(), 6);
+        assert_eq!(line.num_resources(), 5);
+        let cycle = grid_instance(
+            &GridConfig { side_lengths: vec![6], torus: true, random_weights: false },
+            &mut rng(),
+        );
+        assert_eq!(cycle.num_resources(), 6);
+    }
+
+    #[test]
+    fn single_cell_grid_is_valid() {
+        let inst = grid_instance(&GridConfig { side_lengths: vec![1], ..Default::default() }, &mut rng());
+        assert_eq!(inst.num_agents(), 1);
+        assert_eq!(inst.num_resources(), 1);
+        assert_eq!(inst.num_parties(), 1);
+    }
+
+    #[test]
+    fn three_dimensional_grid() {
+        let cfg = GridConfig { side_lengths: vec![3, 3, 3], torus: false, random_weights: false };
+        let inst = grid_instance(&cfg, &mut rng());
+        assert_eq!(inst.num_agents(), 27);
+        // 3 * (3·3·2) = 54 edges.
+        assert_eq!(inst.num_resources(), 54);
+        assert_eq!(inst.degree_bounds().max_agent_resources, 6);
+    }
+
+    #[test]
+    fn random_weights_are_in_range() {
+        let cfg = GridConfig { random_weights: true, ..GridConfig::square(3) };
+        let inst = grid_instance(&cfg, &mut rng());
+        for i in inst.resource_ids() {
+            for (_, a) in &inst.resource(i).agents {
+                assert!((0.5..=1.5).contains(a));
+            }
+        }
+        for k in inst.party_ids() {
+            for (_, c) in &inst.party(k).agents {
+                assert!((0.5..=1.5).contains(c));
+            }
+        }
+    }
+
+    #[test]
+    fn torus_growth_is_small_and_decreasing() {
+        // The headline property: on a 2-D torus the relative growth γ(r)
+        // decreases towards 1, so Theorem 3 gives a local approximation
+        // scheme on this family.
+        let cfg = GridConfig { side_lengths: vec![15, 15], torus: true, random_weights: false };
+        let inst = grid_instance(&cfg, &mut rng());
+        let (h, _) = communication_hypergraph(&inst);
+        let profile = growth_profile(&h, 4);
+        for r in 1..=4 {
+            assert!(profile.gamma[r] < profile.gamma[r - 1] + 1e-9);
+        }
+        assert!(profile.gamma[4] < 2.0);
+    }
+
+    #[test]
+    fn coordinates_roundtrip() {
+        let sides = vec![4, 5, 6];
+        for idx in 0..(4 * 5 * 6) {
+            assert_eq!(cell_index(&cell_coords(idx, &sides), &sides), idx);
+        }
+    }
+
+    #[test]
+    fn side_of_length_two_has_no_duplicate_neighbors() {
+        let cfg = GridConfig { side_lengths: vec![2, 2], torus: true, random_weights: false };
+        for idx in 0..4 {
+            let n = cell_neighbors(idx, &cfg);
+            let mut dedup = n.clone();
+            dedup.dedup();
+            assert_eq!(n, dedup);
+            assert!(!n.contains(&idx));
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Complete `(d, D)`-ary hypertrees (Section 4.2 of the paper).
+//!
+//! A complete `(d, D)`-ary hypertree of height `h` is built inductively: the
+//! height-0 hypertree is a single node at level 0; to extend a hypertree of
+//! height `h − 1`, every node `v` at level `h − 1` receives one new hyperedge
+//! containing `v` and `d` new nodes (a *type I* edge, if `h − 1` is even) or
+//! `D` new nodes (a *type II* edge, if `h − 1` is odd).  The new nodes are at
+//! level `h`.
+//!
+//! In the lower-bound construction, type I edges become unit resources and
+//! type II edges become beneficiary parties with coefficient `1/D`.
+
+use mmlp_hypergraph::Hypergraph;
+use serde::{Deserialize, Serialize};
+
+/// The two kinds of hyperedges of a `(d, D)`-ary hypertree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HypertreeEdgeKind {
+    /// Edge created below an even level: one parent plus `d` children.  These
+    /// become resources in the lower-bound instance.
+    TypeI,
+    /// Edge created below an odd level: one parent plus `D` children.  These
+    /// become beneficiary parties with coefficient `1/D`.
+    TypeII,
+}
+
+/// A complete `(d, D)`-ary hypertree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hypertree {
+    /// The underlying hypergraph (nodes `0..num_nodes`, node 0 is the root).
+    pub hypergraph: Hypergraph,
+    /// Level of each node (root has level 0).
+    pub levels: Vec<usize>,
+    /// Kind of each hyperedge, aligned with the hypergraph's edge indices.
+    pub edge_kinds: Vec<HypertreeEdgeKind>,
+    /// The branching factor below even levels.
+    pub d: usize,
+    /// The branching factor below odd levels.
+    pub big_d: usize,
+    /// Height of the hypertree.
+    pub height: usize,
+}
+
+impl Hypertree {
+    /// The root node (always node 0).
+    pub fn root(&self) -> usize {
+        0
+    }
+
+    /// All nodes at the given level, in increasing id order.
+    pub fn nodes_at_level(&self, level: usize) -> Vec<usize> {
+        self.levels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == level)
+            .map(|(v, _)| v)
+            .collect()
+    }
+
+    /// The leaf nodes (level `height`), in increasing id order.
+    pub fn leaves(&self) -> Vec<usize> {
+        self.nodes_at_level(self.height)
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The number of nodes the paper's formula predicts at `level`:
+    /// `(dD)^{ℓ/2}` for even `ℓ` and `(dD)^{(ℓ−1)/2}·d` for odd `ℓ`.
+    pub fn expected_level_size(&self, level: usize) -> usize {
+        let dd = self.d * self.big_d;
+        if level % 2 == 0 {
+            dd.pow((level / 2) as u32)
+        } else {
+            dd.pow(((level - 1) / 2) as u32) * self.d
+        }
+    }
+}
+
+/// Builds the complete `(d, D)`-ary hypertree of the given height.
+///
+/// # Panics
+///
+/// Panics if `d == 0` or `big_d == 0`.
+pub fn complete_hypertree(d: usize, big_d: usize, height: usize) -> Hypertree {
+    assert!(d >= 1, "d must be at least 1");
+    assert!(big_d >= 1, "D must be at least 1");
+
+    let mut levels = vec![0usize];
+    let mut edges: Vec<Vec<usize>> = Vec::new();
+    let mut edge_kinds: Vec<HypertreeEdgeKind> = Vec::new();
+    let mut frontier = vec![0usize];
+
+    for h in 1..=height {
+        let parent_level = h - 1;
+        let (count, kind) = if parent_level % 2 == 0 {
+            (d, HypertreeEdgeKind::TypeI)
+        } else {
+            (big_d, HypertreeEdgeKind::TypeII)
+        };
+        let mut next_frontier = Vec::with_capacity(frontier.len() * count);
+        for &parent in &frontier {
+            let mut edge = Vec::with_capacity(count + 1);
+            edge.push(parent);
+            for _ in 0..count {
+                let child = levels.len();
+                levels.push(h);
+                edge.push(child);
+                next_frontier.push(child);
+            }
+            edges.push(edge);
+            edge_kinds.push(kind);
+        }
+        frontier = next_frontier;
+    }
+
+    let hypergraph = Hypergraph::from_edges(levels.len(), edges);
+    Hypertree { hypergraph, levels, edge_kinds, d, big_d, height }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn height_zero_is_a_single_node() {
+        let t = complete_hypertree(2, 3, 0);
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.hypergraph.num_edges(), 0);
+        assert_eq!(t.leaves(), vec![0]);
+        assert_eq!(t.root(), 0);
+    }
+
+    #[test]
+    fn level_sizes_match_paper_formula() {
+        // The paper's Figure 1(b): a complete (2,3)-ary hypertree of height 5
+        // has 72 leaves.
+        let t = complete_hypertree(2, 3, 5);
+        assert_eq!(t.leaves().len(), 72);
+        for level in 0..=5 {
+            assert_eq!(
+                t.nodes_at_level(level).len(),
+                t.expected_level_size(level),
+                "level {level}"
+            );
+        }
+        // Explicit values: 1, 2, 6, 12, 36, 72.
+        let sizes: Vec<usize> = (0..=5).map(|l| t.nodes_at_level(l).len()).collect();
+        assert_eq!(sizes, vec![1, 2, 6, 12, 36, 72]);
+    }
+
+    #[test]
+    fn edge_kinds_alternate_with_level_parity() {
+        let t = complete_hypertree(2, 3, 4);
+        for (e, kind) in t.edge_kinds.iter().enumerate() {
+            let edge = t.hypergraph.edge(e);
+            // The parent is the unique node of minimum level in the edge.
+            let parent_level = edge.iter().map(|&v| t.levels[v]).min().unwrap();
+            let expected = if parent_level % 2 == 0 {
+                HypertreeEdgeKind::TypeI
+            } else {
+                HypertreeEdgeKind::TypeII
+            };
+            assert_eq!(*kind, expected);
+            // Cardinality check: 1 + d for type I, 1 + D for type II.
+            let expected_len = match kind {
+                HypertreeEdgeKind::TypeI => 1 + t.d,
+                HypertreeEdgeKind::TypeII => 1 + t.big_d,
+            };
+            assert_eq!(edge.len(), expected_len);
+        }
+    }
+
+    #[test]
+    fn hypertree_is_berge_acyclic_and_connected() {
+        let t = complete_hypertree(3, 2, 4);
+        assert!(t.hypergraph.is_berge_acyclic());
+        assert!(t.hypergraph.is_connected());
+    }
+
+    #[test]
+    fn distances_from_root_equal_levels_in_hyperedge_metric_halved() {
+        // In the hypergraph metric, the parent and all children of one
+        // hyperedge are mutually at distance 1, so a node at tree level ℓ is
+        // at hypergraph distance exactly ℓ from the root (each edge on the
+        // root path advances one level).
+        let t = complete_hypertree(2, 2, 4);
+        let dist = t.hypergraph.bfs_distances(0, usize::MAX);
+        for v in 0..t.num_nodes() {
+            assert_eq!(dist[v], t.levels[v]);
+        }
+    }
+
+    #[test]
+    fn unit_branching_factors() {
+        // d = D = 1 gives a path-like hypertree: one node per level.
+        let t = complete_hypertree(1, 1, 6);
+        assert_eq!(t.num_nodes(), 7);
+        for level in 0..=6 {
+            assert_eq!(t.nodes_at_level(level).len(), 1);
+        }
+    }
+
+    #[test]
+    fn mixed_branching_with_large_d() {
+        let t = complete_hypertree(4, 1, 3);
+        // Levels: 1, 4, 4, 16.
+        assert_eq!(t.nodes_at_level(0).len(), 1);
+        assert_eq!(t.nodes_at_level(1).len(), 4);
+        assert_eq!(t.nodes_at_level(2).len(), 4);
+        assert_eq!(t.nodes_at_level(3).len(), 16);
+        assert_eq!(t.leaves().len(), 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_branching_is_rejected() {
+        complete_hypertree(0, 2, 3);
+    }
+}

@@ -1,0 +1,186 @@
+//! The ISP / customer application sketched at the end of Section 2.
+//!
+//! Each major customer of an Internet service provider is a beneficiary
+//! party; each bounded-capacity last-mile link and each bounded-capacity
+//! access router is a resource; an agent is a *route* — the assignment of a
+//! customer's traffic through one of the access routers it can reach.  The
+//! max-min objective allocates bandwidth fairly across customers.
+
+use mmlp_core::{InstanceBuilder, MaxMinInstance};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the random ISP topology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IspConfig {
+    /// Number of major customers (beneficiary parties).
+    pub num_customers: usize,
+    /// Number of access routers in the provider's network.
+    pub num_routers: usize,
+    /// How many distinct routers each customer can be served through
+    /// (clamped to `num_routers`).
+    pub routers_per_customer: usize,
+    /// Capacity of each customer's last-mile link, in traffic units.
+    pub last_mile_capacity: f64,
+    /// Capacity of each access router, in traffic units.
+    pub router_capacity: f64,
+    /// If `true`, capacities are perturbed by ±30 % per element.
+    pub heterogeneous: bool,
+}
+
+impl Default for IspConfig {
+    fn default() -> Self {
+        Self {
+            num_customers: 24,
+            num_routers: 8,
+            routers_per_customer: 3,
+            last_mile_capacity: 1.0,
+            router_capacity: 4.0,
+            heterogeneous: false,
+        }
+    }
+}
+
+/// Generates an ISP bandwidth-allocation instance.
+///
+/// * one agent per (customer, reachable router) pair, whose activity is the
+///   traffic routed that way;
+/// * one resource per last-mile link (support: that customer's routes) and
+///   one per router (support: all routes through it);
+/// * one party per customer (support: that customer's routes, unit benefit).
+pub fn isp_instance<R: Rng>(cfg: &IspConfig, rng: &mut R) -> MaxMinInstance {
+    assert!(cfg.num_customers > 0 && cfg.num_routers > 0);
+    assert!(cfg.last_mile_capacity > 0.0 && cfg.router_capacity > 0.0);
+    let routers_per_customer = cfg.routers_per_customer.clamp(1, cfg.num_routers);
+
+    let mut b = InstanceBuilder::new();
+    let last_mile: Vec<_> = (0..cfg.num_customers).map(|_| b.add_resource()).collect();
+    let routers: Vec<_> = (0..cfg.num_routers).map(|_| b.add_resource()).collect();
+    let parties: Vec<_> = (0..cfg.num_customers).map(|_| b.add_party()).collect();
+
+    let capacity = |base: f64, rng: &mut R| {
+        if cfg.heterogeneous {
+            base * rng.gen_range(0.7..=1.3)
+        } else {
+            base
+        }
+    };
+    let last_mile_cap: Vec<f64> = (0..cfg.num_customers)
+        .map(|_| capacity(cfg.last_mile_capacity, rng))
+        .collect();
+    let router_cap: Vec<f64> =
+        (0..cfg.num_routers).map(|_| capacity(cfg.router_capacity, rng)).collect();
+
+    let mut router_has_route = vec![false; cfg.num_routers];
+    let all_routers: Vec<usize> = (0..cfg.num_routers).collect();
+    for customer in 0..cfg.num_customers {
+        let reachable: Vec<usize> = all_routers
+            .choose_multiple(rng, routers_per_customer)
+            .copied()
+            .collect();
+        for router in reachable {
+            let v = b.add_agent();
+            router_has_route[router] = true;
+            // Consuming the last-mile link: one traffic unit uses
+            // 1/capacity of the link.
+            b.set_consumption(last_mile[customer], v, 1.0 / last_mile_cap[customer]);
+            b.set_consumption(routers[router], v, 1.0 / router_cap[router]);
+            b.set_benefit(parties[customer], v, 1.0);
+        }
+    }
+    // A router no customer reaches would have an empty support set; give it a
+    // zero-traffic dummy route from customer 0 so the instance stays valid
+    // while changing nothing about the optimisation problem.
+    for (router, used) in router_has_route.iter().enumerate() {
+        if !used {
+            let v = b.add_agent();
+            b.set_consumption(routers[router], v, 1.0 / router_cap[router]);
+            b.set_consumption(last_mile[0], v, 1.0 / last_mile_cap[0]);
+            b.set_benefit(parties[0], v, 1.0);
+        }
+    }
+
+    b.build().expect("ISP construction always yields a valid instance")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn default_instance_is_valid() {
+        let cfg = IspConfig::default();
+        let inst = isp_instance(&cfg, &mut rng(1));
+        assert!(inst.num_agents() >= cfg.num_customers * cfg.routers_per_customer);
+        assert_eq!(inst.num_resources(), cfg.num_customers + cfg.num_routers);
+        assert_eq!(inst.num_parties(), cfg.num_customers);
+    }
+
+    #[test]
+    fn every_route_uses_exactly_two_resources() {
+        let inst = isp_instance(&IspConfig::default(), &mut rng(2));
+        for v in inst.agent_ids() {
+            assert_eq!(inst.agent_resources(v).count(), 2);
+            assert_eq!(inst.agent_parties(v).count(), 1);
+        }
+    }
+
+    #[test]
+    fn single_router_topology() {
+        let cfg = IspConfig {
+            num_customers: 5,
+            num_routers: 1,
+            routers_per_customer: 3,
+            ..Default::default()
+        };
+        let inst = isp_instance(&cfg, &mut rng(3));
+        // routers_per_customer is clamped to 1.
+        assert_eq!(inst.num_agents(), 5);
+        // The single router is shared by everyone.
+        assert_eq!(inst.degree_bounds().max_resource_support, 5);
+    }
+
+    #[test]
+    fn heterogeneous_capacities_change_coefficients() {
+        let cfg = IspConfig { heterogeneous: true, ..Default::default() };
+        let inst = isp_instance(&cfg, &mut rng(4));
+        let mut coefficients: Vec<f64> = Vec::new();
+        for i in inst.resource_ids() {
+            for (_, a) in &inst.resource(i).agents {
+                coefficients.push(*a);
+            }
+        }
+        let first = coefficients[0];
+        assert!(coefficients.iter().any(|c| (c - first).abs() > 1e-9));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = IspConfig::default();
+        let a = isp_instance(&cfg, &mut rng(9));
+        let b = isp_instance(&cfg, &mut rng(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unused_routers_receive_dummy_routes() {
+        // Many routers, few customers: some routers would be unreachable.
+        let cfg = IspConfig {
+            num_customers: 2,
+            num_routers: 10,
+            routers_per_customer: 1,
+            ..Default::default()
+        };
+        let inst = isp_instance(&cfg, &mut rng(5));
+        for i in inst.resource_ids() {
+            assert!(inst.resource_support(i).count() > 0);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Instance generators for max-min LP experiments.
+//!
+//! Every workload used by the experiment harness is produced here:
+//!
+//! * [`grid`] — `d`-dimensional grid/torus instances, the bounded-growth
+//!   family on which Theorem 3 yields a local approximation scheme;
+//! * [`sensor`] — the two-tier sensor-network application of Section 2
+//!   (battery-constrained sensors and relays, monitored areas as parties);
+//! * [`isp`] — the ISP / customer variant sketched at the end of Section 2;
+//! * [`random`] — random bounded-degree instances for stress testing and for
+//!   measuring the safe algorithm's behaviour across degree bounds;
+//! * [`hypertree`] — complete `(d,D)`-ary hypertrees (Section 4.2);
+//! * [`bipartite`] — regular bipartite graphs with girth guarantees, the
+//!   template `Q` of the lower-bound construction;
+//! * [`lower_bound`] — the adversarial instances `S` and `S'` of Theorem 1 /
+//!   Corollary 2, together with the alternating feasible solution of
+//!   Section 4.5.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bipartite;
+pub mod grid;
+pub mod hypertree;
+pub mod isp;
+pub mod lower_bound;
+pub mod random;
+pub mod sensor;
+
+pub use bipartite::{circulant_bipartite, even_cycle, regular_bipartite_with_girth};
+pub use grid::{grid_instance, GridConfig};
+pub use hypertree::{complete_hypertree, Hypertree, HypertreeEdgeKind};
+pub use isp::{isp_instance, IspConfig};
+pub use lower_bound::{
+    alternating_solution, LowerBoundConfig, LowerBoundInstance, SubInstance,
+};
+pub use random::{random_instance, RandomInstanceConfig};
+pub use sensor::{sensor_network_instance, SensorNetworkConfig, SensorNetworkInstance};

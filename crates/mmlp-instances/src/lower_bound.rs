@@ -1,0 +1,564 @@
+//! The adversarial instances `S` and `S'` of Theorem 1 (Section 4).
+//!
+//! Construction of `S` (Section 4.2):
+//!
+//! 1. let `d = Δ_I^V − 1`, `D = Δ_K^V − 1` and pick `R > r`;
+//! 2. take a `d^R·D^{R−1}`-regular bipartite graph `Q` with no cycle shorter
+//!    than `4r + 2` edges;
+//! 3. attach to every vertex `q` of `Q` a node-disjoint complete `(d,D)`-ary
+//!    hypertree `T_q` of height `2R − 1`; each `T_q` has exactly
+//!    `d^R·D^{R−1}` leaves, one per edge of `Q` incident to `q`;
+//! 4. for every edge `{q, w}` of `Q`, add a *type III* hyperedge joining the
+//!    two leaves associated with that edge;
+//! 5. type I hyperedges (below even levels) become unit resources, type II
+//!    hyperedges (below odd levels) become parties with coefficient `1/D`,
+//!    type III hyperedges become parties with coefficient 1.
+//!
+//! Given any local algorithm's output `x` on `S`, the sub-instance `S'`
+//! (Section 4.3) restricts `S` to `V' = T_p ∪ ⋃_{u∈L_p} B_H(u, 2r)` for a
+//! tree `p` with `δ(p) ≥ 0`, keeping only the resources and parties fully
+//! contained in `V'`.  `S'` is tree-like (Section 4.4) and admits a feasible
+//! solution with `ω = 1` (Section 4.5), while the radius-`r` views of the
+//! `T_p` nodes are identical in `S` and `S'` — which is what forces every
+//! local algorithm to lose a factor of about `Δ_I^V / 2` somewhere.
+
+use crate::bipartite::regular_bipartite_with_girth;
+use crate::hypertree::{complete_hypertree, Hypertree, HypertreeEdgeKind};
+use mmlp_core::bounds;
+use mmlp_core::{AgentId, InstanceBuilder, MaxMinInstance, Solution};
+use mmlp_hypergraph::{communication_hypergraph, Graph, Hypergraph};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the lower-bound construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LowerBoundConfig {
+    /// `Δ_I^V ≥ 2`: the bound on `|V_i|` the construction realises.
+    pub max_resource_support: usize,
+    /// `Δ_K^V ≥ 2`: the bound on `|V_k|` the construction realises.
+    pub max_party_support: usize,
+    /// `r ≥ 1`: the local horizon the construction defeats (the template `Q`
+    /// gets girth at least `4r + 2`).
+    pub local_horizon: usize,
+    /// `R > r`: the hypertree "radius"; larger values tighten the bound
+    /// towards `Δ_I^V/2 + 1/2 − 1/(2Δ_K^V − 2)` but grow the instance as
+    /// `(dD)^R`.
+    pub tree_radius: usize,
+}
+
+impl LowerBoundConfig {
+    /// `d = Δ_I^V − 1`, the branching factor below even levels.
+    pub fn d(&self) -> usize {
+        self.max_resource_support - 1
+    }
+
+    /// `D = Δ_K^V − 1`, the branching factor below odd levels.
+    pub fn big_d(&self) -> usize {
+        self.max_party_support - 1
+    }
+
+    /// The degree `d^R · D^{R−1}` required of the template graph `Q` (equals
+    /// the number of leaves of each hypertree).
+    pub fn template_degree(&self) -> usize {
+        let d = self.d();
+        let big_d = self.big_d();
+        d.pow(self.tree_radius as u32) * big_d.pow(self.tree_radius as u32 - 1)
+    }
+
+    /// The girth the template graph must have: no cycle shorter than
+    /// `4r + 2` edges.
+    pub fn required_girth(&self) -> usize {
+        4 * self.local_horizon + 2
+    }
+
+    /// The asymptotic Theorem 1 bound this family converges to.
+    pub fn theorem1_bound(&self) -> f64 {
+        bounds::theorem1_lower_bound(self.max_resource_support, self.max_party_support)
+    }
+
+    /// The finite-`R` bound proved at the end of Section 4.6 for this exact
+    /// configuration.
+    pub fn finite_bound(&self) -> f64 {
+        bounds::theorem1_finite_r_bound(
+            self.max_resource_support,
+            self.max_party_support,
+            self.tree_radius as u32,
+        )
+    }
+
+    fn validate(&self) {
+        assert!(self.max_resource_support >= 2, "Theorem 1 requires Δ_I^V ≥ 2");
+        assert!(self.max_party_support >= 2, "Theorem 1 requires Δ_K^V ≥ 2");
+        assert!(
+            self.d() * self.big_d() > 1,
+            "the construction requires dD > 1 (Δ_I^V and Δ_K^V not both 2)"
+        );
+        assert!(self.local_horizon >= 1, "the local horizon must be at least 1");
+        assert!(
+            self.tree_radius > self.local_horizon,
+            "the construction requires R > r"
+        );
+        assert!(
+            self.template_degree() <= 1024,
+            "template degree d^R·D^(R-1) = {} is too large; lower R or the degree bounds",
+            self.template_degree()
+        );
+    }
+}
+
+/// The instance `S` together with all the bookkeeping the proof of Theorem 1
+/// manipulates.
+#[derive(Debug, Clone)]
+pub struct LowerBoundInstance {
+    /// The parameters used.
+    pub config: LowerBoundConfig,
+    /// The max-min LP instance `S`.
+    pub instance: MaxMinInstance,
+    /// The communication hypergraph `H` underlying `S`.
+    pub hypergraph: Hypergraph,
+    /// The template graph `Q`.
+    pub template: Graph,
+    /// The common shape of every hypertree `T_q`.
+    pub tree: Hypertree,
+    /// `leaf_partner[v] = Some(f(v))` when agent `v` is a leaf.
+    pub leaf_partner: Vec<Option<AgentId>>,
+}
+
+/// The sub-instance `S'` derived from a solution of `S`.
+#[derive(Debug, Clone)]
+pub struct SubInstance {
+    /// The max-min LP instance `S'`.
+    pub instance: MaxMinInstance,
+    /// Map from `S'` agent ids to the original agent ids in `S`.
+    pub agent_map: Vec<AgentId>,
+    /// Map from original agent index to the `S'` agent id (if kept).
+    pub reverse_map: Vec<Option<AgentId>>,
+    /// The selected tree `p` (an index into the vertices of `Q`).
+    pub chosen_tree: usize,
+    /// The root of `T_p`, in `S'` agent ids.
+    pub root: AgentId,
+    /// The agents of `T_p`, in `S'` agent ids.
+    pub tree_agents: Vec<AgentId>,
+}
+
+impl LowerBoundInstance {
+    /// Builds the instance `S` for the given configuration, using `rng` only
+    /// for the shift selection of the template graph.
+    pub fn build<R: Rng>(config: LowerBoundConfig, rng: &mut R) -> Self {
+        config.validate();
+        let d = config.d();
+        let big_d = config.big_d();
+        let degree = config.template_degree();
+        let template = regular_bipartite_with_girth(degree, config.required_girth(), rng);
+        let tree = complete_hypertree(d, big_d, 2 * config.tree_radius - 1);
+        assert_eq!(
+            tree.leaves().len(),
+            degree,
+            "hypertree leaf count must equal the template degree"
+        );
+
+        let tree_size = tree.num_nodes();
+        let num_trees = template.num_nodes();
+        let num_agents = num_trees * tree_size;
+        assert!(
+            num_agents <= 2_000_000,
+            "lower-bound construction would have {num_agents} agents; reduce R or the degrees"
+        );
+
+        let mut b = InstanceBuilder::with_capacity(
+            num_agents,
+            num_trees * tree.edge_kinds.len(),
+            num_trees * tree.edge_kinds.len() + template.num_edges(),
+        );
+        let agents = b.add_agents(num_agents);
+        let agent_of = |q: usize, local: usize| agents[q * tree_size + local];
+
+        // Tree hyperedges: type I → resources (a = 1), type II → parties
+        // (c = 1/D).
+        for q in 0..num_trees {
+            for (e, kind) in tree.edge_kinds.iter().enumerate() {
+                let members: Vec<AgentId> =
+                    tree.hypergraph.edge(e).iter().map(|&local| agent_of(q, local)).collect();
+                match kind {
+                    HypertreeEdgeKind::TypeI => {
+                        let i = b.add_resource();
+                        for v in &members {
+                            b.set_consumption(i, *v, 1.0);
+                        }
+                    }
+                    HypertreeEdgeKind::TypeII => {
+                        let k = b.add_party();
+                        for v in &members {
+                            b.set_benefit(k, *v, 1.0 / big_d as f64);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Leaf ↔ template-edge association and the type III parties.
+        let local_leaves = tree.leaves();
+        let mut leaf_partner: Vec<Option<AgentId>> = vec![None; num_agents];
+        let leaf_of = |q: usize, w: usize, template: &Graph| -> AgentId {
+            let position = template
+                .neighbors(q)
+                .iter()
+                .position(|&n| n == w)
+                .expect("w is a neighbour of q");
+            agent_of(q, local_leaves[position])
+        };
+        for (q, w) in template.edges() {
+            let leaf_q = leaf_of(q, w, &template);
+            let leaf_w = leaf_of(w, q, &template);
+            leaf_partner[leaf_q.index()] = Some(leaf_w);
+            leaf_partner[leaf_w.index()] = Some(leaf_q);
+            let k = b.add_party();
+            b.set_benefit(k, leaf_q, 1.0);
+            b.set_benefit(k, leaf_w, 1.0);
+        }
+
+        let instance = b.build().expect("construction S is always a valid instance");
+        let (hypergraph, _) = communication_hypergraph(&instance);
+        Self { config, instance, hypergraph, template, tree, leaf_partner }
+    }
+
+    /// Number of hypertrees (vertices of `Q`).
+    pub fn num_trees(&self) -> usize {
+        self.template.num_nodes()
+    }
+
+    /// Number of agents per hypertree.
+    pub fn tree_size(&self) -> usize {
+        self.tree.num_nodes()
+    }
+
+    /// The agent realising local node `local` of tree `q`.
+    pub fn agent_of(&self, q: usize, local: usize) -> AgentId {
+        AgentId::new(q * self.tree_size() + local)
+    }
+
+    /// The tree and local node an agent belongs to.
+    pub fn tree_of(&self, v: AgentId) -> (usize, usize) {
+        (v.index() / self.tree_size(), v.index() % self.tree_size())
+    }
+
+    /// All agents of tree `q`, in increasing id order.
+    pub fn tree_agents(&self, q: usize) -> Vec<AgentId> {
+        let offset = q * self.tree_size();
+        (offset..offset + self.tree_size()).map(AgentId::new).collect()
+    }
+
+    /// The leaf agents of tree `q`.
+    pub fn leaves_of_tree(&self, q: usize) -> Vec<AgentId> {
+        self.tree.leaves().into_iter().map(|local| self.agent_of(q, local)).collect()
+    }
+
+    /// The quantity `δ(q) = Σ_{v ∈ L_q} (x_v − x_{f(v)})` of Section 4.3.
+    pub fn delta(&self, q: usize, x: &Solution) -> f64 {
+        self.leaves_of_tree(q)
+            .into_iter()
+            .map(|v| {
+                let partner = self.leaf_partner[v.index()].expect("leaves have partners");
+                x.activity(v) - x.activity(partner)
+            })
+            .sum()
+    }
+
+    /// Selects a tree `p` with `δ(p) ≥ 0` (the one maximising `δ`); such a
+    /// tree always exists because `Σ_q δ(q) = 0`.
+    pub fn select_tree(&self, x: &Solution) -> usize {
+        (0..self.num_trees())
+            .max_by(|&a, &b| {
+                self.delta(a, x)
+                    .partial_cmp(&self.delta(b, x))
+                    .expect("activities are finite")
+            })
+            .expect("the construction has at least one tree")
+    }
+
+    /// Builds the sub-instance `S'` induced by the algorithm's output `x` on
+    /// `S` (Section 4.3): picks `p` with `δ(p) ≥ 0` and restricts to
+    /// `V' = T_p ∪ ⋃_{u ∈ L_p} B_H(u, 2r)`.
+    pub fn sub_instance(&self, x: &Solution) -> SubInstance {
+        let p = self.select_tree(x);
+        self.sub_instance_for_tree(p)
+    }
+
+    /// Builds `S'` for an explicitly chosen tree `p` (useful for tests).
+    pub fn sub_instance_for_tree(&self, p: usize) -> SubInstance {
+        let mut keep = vec![false; self.instance.num_agents()];
+        for v in self.tree_agents(p) {
+            keep[v.index()] = true;
+        }
+        for u in self.leaves_of_tree(p) {
+            for w in self.hypergraph.ball(u.index(), 2 * self.config.local_horizon) {
+                keep[w] = true;
+            }
+        }
+        let kept: Vec<usize> = (0..keep.len()).filter(|&v| keep[v]).collect();
+        let mut reverse_map: Vec<Option<AgentId>> = vec![None; keep.len()];
+        for (new_idx, &old) in kept.iter().enumerate() {
+            reverse_map[old] = Some(AgentId::new(new_idx));
+        }
+
+        let mut b = InstanceBuilder::with_capacity(
+            kept.len(),
+            self.instance.num_resources(),
+            self.instance.num_parties(),
+        );
+        b.allow_unconstrained_agents();
+        let new_agents = b.add_agents(kept.len());
+        for i in self.instance.resource_ids() {
+            let support = &self.instance.resource(i).agents;
+            if support.iter().all(|(v, _)| keep[v.index()]) {
+                let new_i = b.add_resource();
+                for (v, a) in support {
+                    b.set_consumption(new_i, new_agents[reverse_map[v.index()].unwrap().index()], *a);
+                }
+            }
+        }
+        for k in self.instance.party_ids() {
+            let support = &self.instance.party(k).agents;
+            if support.iter().all(|(v, _)| keep[v.index()]) {
+                let new_k = b.add_party();
+                for (v, c) in support {
+                    b.set_benefit(new_k, new_agents[reverse_map[v.index()].unwrap().index()], *c);
+                }
+            }
+        }
+        let instance = b.build().expect("S' restriction preserves validity");
+        let agent_map: Vec<AgentId> = kept.iter().map(|&old| AgentId::new(old)).collect();
+        let root = reverse_map[self.agent_of(p, self.tree.root()).index()]
+            .expect("the root of T_p is in V'");
+        let tree_agents = self
+            .tree_agents(p)
+            .into_iter()
+            .map(|v| reverse_map[v.index()].expect("T_p ⊆ V'"))
+            .collect();
+        SubInstance { instance, agent_map, reverse_map, chosen_tree: p, root, tree_agents }
+    }
+}
+
+impl SubInstance {
+    /// Restricts a solution of `S` to the agents of `S'` (the interpretation
+    /// used in Section 4.6: the local algorithm makes identical choices for
+    /// the `T_p` agents in both instances).
+    pub fn project(&self, x_on_s: &Solution) -> Solution {
+        Solution::new(self.agent_map.iter().map(|v| x_on_s.activity(*v)).collect())
+    }
+}
+
+/// The alternating feasible solution of Section 4.5: `x̂_v = 1` when the
+/// distance from the root of `T_p` to `v` in `S'`'s hypergraph is even, else
+/// 0.  For the paper's construction this solution is feasible and gives every
+/// party of `S'` a benefit of exactly 1, hence `ω = 1`.
+pub fn alternating_solution(sub: &SubInstance) -> Solution {
+    let (h, _) = communication_hypergraph(&sub.instance);
+    let dist = h.bfs_distances(sub.root.index(), usize::MAX);
+    let values = (0..sub.instance.num_agents())
+        .map(|v| {
+            if dist[v] != usize::MAX && dist[v] % 2 == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    Solution::new(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The smallest interesting configuration: Δ_I^V = 2, Δ_K^V = 3
+    /// (d = 1, D = 2), r = 1, R = 2.  Template degree 2 (a cycle), 6-node
+    /// hypertrees.
+    fn tiny_config() -> LowerBoundConfig {
+        LowerBoundConfig {
+            max_resource_support: 2,
+            max_party_support: 3,
+            local_horizon: 1,
+            tree_radius: 2,
+        }
+    }
+
+    /// The Corollary 2 style configuration: Δ_I^V = 3, Δ_K^V = 2
+    /// (d = 2, D = 1), r = 1, R = 2.  Template degree 4.
+    fn corollary_config() -> LowerBoundConfig {
+        LowerBoundConfig {
+            max_resource_support: 3,
+            max_party_support: 2,
+            local_horizon: 1,
+            tree_radius: 2,
+        }
+    }
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn config_derived_quantities() {
+        let cfg = corollary_config();
+        assert_eq!(cfg.d(), 2);
+        assert_eq!(cfg.big_d(), 1);
+        assert_eq!(cfg.template_degree(), 4);
+        assert_eq!(cfg.required_girth(), 6);
+        assert_eq!(cfg.theorem1_bound(), 1.5);
+        let tiny = tiny_config();
+        assert_eq!(tiny.template_degree(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn both_deltas_two_is_rejected() {
+        LowerBoundConfig {
+            max_resource_support: 2,
+            max_party_support: 2,
+            local_horizon: 1,
+            tree_radius: 2,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn r_not_greater_than_horizon_is_rejected() {
+        LowerBoundConfig {
+            max_resource_support: 3,
+            max_party_support: 3,
+            local_horizon: 2,
+            tree_radius: 2,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn construction_s_realises_the_degree_bounds() {
+        for cfg in [tiny_config(), corollary_config()] {
+            let lb = LowerBoundInstance::build(cfg, &mut rng(1));
+            let d = lb.instance.degree_bounds();
+            assert_eq!(d.max_resource_support, cfg.max_resource_support);
+            assert_eq!(d.max_party_support, cfg.max_party_support);
+            // The theorem's restrictions: Δ_V^I = Δ_V^K = 1, a_iv ∈ {0,1}.
+            assert_eq!(d.max_agent_resources, 1);
+            assert_eq!(d.max_agent_parties, 1);
+            for i in lb.instance.resource_ids() {
+                for (_, a) in &lb.instance.resource(i).agents {
+                    assert_eq!(*a, 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn instance_size_matches_template_and_tree() {
+        let lb = LowerBoundInstance::build(tiny_config(), &mut rng(2));
+        assert_eq!(lb.tree_size(), 6); // levels 1,1,2,2 for (d,D) = (1,2), height 3
+        assert_eq!(
+            lb.instance.num_agents(),
+            lb.num_trees() * lb.tree_size()
+        );
+        // Every leaf has a partner in a different tree.
+        for q in 0..lb.num_trees() {
+            for leaf in lb.leaves_of_tree(q) {
+                let partner = lb.leaf_partner[leaf.index()].unwrap();
+                assert_ne!(lb.tree_of(partner).0, q);
+                // The partnership is an involution.
+                assert_eq!(lb.leaf_partner[partner.index()], Some(leaf));
+            }
+        }
+    }
+
+    #[test]
+    fn delta_sums_to_zero_and_selection_is_nonnegative() {
+        let lb = LowerBoundInstance::build(corollary_config(), &mut rng(3));
+        // An arbitrary deterministic "algorithm output".
+        let x = Solution::new(
+            (0..lb.instance.num_agents())
+                .map(|v| ((v * 7919 + 13) % 97) as f64 / 97.0)
+                .collect(),
+        );
+        let total: f64 = (0..lb.num_trees()).map(|q| lb.delta(q, &x)).sum();
+        assert!(total.abs() < 1e-9, "Σ_q δ(q) must vanish, got {total}");
+        let p = lb.select_tree(&x);
+        assert!(lb.delta(p, &x) >= -1e-12);
+    }
+
+    #[test]
+    fn sub_instance_is_tree_like() {
+        // Section 4.4: S' contains no (Berge) cycles.
+        for cfg in [tiny_config(), corollary_config()] {
+            let lb = LowerBoundInstance::build(cfg, &mut rng(4));
+            let sub = lb.sub_instance_for_tree(0);
+            let (h, _) = communication_hypergraph(&sub.instance);
+            assert!(h.is_berge_acyclic(), "S' must be tree-like");
+            assert!(sub.instance.num_agents() >= lb.tree_size());
+            assert!(sub.instance.num_agents() < lb.instance.num_agents());
+        }
+    }
+
+    #[test]
+    fn alternating_solution_is_feasible_with_unit_objective() {
+        // Section 4.5: the alternating solution of S' is feasible and every
+        // party receives exactly one unit of benefit.
+        for cfg in [tiny_config(), corollary_config()] {
+            let lb = LowerBoundInstance::build(cfg, &mut rng(5));
+            let sub = lb.sub_instance_for_tree(1);
+            let x_hat = alternating_solution(&sub);
+            assert!(sub.instance.is_feasible(&x_hat, 1e-9));
+            let eval = sub.instance.evaluate(&x_hat).unwrap();
+            assert!(
+                (eval.objective - 1.0).abs() < 1e-9,
+                "ω should be exactly 1, got {}",
+                eval.objective
+            );
+            // In fact every resource is used exactly to capacity and every
+            // party receives exactly 1 (the "unique node of the right parity"
+            // argument).
+            for usage in &eval.resource_usages {
+                assert!((usage - 1.0).abs() < 1e-9);
+            }
+            for benefit in &eval.party_benefits {
+                assert!((benefit - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn projection_restricts_solutions() {
+        let lb = LowerBoundInstance::build(tiny_config(), &mut rng(6));
+        let x = Solution::constant(lb.instance.num_agents(), 0.25);
+        let sub = lb.sub_instance(&x);
+        let projected = sub.project(&x);
+        assert_eq!(projected.len(), sub.instance.num_agents());
+        assert!(projected.activities().iter().all(|&v| v == 0.25));
+        // Mapping round-trips.
+        for (new_idx, old) in sub.agent_map.iter().enumerate() {
+            assert_eq!(sub.reverse_map[old.index()], Some(AgentId::new(new_idx)));
+        }
+    }
+
+    #[test]
+    fn tree_membership_helpers_are_consistent() {
+        let lb = LowerBoundInstance::build(tiny_config(), &mut rng(7));
+        for q in 0..lb.num_trees() {
+            for (local, v) in lb.tree_agents(q).iter().enumerate() {
+                assert_eq!(lb.agent_of(q, local), *v);
+                assert_eq!(lb.tree_of(*v), (q, local));
+            }
+        }
+    }
+
+    #[test]
+    fn template_graph_satisfies_requirements() {
+        let cfg = corollary_config();
+        let lb = LowerBoundInstance::build(cfg, &mut rng(8));
+        assert!(lb.template.is_regular(cfg.template_degree()));
+        assert!(lb.template.is_bipartite());
+        assert!(lb.template.has_girth_at_least(cfg.required_girth()));
+    }
+}

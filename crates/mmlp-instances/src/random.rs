@@ -1,0 +1,190 @@
+//! Random bounded-degree max-min LP instances.
+//!
+//! These are the stress-test workloads: support sets are drawn uniformly at
+//! random subject to the four degree bounds of the paper, and coefficients
+//! are either 0/1 or drawn from a configurable range.  They are used to
+//! measure the safe algorithm across degree regimes (experiment E1) and as
+//! fuzzing input for the property-based tests.
+
+use mmlp_core::{InstanceBuilder, MaxMinInstance};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the random instance generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomInstanceConfig {
+    /// Number of agents `|V|`.
+    pub num_agents: usize,
+    /// Number of resources `|I|` (before the repair step that gives
+    /// resource-less agents a private resource).
+    pub num_resources: usize,
+    /// Number of beneficiary parties `|K|`.
+    pub num_parties: usize,
+    /// Maximum support size of a resource (`Δ_I^V`); actual sizes are drawn
+    /// uniformly from `1..=max`.
+    pub max_resource_support: usize,
+    /// Maximum support size of a party (`Δ_K^V`).
+    pub max_party_support: usize,
+    /// If `true`, every non-zero coefficient is exactly 1 (the 0/1 regime of
+    /// Theorem 1 / Corollary 2); otherwise coefficients are drawn uniformly
+    /// from `[0.5, 2.0]`.
+    pub zero_one_coefficients: bool,
+}
+
+impl Default for RandomInstanceConfig {
+    fn default() -> Self {
+        Self {
+            num_agents: 50,
+            num_resources: 60,
+            num_parties: 40,
+            max_resource_support: 3,
+            max_party_support: 3,
+            zero_one_coefficients: false,
+        }
+    }
+}
+
+/// Generates a random instance respecting the configured degree bounds.
+///
+/// Every agent is guaranteed to consume at least one resource (agents left
+/// out of all sampled supports receive a private unit resource), so the
+/// result always satisfies the paper's non-degeneracy assumptions.
+pub fn random_instance<R: Rng>(cfg: &RandomInstanceConfig, rng: &mut R) -> MaxMinInstance {
+    assert!(cfg.num_agents > 0 && cfg.num_parties > 0);
+    assert!(cfg.max_resource_support > 0 && cfg.max_party_support > 0);
+
+    let mut b = InstanceBuilder::with_capacity(
+        cfg.num_agents,
+        cfg.num_resources + cfg.num_agents,
+        cfg.num_parties,
+    );
+    let agents = b.add_agents(cfg.num_agents);
+    let all: Vec<usize> = (0..cfg.num_agents).collect();
+
+    let coeff = |rng: &mut R| {
+        if cfg.zero_one_coefficients {
+            1.0
+        } else {
+            rng.gen_range(0.5..=2.0)
+        }
+    };
+
+    let mut has_resource = vec![false; cfg.num_agents];
+    for _ in 0..cfg.num_resources {
+        let size = rng.gen_range(1..=cfg.max_resource_support.min(cfg.num_agents));
+        let support: Vec<usize> = all.choose_multiple(rng, size).copied().collect();
+        let i = b.add_resource();
+        for &v in &support {
+            b.set_consumption(i, agents[v], coeff(rng));
+            has_resource[v] = true;
+        }
+    }
+    // Repair: every agent must consume at least one resource.
+    for (v, has) in has_resource.iter().enumerate() {
+        if !has {
+            let i = b.add_resource();
+            b.set_consumption(i, agents[v], coeff(rng));
+        }
+    }
+
+    for _ in 0..cfg.num_parties {
+        let size = rng.gen_range(1..=cfg.max_party_support.min(cfg.num_agents));
+        let support: Vec<usize> = all.choose_multiple(rng, size).copied().collect();
+        let k = b.add_party();
+        for &v in &support {
+            b.set_benefit(k, agents[v], coeff(rng));
+        }
+    }
+
+    b.build().expect("random construction repairs all degeneracies")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn respects_degree_bounds() {
+        let cfg = RandomInstanceConfig {
+            max_resource_support: 4,
+            max_party_support: 2,
+            ..Default::default()
+        };
+        for seed in 0..5 {
+            let inst = random_instance(&cfg, &mut rng(seed));
+            let d = inst.degree_bounds();
+            assert!(d.max_resource_support <= 4);
+            assert!(d.max_party_support <= 2);
+        }
+    }
+
+    #[test]
+    fn all_agents_have_resources() {
+        // Few resources, many agents: the repair step must kick in.
+        let cfg = RandomInstanceConfig {
+            num_agents: 40,
+            num_resources: 5,
+            ..Default::default()
+        };
+        let inst = random_instance(&cfg, &mut rng(3));
+        for v in inst.agent_ids() {
+            assert!(inst.agent_resources(v).count() >= 1);
+        }
+        assert!(inst.num_resources() >= 5);
+    }
+
+    #[test]
+    fn zero_one_mode_uses_unit_coefficients() {
+        let cfg = RandomInstanceConfig { zero_one_coefficients: true, ..Default::default() };
+        let inst = random_instance(&cfg, &mut rng(4));
+        for i in inst.resource_ids() {
+            for (_, a) in &inst.resource(i).agents {
+                assert_eq!(*a, 1.0);
+            }
+        }
+        for k in inst.party_ids() {
+            for (_, c) in &inst.party(k).agents {
+                assert_eq!(*c, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_mode_stays_in_range() {
+        let cfg = RandomInstanceConfig::default();
+        let inst = random_instance(&cfg, &mut rng(5));
+        for i in inst.resource_ids() {
+            for (_, a) in &inst.resource(i).agents {
+                assert!((0.5..=2.0).contains(a));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = RandomInstanceConfig::default();
+        assert_eq!(random_instance(&cfg, &mut rng(10)), random_instance(&cfg, &mut rng(10)));
+    }
+
+    #[test]
+    fn tiny_configuration() {
+        let cfg = RandomInstanceConfig {
+            num_agents: 1,
+            num_resources: 1,
+            num_parties: 1,
+            max_resource_support: 5,
+            max_party_support: 5,
+            zero_one_coefficients: false,
+        };
+        let inst = random_instance(&cfg, &mut rng(6));
+        assert_eq!(inst.num_agents(), 1);
+        assert_eq!(inst.num_parties(), 1);
+    }
+}

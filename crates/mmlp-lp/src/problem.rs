@@ -1,0 +1,257 @@
+//! Problem description types for the LP solver.
+
+use std::fmt;
+
+/// Direction of optimisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectiveSense {
+    /// Maximise the objective.
+    Maximize,
+    /// Minimise the objective.
+    Minimize,
+}
+
+/// Relational operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `Σ a_j x_j ≤ rhs`
+    Le,
+    /// `Σ a_j x_j ≥ rhs`
+    Ge,
+    /// `Σ a_j x_j = rhs`
+    Eq,
+}
+
+/// One linear constraint, with a sparse coefficient list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpConstraint {
+    /// Sparse coefficients `(variable index, coefficient)`.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Relational operator.
+    pub op: ConstraintOp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl LpConstraint {
+    /// Creates a `≤` constraint.
+    pub fn le(coeffs: Vec<(usize, f64)>, rhs: f64) -> Self {
+        Self { coeffs, op: ConstraintOp::Le, rhs }
+    }
+
+    /// Creates a `≥` constraint.
+    pub fn ge(coeffs: Vec<(usize, f64)>, rhs: f64) -> Self {
+        Self { coeffs, op: ConstraintOp::Ge, rhs }
+    }
+
+    /// Creates an `=` constraint.
+    pub fn eq(coeffs: Vec<(usize, f64)>, rhs: f64) -> Self {
+        Self { coeffs, op: ConstraintOp::Eq, rhs }
+    }
+
+    /// Evaluates the left-hand side at `x`.
+    pub fn lhs_value(&self, x: &[f64]) -> f64 {
+        self.coeffs.iter().map(|(j, a)| a * x[*j]).sum()
+    }
+
+    /// `true` iff the constraint is satisfied at `x` up to tolerance `tol`.
+    pub fn is_satisfied(&self, x: &[f64], tol: f64) -> bool {
+        let lhs = self.lhs_value(x);
+        match self.op {
+            ConstraintOp::Le => lhs <= self.rhs + tol,
+            ConstraintOp::Ge => lhs >= self.rhs - tol,
+            ConstraintOp::Eq => (lhs - self.rhs).abs() <= tol,
+        }
+    }
+}
+
+/// A linear program over non-negative variables `x_0, …, x_{n−1} ≥ 0`.
+///
+/// General variable bounds are not needed by this repository: every variable
+/// of the paper's LPs (the activities `x_v` and the objective value `ω`) is
+/// naturally non-negative because all coefficients are non-negative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpProblem {
+    /// Number of decision variables.
+    pub num_vars: usize,
+    /// Dense objective coefficient vector (length `num_vars`).
+    pub objective: Vec<f64>,
+    /// Optimisation direction.
+    pub sense: ObjectiveSense,
+    /// The constraints.
+    pub constraints: Vec<LpConstraint>,
+}
+
+impl LpProblem {
+    /// Creates a problem with the given number of variables, zero objective
+    /// and no constraints.
+    pub fn new(num_vars: usize, sense: ObjectiveSense) -> Self {
+        Self {
+            num_vars,
+            objective: vec![0.0; num_vars],
+            sense,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Sets a single objective coefficient.
+    pub fn set_objective(&mut self, var: usize, coeff: f64) -> &mut Self {
+        self.objective[var] = coeff;
+        self
+    }
+
+    /// Adds a constraint.
+    pub fn add_constraint(&mut self, c: LpConstraint) -> &mut Self {
+        self.constraints.push(c);
+        self
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Objective value at `x`.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, x)| c * x).sum()
+    }
+
+    /// `true` iff `x ≥ 0` and all constraints hold up to tolerance `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        x.len() == self.num_vars
+            && x.iter().all(|&v| v >= -tol && v.is_finite())
+            && self.constraints.iter().all(|c| c.is_satisfied(x, tol))
+    }
+
+    /// Validates the problem description itself (finite coefficients,
+    /// in-range variable indices).
+    pub fn validate(&self) -> Result<(), LpError> {
+        if self.objective.len() != self.num_vars {
+            return Err(LpError::Malformed(format!(
+                "objective has {} coefficients for {} variables",
+                self.objective.len(),
+                self.num_vars
+            )));
+        }
+        for (idx, c) in self.objective.iter().enumerate() {
+            if !c.is_finite() {
+                return Err(LpError::Malformed(format!(
+                    "objective coefficient {idx} is not finite"
+                )));
+            }
+        }
+        for (row, constraint) in self.constraints.iter().enumerate() {
+            if !constraint.rhs.is_finite() {
+                return Err(LpError::Malformed(format!(
+                    "constraint {row} has non-finite right-hand side"
+                )));
+            }
+            for (var, coeff) in &constraint.coeffs {
+                if *var >= self.num_vars {
+                    return Err(LpError::Malformed(format!(
+                        "constraint {row} references unknown variable {var}"
+                    )));
+                }
+                if !coeff.is_finite() {
+                    return Err(LpError::Malformed(format!(
+                        "constraint {row} has a non-finite coefficient for variable {var}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Errors produced by the LP layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// The problem description itself is invalid.
+    Malformed(String),
+    /// The simplex iteration limit was exceeded (should not happen with the
+    /// Bland anti-cycling fallback; indicates a numerical problem).
+    IterationLimit {
+        /// Number of pivots performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Malformed(msg) => write!(f, "malformed linear program: {msg}"),
+            LpError::IterationLimit { iterations } => {
+                write!(f, "simplex did not converge within {iterations} pivots")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constraint_constructors_and_evaluation() {
+        let c = LpConstraint::le(vec![(0, 2.0), (2, 1.0)], 5.0);
+        assert_eq!(c.op, ConstraintOp::Le);
+        assert_eq!(c.lhs_value(&[1.0, 99.0, 2.0]), 4.0);
+        assert!(c.is_satisfied(&[1.0, 0.0, 2.0], 1e-9));
+        assert!(!c.is_satisfied(&[3.0, 0.0, 0.0], 1e-9));
+
+        let g = LpConstraint::ge(vec![(1, 1.0)], 2.0);
+        assert!(g.is_satisfied(&[0.0, 2.0], 1e-9));
+        assert!(!g.is_satisfied(&[0.0, 1.0], 1e-9));
+
+        let e = LpConstraint::eq(vec![(0, 1.0)], 1.0);
+        assert!(e.is_satisfied(&[1.0], 1e-9));
+        assert!(!e.is_satisfied(&[1.1], 1e-9));
+        assert!(e.is_satisfied(&[1.05], 0.1));
+    }
+
+    #[test]
+    fn problem_objective_and_feasibility() {
+        let mut p = LpProblem::new(2, ObjectiveSense::Maximize);
+        p.set_objective(0, 3.0).set_objective(1, 1.0);
+        p.add_constraint(LpConstraint::le(vec![(0, 1.0), (1, 1.0)], 1.0));
+        assert_eq!(p.num_constraints(), 1);
+        assert_eq!(p.objective_value(&[0.5, 0.5]), 2.0);
+        assert!(p.is_feasible(&[0.5, 0.5], 1e-9));
+        assert!(!p.is_feasible(&[0.9, 0.9], 1e-9));
+        assert!(!p.is_feasible(&[-0.1, 0.0], 1e-9));
+        assert!(!p.is_feasible(&[0.5], 1e-9)); // wrong length
+    }
+
+    #[test]
+    fn validation_catches_bad_indices_and_values() {
+        let mut p = LpProblem::new(1, ObjectiveSense::Maximize);
+        p.add_constraint(LpConstraint::le(vec![(3, 1.0)], 1.0));
+        assert!(matches!(p.validate(), Err(LpError::Malformed(_))));
+
+        let mut p = LpProblem::new(1, ObjectiveSense::Maximize);
+        p.set_objective(0, f64::INFINITY);
+        assert!(matches!(p.validate(), Err(LpError::Malformed(_))));
+
+        let mut p = LpProblem::new(1, ObjectiveSense::Maximize);
+        p.add_constraint(LpConstraint::le(vec![(0, f64::NAN)], 1.0));
+        assert!(matches!(p.validate(), Err(LpError::Malformed(_))));
+
+        let mut p = LpProblem::new(1, ObjectiveSense::Minimize);
+        p.add_constraint(LpConstraint::ge(vec![(0, 1.0)], f64::NAN));
+        assert!(matches!(p.validate(), Err(LpError::Malformed(_))));
+
+        let mut ok = LpProblem::new(2, ObjectiveSense::Maximize);
+        ok.add_constraint(LpConstraint::eq(vec![(0, 1.0), (1, -1.0)], 0.0));
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = LpError::IterationLimit { iterations: 10 };
+        assert!(e.to_string().contains("10"));
+        let e = LpError::Malformed("broken".into());
+        assert!(e.to_string().contains("broken"));
+    }
+}

@@ -1,0 +1,279 @@
+//! A minimal data-parallel executor used by the simulator and the local
+//! algorithms.
+//!
+//! The local algorithms of the paper are embarrassingly parallel: every agent
+//! computes its output from its own radius-`r` view, independently of all
+//! other agents.  This crate provides the small amount of machinery needed to
+//! exploit that on a multi-core machine without pulling in a full
+//! work-stealing framework:
+//!
+//! * [`par_map`] / [`par_map_with`] — parallel map over a slice with dynamic
+//!   (atomic-counter) load balancing,
+//! * [`par_chunks_map`] — chunked variant for very cheap per-item work,
+//! * [`ParallelConfig`] — thread-count control (including a sequential mode
+//!   for deterministic debugging).
+//!
+//! The implementation uses scoped threads, so closures may borrow from the
+//! caller's stack; results are collected per worker and stitched back into
+//! input order, which keeps the crate free of `unsafe` code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Thread-count configuration for the parallel helpers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Number of worker threads to use.  `None` means "one per available
+    /// core".  A value of 1 runs sequentially on the calling thread.
+    pub num_threads: Option<NonZeroUsize>,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self { num_threads: None }
+    }
+}
+
+impl ParallelConfig {
+    /// Configuration that always runs sequentially on the calling thread.
+    pub fn sequential() -> Self {
+        Self { num_threads: NonZeroUsize::new(1) }
+    }
+
+    /// Configuration with an explicit number of worker threads.
+    pub fn with_threads(n: usize) -> Self {
+        Self { num_threads: NonZeroUsize::new(n.max(1)) }
+    }
+
+    /// The number of worker threads this configuration resolves to for a
+    /// workload of `items` items.
+    pub fn resolve(&self, items: usize) -> usize {
+        let hw = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        let requested = self.num_threads.map(NonZeroUsize::get).unwrap_or(hw);
+        requested.min(items.max(1))
+    }
+}
+
+/// Parallel map with default configuration (one thread per core).
+///
+/// Results are returned in input order.  `f` may borrow from the caller.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with(&ParallelConfig::default(), items, f)
+}
+
+/// Parallel map with explicit configuration.
+///
+/// Work is distributed dynamically: workers repeatedly claim the next
+/// unprocessed index from a shared atomic counter, so uneven per-item costs
+/// (e.g. local LPs of different sizes) balance automatically.
+pub fn par_map_with<T, R, F>(config: &ParallelConfig, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = config.resolve(n);
+    if workers <= 1 {
+        return items.iter().map(|item| f(item)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut per_worker: Vec<Vec<(usize, R)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let next = &next;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    local.push((idx, f(&items[idx])));
+                }
+                local
+            }));
+        }
+        per_worker = handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect();
+    });
+
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for chunk in per_worker {
+        for (idx, value) in chunk {
+            slots[idx] = Some(value);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index processed exactly once"))
+        .collect()
+}
+
+/// Parallel map over chunks of the input.
+///
+/// For very cheap per-item work the per-index atomic traffic of [`par_map`]
+/// dominates; mapping whole chunks amortises it.  `f` receives the chunk's
+/// starting index and the chunk itself, and must return one result per item.
+pub fn par_chunks_map<T, R, F>(
+    config: &ParallelConfig,
+    items: &[T],
+    chunk_size: usize,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> Vec<R> + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk_size = chunk_size.max(1);
+    let chunks: Vec<(usize, &[T])> = items
+        .chunks(chunk_size)
+        .enumerate()
+        .map(|(c, chunk)| (c * chunk_size, chunk))
+        .collect();
+    let mapped = par_map_with(config, &chunks, |(start, chunk)| {
+        let out = f(*start, chunk);
+        assert_eq!(
+            out.len(),
+            chunk.len(),
+            "par_chunks_map callback must return one result per item"
+        );
+        out
+    });
+    mapped.into_iter().flatten().collect()
+}
+
+/// Runs `f` for every index in `0..count` in parallel, ignoring results.
+pub fn par_for_each_index<F>(config: &ParallelConfig, count: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let indices: Vec<usize> = (0..count).collect();
+    par_map_with(config, &indices, |&i| f(i));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_empty_input() {
+        let items: Vec<u32> = vec![];
+        let out: Vec<u32> = par_map(&items, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sequential_config_matches_parallel_result() {
+        let items: Vec<i64> = (0..257).collect();
+        let seq = par_map_with(&ParallelConfig::sequential(), &items, |&x| x * x - 3);
+        let par = par_map_with(&ParallelConfig::with_threads(7), &items, |&x| x * x - 3);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..500).collect();
+        let out = par_map_with(&ParallelConfig::with_threads(4), &items, |&x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 500);
+        assert_eq!(out.len(), 500);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Items near the start are much more expensive; dynamic scheduling
+        // must still produce correct, ordered results.
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map_with(&ParallelConfig::with_threads(8), &items, |&x| {
+            let spins = if x < 8 { 20_000 } else { 10 };
+            let mut acc = 0u64;
+            for i in 0..spins {
+                acc = acc.wrapping_add(i ^ x);
+            }
+            let _ = acc;
+            x
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn chunked_map_matches_plain_map() {
+        let items: Vec<u32> = (0..103).collect();
+        let plain = par_map(&items, |&x| x + 1);
+        let chunked = par_chunks_map(&ParallelConfig::with_threads(3), &items, 10, |_, chunk| {
+            chunk.iter().map(|&x| x + 1).collect()
+        });
+        assert_eq!(plain, chunked);
+    }
+
+    #[test]
+    fn chunked_map_start_indices_are_correct() {
+        let items: Vec<usize> = (0..25).collect();
+        let out = par_chunks_map(&ParallelConfig::sequential(), &items, 7, |start, chunk| {
+            chunk.iter().enumerate().map(|(off, _)| start + off).collect()
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn for_each_index_visits_every_index() {
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        par_for_each_index(&ParallelConfig::with_threads(5), 100, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn config_resolution() {
+        assert_eq!(ParallelConfig::sequential().resolve(100), 1);
+        assert_eq!(ParallelConfig::with_threads(4).resolve(2), 2);
+        assert_eq!(ParallelConfig::with_threads(4).resolve(100), 4);
+        assert!(ParallelConfig::default().resolve(1_000_000) >= 1);
+        // Zero threads is clamped to one.
+        assert_eq!(ParallelConfig::with_threads(0).resolve(10), 1);
+    }
+
+    #[test]
+    fn results_may_borrow_inputs() {
+        let items: Vec<String> = (0..50).map(|i| format!("item-{i}")).collect();
+        let lens = par_map(&items, |s| s.len());
+        assert_eq!(lens[0], "item-0".len());
+        assert_eq!(lens[49], "item-49".len());
+    }
+}

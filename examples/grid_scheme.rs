@@ -1,0 +1,69 @@
+//! Theorem 3 in action: on bounded-growth networks (here, a 2-D torus) the
+//! local averaging algorithm is a *local approximation scheme* — increasing
+//! the radius `R` drives the approximation ratio towards 1, with the measured
+//! growth bound `γ(R−1)·γ(R)` tracking it from above.
+//!
+//! Run with `cargo run --release --example grid_scheme`.
+
+use maxmin_local_lp::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let side = 12;
+    let config = GridConfig {
+        side_lengths: vec![side, side],
+        torus: true,
+        random_weights: true,
+    };
+    let mut rng = StdRng::seed_from_u64(5);
+    let instance = grid_instance(&config, &mut rng);
+    let (hypergraph, _) = communication_hypergraph(&instance);
+
+    println!("{side}×{side} torus, {} agents", instance.num_agents());
+
+    // Measured relative growth of the communication hypergraph.
+    let max_radius = 4;
+    let profile = growth_profile(&hypergraph, max_radius);
+    println!("\nrelative growth of balls:");
+    for (r, gamma) in profile.gamma.iter().enumerate() {
+        println!("  γ({r}) = {gamma:.4}");
+    }
+
+    let optimum = solve_maxmin(&instance).unwrap();
+    println!("\noptimum ω* = {:.5}", optimum.objective);
+
+    println!(
+        "\n{:>3} {:>14} {:>12} {:>14} {:>16}",
+        "R", "objective ω", "ratio", "a-post. bound", "γ(R−1)·γ(R)"
+    );
+    let safe = safe_algorithm(&instance);
+    let safe_objective = instance.objective(&safe).unwrap();
+    println!(
+        "{:>3} {:>14.5} {:>12.4} {:>14.4} {:>16}",
+        "-",
+        safe_objective,
+        optimum.objective / safe_objective,
+        instance.degree_bounds().safe_algorithm_ratio(),
+        "(safe algorithm)"
+    );
+    for radius in 1..=max_radius {
+        let result = local_averaging(&instance, &LocalAveragingOptions::new(radius)).unwrap();
+        let objective = instance.objective(&result.solution).unwrap();
+        let gamma_bound = profile.gamma[radius - 1] * profile.gamma[radius];
+        println!(
+            "{:>3} {:>14.5} {:>12.4} {:>14.4} {:>16.4}",
+            radius,
+            objective,
+            optimum.objective / objective,
+            result.guaranteed_ratio,
+            gamma_bound
+        );
+        assert!(instance.is_feasible(&result.solution, 1e-7));
+    }
+
+    println!(
+        "\nAs R grows, γ(R−1)·γ(R) → 1 on the torus, so the measured ratio approaches 1:"
+    );
+    println!("the local averaging algorithm is a local approximation scheme on this family.");
+}

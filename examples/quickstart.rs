@@ -1,0 +1,76 @@
+//! Quickstart: build a small max-min LP by hand, solve it exactly, and run
+//! both local algorithms of the paper on it.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use maxmin_local_lp::prelude::*;
+
+fn main() {
+    // A toy "fair sharing" instance: three agents, two of which compete for a
+    // shared channel; three customers (parties), one of which is served by
+    // two agents.
+    //
+    //   resources: i0 = {v0, v1} (shared channel), i1 = {v2} (private)
+    //   parties:   k0 ← v0,   k1 ← v1,   k2 ← {v1, v2}
+    let mut builder = InstanceBuilder::new();
+    let v = builder.add_agents(3);
+    let i0 = builder.add_resource();
+    let i1 = builder.add_resource();
+    builder.set_consumption(i0, v[0], 1.0);
+    builder.set_consumption(i0, v[1], 1.0);
+    builder.set_consumption(i1, v[2], 2.0);
+    let k0 = builder.add_party();
+    let k1 = builder.add_party();
+    let k2 = builder.add_party();
+    builder.set_benefit(k0, v[0], 1.0);
+    builder.set_benefit(k1, v[1], 1.0);
+    builder.set_benefit(k2, v[1], 0.5);
+    builder.set_benefit(k2, v[2], 1.0);
+    let instance = builder.build().expect("a valid max-min LP");
+
+    println!("instance: {} agents, {} resources, {} parties", instance.num_agents(), instance.num_resources(), instance.num_parties());
+    let degrees = instance.degree_bounds();
+    println!(
+        "degree bounds: Δ_I^V = {}, Δ_K^V = {}, Δ_V^I = {}, Δ_V^K = {}",
+        degrees.max_resource_support,
+        degrees.max_party_support,
+        degrees.max_agent_resources,
+        degrees.max_agent_parties
+    );
+
+    // 1. The exact optimum, from the centralised simplex baseline.
+    let optimum = solve_maxmin(&instance).expect("the LP baseline always solves valid instances");
+    println!("\noptimum ω* = {:.4}", optimum.objective);
+    println!("optimal activities: {:?}", optimum.solution.activities());
+
+    // 2. The safe algorithm: each agent claims an equal share of each of its
+    //    resources and keeps the most conservative one (local horizon 1).
+    let safe = safe_algorithm(&instance);
+    let safe_objective = instance.objective(&safe).unwrap();
+    println!("\nsafe algorithm:");
+    println!("  activities  = {:?}", safe.activities());
+    println!("  objective ω = {:.4}", safe_objective);
+    println!(
+        "  ratio       = {:.4}  (guarantee: Δ_I^V = {})",
+        optimum.objective / safe_objective,
+        degrees.safe_algorithm_ratio()
+    );
+
+    // 3. The local averaging algorithm of Theorem 3 with radius R = 1.
+    let averaged =
+        local_averaging(&instance, &LocalAveragingOptions::new(1)).expect("local LPs solve");
+    let averaged_objective = instance.objective(&averaged.solution).unwrap();
+    println!("\nlocal averaging (R = 1):");
+    println!("  activities  = {:?}", averaged.solution.activities());
+    println!("  objective ω = {:.4}", averaged_objective);
+    println!(
+        "  ratio       = {:.4}  (a-posteriori guarantee: {:.4})",
+        optimum.objective / averaged_objective,
+        averaged.guaranteed_ratio
+    );
+
+    // 4. Everything is feasible.
+    assert!(instance.is_feasible(&safe, 1e-9));
+    assert!(instance.is_feasible(&averaged.solution, 1e-7));
+    println!("\nboth local solutions are feasible ✓");
+}

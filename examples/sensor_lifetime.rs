@@ -1,0 +1,94 @@
+//! The two-tier sensor-network application of Section 2: maximise the
+//! minimum data rate over all monitored areas (equivalently, the network
+//! lifetime under fair per-area reporting), and compare the local algorithms
+//! against the centralised optimum and the uniform baseline.
+//!
+//! Run with `cargo run --release --example sensor_lifetime`.
+
+use maxmin_local_lp::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2008);
+    let config = SensorNetworkConfig {
+        num_sensors: 80,
+        num_relays: 25,
+        num_areas: 25,
+        radio_range: 0.22,
+        sensing_range: 0.28,
+        ..Default::default()
+    };
+    let network = sensor_network_instance(&config, &mut rng);
+    let instance = &network.instance;
+
+    println!("two-tier sensor network");
+    println!("  sensors (with links): {}", network.sensor_positions.len());
+    println!("  relays  (with links): {}", network.relay_positions.len());
+    println!("  monitored areas:      {}", network.area_positions.len());
+    println!("  wireless links:       {}", network.num_links());
+    let degrees = instance.degree_bounds();
+    println!(
+        "  degree bounds: Δ_I^V = {}, Δ_K^V = {}",
+        degrees.max_resource_support, degrees.max_party_support
+    );
+
+    // Candidate allocations.
+    let safe = safe_algorithm(instance);
+    let averaged_r1 = local_averaging(instance, &LocalAveragingOptions::new(1)).unwrap();
+    let averaged_r2 = local_averaging(instance, &LocalAveragingOptions::new(2)).unwrap();
+    let uniform = uniform_baseline(instance);
+
+    let report = compare_algorithms(
+        instance,
+        &[
+            ("uniform (non-local)", &uniform),
+            ("safe (r = 1)", &safe),
+            ("local averaging (R = 1)", &averaged_r1.solution),
+            ("local averaging (R = 2)", &averaged_r2.solution),
+        ],
+        1e-7,
+    )
+    .unwrap();
+
+    println!("\noptimal minimum area rate ω* = {:.5}", report.optimum);
+    println!("{:<26} {:>12} {:>10} {:>10}", "algorithm", "min rate ω", "ratio", "feasible");
+    for entry in &report.entries {
+        println!(
+            "{:<26} {:>12.5} {:>10.3} {:>10}",
+            entry.name,
+            entry.objective,
+            entry.ratio,
+            if entry.feasible { "yes" } else { "NO" }
+        );
+    }
+
+    // Where does the optimum hurt?  Report the bottleneck area of the safe
+    // solution — the area whose data rate limits the whole network.
+    let eval = instance.evaluate(&safe).unwrap();
+    if let Some(bottleneck) = eval.bottleneck_party() {
+        let position = network.area_positions[bottleneck];
+        println!(
+            "\nbottleneck area under the safe allocation: area {} at ({:.2}, {:.2}), rate {:.5}",
+            bottleneck, position.0, position.1, eval.party_benefits[bottleneck]
+        );
+    }
+
+    // Run the safe algorithm through the distributed simulator to show the
+    // real communication cost of the horizon-1 algorithm.
+    let run = run_local_rule(
+        instance,
+        SAFE_HORIZON,
+        &Simulator::new(),
+        &ParallelConfig::default(),
+        safe_activity_from_view,
+    )
+    .unwrap();
+    println!(
+        "\ndistributed execution of the safe algorithm: {} rounds, {} messages ({:.1} per link agent)",
+        run.rounds,
+        run.messages,
+        run.messages_per_agent()
+    );
+    assert_eq!(run.solution, safe);
+}

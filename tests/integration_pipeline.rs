@@ -1,0 +1,229 @@
+//! End-to-end integration tests spanning every crate of the workspace:
+//! generators → communication hypergraph → distributed simulation → local
+//! algorithms → LP verification → bounds from the paper.
+
+use maxmin_local_lp::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Generator → safe algorithm → LP baseline → the Section 4 guarantee, on
+/// every workload family the repository ships.
+#[test]
+fn safe_algorithm_guarantee_holds_on_every_generator() {
+    let mut r = rng(1);
+    let instances: Vec<(String, MaxMinInstance)> = vec![
+        (
+            "random".into(),
+            random_instance(&RandomInstanceConfig::default(), &mut r),
+        ),
+        (
+            "grid".into(),
+            grid_instance(&GridConfig::square(5), &mut r),
+        ),
+        (
+            "torus".into(),
+            grid_instance(
+                &GridConfig { side_lengths: vec![6, 6], torus: true, random_weights: true },
+                &mut r,
+            ),
+        ),
+        (
+            "sensor".into(),
+            sensor_network_instance(
+                &SensorNetworkConfig { num_sensors: 40, num_relays: 15, ..Default::default() },
+                &mut r,
+            )
+            .instance,
+        ),
+        ("isp".into(), isp_instance(&IspConfig::default(), &mut r)),
+    ];
+    for (name, inst) in &instances {
+        let safe = safe_algorithm(inst);
+        assert!(inst.is_feasible(&safe, 1e-9), "{name}: safe solution infeasible");
+        let safe_objective = inst.objective(&safe).unwrap();
+        let optimum = solve_maxmin(inst).unwrap().objective;
+        let guarantee = inst.degree_bounds().safe_algorithm_ratio();
+        assert!(
+            optimum <= guarantee * safe_objective + 1e-6,
+            "{name}: optimum {optimum} exceeds Δ_I^V × safe = {guarantee} × {safe_objective}"
+        );
+    }
+}
+
+/// The distributed (simulated) execution of the safe algorithm equals the
+/// centralised computation, message for message deterministic.
+#[test]
+fn distributed_and_central_safe_agree_on_sensor_network() {
+    let network = sensor_network_instance(
+        &SensorNetworkConfig { num_sensors: 35, num_relays: 12, ..Default::default() },
+        &mut rng(2),
+    );
+    let inst = &network.instance;
+    let central = safe_algorithm(inst);
+    let run = run_local_rule(
+        inst,
+        SAFE_HORIZON,
+        &Simulator::sequential(),
+        &ParallelConfig::sequential(),
+        safe_activity_from_view,
+    )
+    .unwrap();
+    assert_eq!(run.solution, central);
+    assert_eq!(run.rounds, SAFE_HORIZON + 1);
+}
+
+/// The local averaging algorithm, run per-agent on honestly gathered
+/// radius-(2R+1) views through the simulator, equals the centralised
+/// computation.
+#[test]
+fn distributed_local_averaging_matches_central_on_a_grid() {
+    let inst = grid_instance(&GridConfig::square(4), &mut rng(3));
+    let radius = 1usize;
+    let central = local_averaging(&inst, &LocalAveragingOptions::sequential(radius)).unwrap();
+    let run = run_local_rule(
+        &inst,
+        2 * radius + 1,
+        &Simulator::sequential(),
+        &ParallelConfig::sequential(),
+        |view| local_averaging_activity_from_view(view, radius, &SimplexOptions::default()),
+    )
+    .unwrap();
+    for (a, b) in run.solution.activities().iter().zip(central.solution.activities()) {
+        assert!((a - b).abs() < 1e-9);
+    }
+}
+
+/// Theorem 3 end to end on a torus: feasibility, the a-posteriori guarantee,
+/// the γ(R−1)·γ(R) bound and monotone improvement.
+#[test]
+fn theorem3_pipeline_on_torus() {
+    let inst = grid_instance(
+        &GridConfig { side_lengths: vec![7, 7], torus: true, random_weights: false },
+        &mut rng(4),
+    );
+    let (h, _) = communication_hypergraph(&inst);
+    let optimum = solve_maxmin(&inst).unwrap().objective;
+    let profile = growth_profile(&h, 3);
+    let mut previous_bound = f64::INFINITY;
+    for radius in 1..=3usize {
+        let result = local_averaging(&inst, &LocalAveragingOptions::new(radius)).unwrap();
+        assert!(inst.is_feasible(&result.solution, 1e-7));
+        let achieved = inst.objective(&result.solution).unwrap();
+        let measured = optimum / achieved;
+        let gamma_bound = profile.gamma[radius - 1] * profile.gamma[radius];
+        assert!(measured <= result.guaranteed_ratio + 1e-6);
+        assert!(result.guaranteed_ratio <= gamma_bound + 1e-9);
+        assert!(result.guaranteed_ratio <= previous_bound + 1e-9);
+        previous_bound = result.guaranteed_ratio;
+    }
+}
+
+/// Theorem 1 end to end: the construction S, the algorithm's choices, the
+/// derived S', its structure, its ω = 1 solution and the forced ratio.
+#[test]
+fn theorem1_pipeline_forces_the_predicted_ratio() {
+    let config = LowerBoundConfig {
+        max_resource_support: 3,
+        max_party_support: 2,
+        local_horizon: 1,
+        tree_radius: 2,
+    };
+    let lb = LowerBoundInstance::build(config, &mut rng(5));
+    // Run the safe algorithm on S in its honest distributed form.
+    let run = run_local_rule(
+        &lb.instance,
+        SAFE_HORIZON,
+        &Simulator::new(),
+        &ParallelConfig::default(),
+        safe_activity_from_view,
+    )
+    .unwrap();
+    let sub = lb.sub_instance(&run.solution);
+    let (h_prime, _) = communication_hypergraph(&sub.instance);
+    assert!(h_prime.is_berge_acyclic());
+    let x_hat = alternating_solution(&sub);
+    assert!(sub.instance.is_feasible(&x_hat, 1e-9));
+    assert!((sub.instance.objective(&x_hat).unwrap() - 1.0).abs() < 1e-9);
+    let forced_ratio = 1.0 / sub.instance.objective(&sub.project(&run.solution)).unwrap();
+    assert!(
+        forced_ratio >= config.finite_bound() - 1e-9,
+        "forced ratio {forced_ratio} below the finite-R bound {}",
+        config.finite_bound()
+    );
+    // For the safe algorithm the forced ratio is exactly Δ_I^V / 2.
+    assert!((forced_ratio - 1.5).abs() < 1e-9);
+}
+
+/// The identical-views argument of Section 4.6: a deterministic local
+/// algorithm makes the same choices for the T_p agents on S and on S'.
+#[test]
+fn views_of_tp_agents_coincide_between_s_and_s_prime() {
+    let config = LowerBoundConfig {
+        max_resource_support: 2,
+        max_party_support: 3,
+        local_horizon: 1,
+        tree_radius: 2,
+    };
+    let lb = LowerBoundInstance::build(config, &mut rng(6));
+    let x_on_s = safe_algorithm(&lb.instance);
+    let sub = lb.sub_instance(&x_on_s);
+    let x_on_s_prime = safe_algorithm(&sub.instance);
+    for (new_idx, old) in sub.agent_map.iter().enumerate() {
+        let in_tp = sub.tree_agents.contains(&AgentId::new(new_idx));
+        if in_tp {
+            let a = x_on_s.activity(*old);
+            let b = x_on_s_prime.activity(AgentId::new(new_idx));
+            assert!(
+                (a - b).abs() < 1e-12,
+                "T_p agent {old} chose {a} on S but {b} on S'"
+            );
+        }
+    }
+}
+
+/// Algorithm comparison harness over the sensor-network application (the
+/// "table" a user of the library would produce).
+#[test]
+fn comparison_table_is_consistent() {
+    let network = sensor_network_instance(
+        &SensorNetworkConfig { num_sensors: 45, num_relays: 18, ..Default::default() },
+        &mut rng(7),
+    );
+    let inst = &network.instance;
+    let safe = safe_algorithm(inst);
+    let averaged = local_averaging(inst, &LocalAveragingOptions::new(1)).unwrap().solution;
+    let uniform = uniform_baseline(inst);
+    let report = compare_algorithms(
+        inst,
+        &[("safe", &safe), ("avg", &averaged), ("uniform", &uniform)],
+        1e-7,
+    )
+    .unwrap();
+    for entry in &report.entries {
+        assert!(entry.feasible);
+        assert!(entry.objective <= report.optimum + 1e-7);
+        assert!(entry.ratio >= 1.0 - 1e-9);
+    }
+}
+
+/// The scalability claim: per-agent message cost of the gathering protocol is
+/// independent of the torus size (exactly, thanks to vertex-transitivity).
+#[test]
+fn gather_cost_per_agent_is_constant_on_tori() {
+    let mut per_agent = Vec::new();
+    for side in [6usize, 10, 14] {
+        let inst = grid_instance(
+            &GridConfig { side_lengths: vec![side, side], torus: true, random_weights: false },
+            &mut rng(8),
+        );
+        let gathered = gather_views(&inst, 2, &Simulator::new()).unwrap();
+        per_agent.push(gathered.message_units as f64 / inst.num_agents() as f64);
+    }
+    for pair in per_agent.windows(2) {
+        assert!((pair[0] - pair[1]).abs() < 1e-9, "per-agent cost changed: {per_agent:?}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based tests over randomly generated instances and LPs.
+//!
+//! These check the invariants the paper's proofs rely on, on arbitrary
+//! (bounded) random inputs rather than hand-picked examples:
+//!
+//! * the simplex solver returns feasible, optimal-or-better-than-reference
+//!   solutions;
+//! * the safe algorithm is always feasible and meets its `Δ_I^V` guarantee;
+//! * the local averaging algorithm is always feasible and meets both its
+//!   a-posteriori guarantee and the `γ(R−1)·γ(R)` bound;
+//! * hypergraph balls are monotone and growth is at least 1;
+//! * solution scaling preserves feasibility.
+
+use maxmin_local_lp::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A strategy producing small random-instance configurations.
+fn instance_config() -> impl Strategy<Value = (RandomInstanceConfig, u64)> {
+    (
+        4usize..20,
+        4usize..24,
+        1usize..12,
+        1usize..5,
+        1usize..5,
+        any::<bool>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(agents, resources, parties, max_ri, max_pi, zero_one, seed)| {
+                (
+                    RandomInstanceConfig {
+                        num_agents: agents,
+                        num_resources: resources,
+                        num_parties: parties,
+                        max_resource_support: max_ri,
+                        max_party_support: max_pi,
+                        zero_one_coefficients: zero_one,
+                    },
+                    seed,
+                )
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn optimum_is_feasible_and_dominates_safe((cfg, seed) in instance_config()) {
+        let inst = random_instance(&cfg, &mut StdRng::seed_from_u64(seed));
+        let opt = solve_maxmin(&inst).unwrap();
+        prop_assert!(inst.is_feasible(&opt.solution, 1e-6));
+        let safe = safe_algorithm(&inst);
+        let safe_obj = inst.objective(&safe).unwrap();
+        prop_assert!(opt.objective >= safe_obj - 1e-6);
+    }
+
+    #[test]
+    fn safe_algorithm_is_feasible_and_meets_its_guarantee((cfg, seed) in instance_config()) {
+        let inst = random_instance(&cfg, &mut StdRng::seed_from_u64(seed));
+        let safe = safe_algorithm(&inst);
+        prop_assert!(inst.is_feasible(&safe, 1e-9));
+        let opt = solve_maxmin(&inst).unwrap().objective;
+        let guarantee = inst.degree_bounds().safe_algorithm_ratio();
+        prop_assert!(opt <= guarantee * inst.objective(&safe).unwrap() + 1e-6);
+    }
+
+    #[test]
+    fn scaling_down_preserves_feasibility((cfg, seed) in instance_config(), factor in 0.0f64..1.0) {
+        let inst = random_instance(&cfg, &mut StdRng::seed_from_u64(seed));
+        let opt = solve_maxmin(&inst).unwrap();
+        let scaled = opt.solution.scaled(factor);
+        prop_assert!(inst.is_feasible(&scaled, 1e-6));
+        // The objective scales linearly.
+        let obj = inst.objective(&scaled).unwrap();
+        prop_assert!((obj - factor * opt.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn local_averaging_is_feasible_and_within_its_bounds((cfg, seed) in instance_config()) {
+        let inst = random_instance(&cfg, &mut StdRng::seed_from_u64(seed));
+        let result = local_averaging(&inst, &LocalAveragingOptions::sequential(1)).unwrap();
+        prop_assert!(inst.is_feasible(&result.solution, 1e-6));
+        let opt = solve_maxmin(&inst).unwrap().objective;
+        let achieved = inst.objective(&result.solution).unwrap();
+        if achieved > 1e-12 {
+            prop_assert!(opt / achieved <= result.guaranteed_ratio + 1e-5);
+        }
+        // The a-posteriori guarantee never beats the γ bound of Theorem 3.
+        let (h, _) = communication_hypergraph(&inst);
+        let profile = growth_profile(&h, 1);
+        prop_assert!(result.guaranteed_ratio <= profile.gamma[0] * profile.gamma[1] + 1e-9);
+    }
+
+    #[test]
+    fn hypergraph_balls_are_monotone_and_growth_at_least_one((cfg, seed) in instance_config()) {
+        let inst = random_instance(&cfg, &mut StdRng::seed_from_u64(seed));
+        let (h, _) = communication_hypergraph(&inst);
+        for v in 0..h.num_nodes() {
+            let sizes = h.ball_sizes(v, 4);
+            for w in sizes.windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+            prop_assert_eq!(sizes[0], 1);
+        }
+        let profile = growth_profile(&h, 3);
+        for g in &profile.gamma {
+            prop_assert!(*g >= 1.0);
+        }
+    }
+
+    #[test]
+    fn gathered_views_equal_direct_views((cfg, seed) in instance_config(), radius in 0usize..3) {
+        let inst = random_instance(&cfg, &mut StdRng::seed_from_u64(seed));
+        let direct = views_direct(&inst, radius, &ParallelConfig::sequential());
+        let gathered = gather_views(&inst, radius, &Simulator::sequential()).unwrap();
+        prop_assert_eq!(direct, gathered.outputs);
+    }
+
+    #[test]
+    fn uniform_baseline_is_always_feasible((cfg, seed) in instance_config()) {
+        let inst = random_instance(&cfg, &mut StdRng::seed_from_u64(seed));
+        let x = uniform_baseline(&inst);
+        prop_assert!(inst.is_feasible(&x, 1e-9));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The simplex solver against a reference point: on packing LPs
+    /// (max Σ x subject to random row constraints) the optimum dominates the
+    /// uniform feasible point and is itself feasible.
+    #[test]
+    fn simplex_on_random_packing_lps(
+        num_vars in 1usize..8,
+        num_constraints in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        use maxmin_local_lp::lp::{solve, LpConstraint, LpProblem, LpStatus, ObjectiveSense};
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p = LpProblem::new(num_vars, ObjectiveSense::Maximize);
+        for j in 0..num_vars {
+            p.set_objective(j, rng.gen_range(0.1..2.0));
+        }
+        let mut row_sums = vec![0.0f64; num_constraints];
+        for (row, sum) in row_sums.iter_mut().enumerate() {
+            let coeffs: Vec<(usize, f64)> = (0..num_vars)
+                .filter_map(|j| {
+                    rng.gen_bool(0.6).then(|| (j, rng.gen_range(0.1..1.5)))
+                })
+                .collect();
+            *sum = coeffs.iter().map(|(_, a)| a).sum();
+            p.add_constraint(LpConstraint::le(coeffs, 1.0));
+            let _ = row;
+        }
+        let sol = solve(&p).unwrap();
+        match sol.status {
+            LpStatus::Optimal => {
+                prop_assert!(p.is_feasible(&sol.x, 1e-6));
+                // Reference point: x_j = t with t = min_i 1/Σ_j a_ij (or 1 if no
+                // constraint binds), always feasible.
+                let t = row_sums
+                    .iter()
+                    .filter(|s| **s > 0.0)
+                    .map(|s| 1.0 / s)
+                    .fold(1.0f64, f64::min);
+                let reference = vec![t; num_vars];
+                prop_assert!(p.is_feasible(&reference, 1e-9));
+                prop_assert!(sol.objective >= p.objective_value(&reference) - 1e-6);
+            }
+            LpStatus::Unbounded => {
+                // Possible when some variable appears in no constraint.
+                let some_unconstrained_variable = (0..num_vars).any(|j| {
+                    p.constraints.iter().all(|c| c.coeffs.iter().all(|(v, _)| *v != j))
+                });
+                prop_assert!(some_unconstrained_variable);
+            }
+            LpStatus::Infeasible => prop_assert!(false, "packing LPs are always feasible"),
+        }
+    }
+}
