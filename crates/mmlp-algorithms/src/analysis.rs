@@ -146,9 +146,7 @@ mod tests {
     fn comparison_orders_and_scores_algorithms() {
         let inst = small_grid();
         let safe = safe_algorithm(&inst);
-        let averaged = local_averaging(&inst, &LocalAveragingOptions::new(2))
-            .unwrap()
-            .solution;
+        let averaged = local_averaging(&inst, &LocalAveragingOptions::new(2)).unwrap().solution;
         let uniform = uniform_baseline(&inst);
         let report = compare_algorithms(
             &inst,
@@ -161,11 +159,7 @@ mod tests {
         for entry in &report.entries {
             assert!(entry.feasible, "{} should be feasible", entry.name);
             assert!(entry.ratio >= 1.0 - 1e-9, "{} ratio below 1", entry.name);
-            assert!(
-                entry.objective <= report.optimum + 1e-7,
-                "{} beats the optimum",
-                entry.name
-            );
+            assert!(entry.objective <= report.optimum + 1e-7, "{} beats the optimum", entry.name);
         }
     }
 

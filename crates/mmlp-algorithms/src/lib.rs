@@ -3,7 +3,7 @@
 //! * [`safe`] — the *safe algorithm* of Papadimitriou–Yannakakis
 //!   (`x_v = min_{i∈I_v} 1/(a_iv |V_i|)`), a local `Δ_I^V`-approximation with
 //!   horizon 1 (Section 4);
-//! * [`local_averaging`] — the local approximation algorithm of Theorem 3:
+//! * [`mod@local_averaging`] — the local approximation algorithm of Theorem 3:
 //!   every agent solves the local LP (9) in its radius-`R` ball and the
 //!   results are scaled and averaged, achieving ratio `γ(R−1)·γ(R)`
 //!   (Section 5);

@@ -194,7 +194,7 @@ pub fn local_averaging_activity_from_view(
 ) -> f64 {
     assert!(radius >= 1, "local averaging requires R ≥ 1");
     assert!(
-        view.radius >= 2 * radius + 1,
+        view.radius > 2 * radius,
         "the rule needs a radius-{} view, got {}",
         2 * radius + 1,
         view.radius
@@ -213,10 +213,8 @@ pub fn local_averaging_activity_from_view(
             .map(|&m| reconstruction.ball(m, radius).len())
             .min()
             .expect("V_i contains the centre");
-        let union: BTreeSet<usize> = members
-            .iter()
-            .flat_map(|&m| reconstruction.ball(m, radius))
-            .collect();
+        let union: BTreeSet<usize> =
+            members.iter().flat_map(|&m| reconstruction.ball(m, radius)).collect();
         beta = beta.min(n_i as f64 / union.len() as f64);
     }
     if !beta.is_finite() {
@@ -235,9 +233,7 @@ pub fn local_averaging_activity_from_view(
         }
         let opt = solve_maxmin_with(&sub, simplex)
             .expect("local LPs of validated instances are solvable");
-        let pos = members
-            .binary_search(&view.center)
-            .expect("j ∈ V^u because u ∈ V^j");
+        let pos = members.binary_search(&view.center).expect("j ∈ V^u because u ∈ V^j");
         sum += opt.solution.activity(AgentId::new(pos));
     }
     beta / v_j.len() as f64 * sum
@@ -364,8 +360,7 @@ impl<'a> ViewReconstruction<'a> {
             debug_assert!(
                 members
                     .iter()
-                    .any(|(v, _)| self.view.distance(*v).unwrap_or(usize::MAX) + 1
-                        <= self.view.radius),
+                    .any(|(v, _)| self.view.distance(*v).unwrap_or(usize::MAX) < self.view.radius),
                 "party support visibility cannot be certified (dist from centre {dist_from_center})"
             );
             let k = b.add_party();
@@ -386,8 +381,8 @@ mod tests {
     use mmlp_core::bounds::theorem3_ratio;
     use mmlp_hypergraph::growth_profile;
     use mmlp_instances::{
-        grid_instance, random_instance, sensor_network_instance, GridConfig,
-        RandomInstanceConfig, SensorNetworkConfig,
+        grid_instance, random_instance, sensor_network_instance, GridConfig, RandomInstanceConfig,
+        SensorNetworkConfig,
     };
     use mmlp_lp::solve_maxmin;
     use rand::rngs::StdRng;

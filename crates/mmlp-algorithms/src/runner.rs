@@ -36,7 +36,7 @@ impl LocalRun {
     /// node" scalability claim is about this quantity staying flat as the
     /// network grows.
     pub fn messages_per_agent(&self) -> f64 {
-        if self.solution.len() == 0 {
+        if self.solution.is_empty() {
             0.0
         } else {
             self.messages as f64 / self.solution.len() as f64

@@ -62,10 +62,5 @@ fn bench_parallel_speedup(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_distributed_safe,
-    bench_gather_radius,
-    bench_parallel_speedup
-);
+criterion_group!(benches, bench_distributed_safe, bench_gather_radius, bench_parallel_speedup);
 criterion_main!(benches);

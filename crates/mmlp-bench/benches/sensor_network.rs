@@ -13,9 +13,7 @@ fn bench_generation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(sensors), &sensors, |b, &sensors| {
             b.iter(|| {
                 let cfg = SensorNetworkConfig { num_sensors: sensors, ..Default::default() };
-                std::hint::black_box(
-                    sensor_network_instance(&cfg, &mut bench_rng(5)).num_links(),
-                )
+                std::hint::black_box(sensor_network_instance(&cfg, &mut bench_rng(5)).num_links())
             })
         });
     }

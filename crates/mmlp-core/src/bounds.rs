@@ -73,10 +73,7 @@ pub fn theorem1_finite_r_bound(
 /// Panics if `max_resource_support < 3`; the corollary is stated for
 /// `Δ_I^V > 2`.
 pub fn corollary2_lower_bound(max_resource_support: usize) -> f64 {
-    assert!(
-        max_resource_support > 2,
-        "Corollary 2 requires Δ_I^V > 2"
-    );
+    assert!(max_resource_support > 2, "Corollary 2 requires Δ_I^V > 2");
     max_resource_support as f64 / 2.0
 }
 
@@ -116,10 +113,7 @@ pub fn binomial(n: u64, k: u64) -> u128 {
     let k = k.min(n - k);
     let mut result: u128 = 1;
     for j in 0..k {
-        result = result
-            .checked_mul((n - j) as u128)
-            .expect("binomial overflow")
-            / (j + 1) as u128;
+        result = result.checked_mul((n - j) as u128).expect("binomial overflow") / (j + 1) as u128;
     }
     result
 }

@@ -117,8 +117,7 @@ impl InstanceBuilder {
     /// validation errors and reported by [`build`](Self::build).
     pub fn set_consumption(&mut self, i: ResourceId, v: AgentId, a_iv: f64) -> &mut Self {
         if i.index() >= self.resources.len() || v.index() >= self.agents.len() {
-            self.errors
-                .push(ValidationError::UnknownId(format!("a[{i},{v}]")));
+            self.errors.push(ValidationError::UnknownId(format!("a[{i},{v}]")));
             return self;
         }
         if !a_iv.is_finite() || a_iv < 0.0 {
@@ -148,16 +147,12 @@ impl InstanceBuilder {
     /// recorded as validation errors.
     pub fn set_benefit(&mut self, k: PartyId, v: AgentId, c_kv: f64) -> &mut Self {
         if k.index() >= self.parties.len() || v.index() >= self.agents.len() {
-            self.errors
-                .push(ValidationError::UnknownId(format!("c[{k},{v}]")));
+            self.errors.push(ValidationError::UnknownId(format!("c[{k},{v}]")));
             return self;
         }
         if !c_kv.is_finite() || c_kv < 0.0 {
-            self.errors.push(ValidationError::InvalidBenefit {
-                party: k,
-                agent: v,
-                value: c_kv,
-            });
+            self.errors
+                .push(ValidationError::InvalidBenefit { party: k, agent: v, value: c_kv });
             return self;
         }
         if c_kv == 0.0 {
@@ -216,11 +211,7 @@ impl InstanceBuilder {
                 }
             }
         }
-        Ok(MaxMinInstance {
-            agents: self.agents,
-            resources: self.resources,
-            parties: self.parties,
-        })
+        Ok(MaxMinInstance { agents: self.agents, resources: self.resources, parties: self.parties })
     }
 }
 
@@ -251,10 +242,7 @@ mod tests {
         let k = b.add_party();
         b.set_consumption(i, v, -0.5);
         b.set_benefit(k, v, 1.0);
-        assert!(matches!(
-            b.build(),
-            Err(ValidationError::InvalidConsumption { .. })
-        ));
+        assert!(matches!(b.build(), Err(ValidationError::InvalidConsumption { .. })));
     }
 
     #[test]
@@ -265,10 +253,7 @@ mod tests {
         let k = b.add_party();
         b.set_consumption(i, v, 1.0);
         b.set_benefit(k, v, f64::NAN);
-        assert!(matches!(
-            b.build(),
-            Err(ValidationError::InvalidBenefit { .. })
-        ));
+        assert!(matches!(b.build(), Err(ValidationError::InvalidBenefit { .. })));
     }
 
     #[test]
@@ -280,10 +265,7 @@ mod tests {
         let k = b.add_party();
         b.set_consumption(i, v, 1.0);
         b.set_benefit(k, v, 1.0);
-        assert_eq!(
-            b.build(),
-            Err(ValidationError::EmptyResourceSupport(resource(0)))
-        );
+        assert_eq!(b.build(), Err(ValidationError::EmptyResourceSupport(resource(0))));
     }
 
     #[test]
@@ -306,10 +288,7 @@ mod tests {
         b.set_consumption(i, v0, 1.0);
         b.set_benefit(k, v0, 1.0);
         b.set_benefit(k, v1, 1.0);
-        assert_eq!(
-            b.build(),
-            Err(ValidationError::EmptyAgentResourceSupport(agent(1)))
-        );
+        assert_eq!(b.build(), Err(ValidationError::EmptyAgentResourceSupport(agent(1))));
     }
 
     #[test]
@@ -349,10 +328,7 @@ mod tests {
         b.set_consumption(i, v, 1.0);
         b.set_consumption(i, v, 2.0);
         b.set_benefit(k, v, 1.0);
-        assert!(matches!(
-            b.build(),
-            Err(ValidationError::DuplicateCoefficient(_))
-        ));
+        assert!(matches!(b.build(), Err(ValidationError::DuplicateCoefficient(_))));
     }
 
     #[test]

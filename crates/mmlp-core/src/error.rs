@@ -102,10 +102,9 @@ pub enum CoreError {
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CoreError::SolutionLengthMismatch { expected, actual } => write!(
-                f,
-                "solution has {actual} entries but the instance has {expected} agents"
-            ),
+            CoreError::SolutionLengthMismatch { expected, actual } => {
+                write!(f, "solution has {actual} entries but the instance has {expected} agents")
+            }
             CoreError::NonFiniteActivity { agent, value } => {
                 write!(f, "activity of agent {agent} is not finite: {value}")
             }

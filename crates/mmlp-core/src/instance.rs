@@ -177,19 +177,9 @@ impl MaxMinInstance {
     /// Computes the four degree bounds of this instance.
     pub fn degree_bounds(&self) -> DegreeBounds {
         DegreeBounds {
-            max_resource_support: self
-                .resources
-                .iter()
-                .map(|r| r.agents.len())
-                .max()
-                .unwrap_or(0),
+            max_resource_support: self.resources.iter().map(|r| r.agents.len()).max().unwrap_or(0),
             max_party_support: self.parties.iter().map(|p| p.agents.len()).max().unwrap_or(0),
-            max_agent_resources: self
-                .agents
-                .iter()
-                .map(|a| a.resources.len())
-                .max()
-                .unwrap_or(0),
+            max_agent_resources: self.agents.iter().map(|a| a.resources.len()).max().unwrap_or(0),
             max_agent_parties: self.agents.iter().map(|a| a.parties.len()).max().unwrap_or(0),
         }
     }
@@ -234,8 +224,7 @@ impl MaxMinInstance {
         if self.parties.is_empty() {
             return Err(CoreError::NoParties);
         }
-        let party_benefits: Vec<f64> =
-            self.party_ids().map(|k| self.party_benefit(k, x)).collect();
+        let party_benefits: Vec<f64> = self.party_ids().map(|k| self.party_benefit(k, x)).collect();
         let resource_usages: Vec<f64> =
             self.resource_ids().map(|i| self.resource_usage(i, x)).collect();
         let objective = party_benefits.iter().copied().fold(f64::INFINITY, f64::min);
@@ -246,7 +235,7 @@ impl MaxMinInstance {
             party_benefits,
             resource_usages,
             max_resource_usage: max_usage,
-            min_activity: if x.len() == 0 { 0.0 } else { min_activity },
+            min_activity: if x.is_empty() { 0.0 } else { min_activity },
         })
     }
 
@@ -342,10 +331,7 @@ impl MaxMinInstance {
             }
             parties.push(Party { agents: kept });
         }
-        (
-            MaxMinInstance { agents, resources, parties },
-            keep_agents.to_vec(),
-        )
+        (MaxMinInstance { agents, resources, parties }, keep_agents.to_vec())
     }
 
     fn check_solution_shape(&self, x: &Solution) -> Result<(), CoreError> {
@@ -488,10 +474,7 @@ mod tests {
     fn non_finite_activity_is_rejected() {
         let inst = two_agent_instance();
         let x = Solution::new(vec![f64::NAN, 0.0]);
-        assert!(matches!(
-            inst.objective(&x),
-            Err(CoreError::NonFiniteActivity { .. })
-        ));
+        assert!(matches!(inst.objective(&x), Err(CoreError::NonFiniteActivity { .. })));
     }
 
     #[test]

@@ -68,9 +68,7 @@ impl Solution {
     /// Scaling by a factor in `[0, 1]` preserves feasibility because all
     /// constraint coefficients are non-negative.
     pub fn scaled(&self, factor: f64) -> Self {
-        Self {
-            activities: self.activities.iter().map(|x| x * factor).collect(),
-        }
+        Self { activities: self.activities.iter().map(|x| x * factor).collect() }
     }
 
     /// Sum of all activities (useful for diagnostics).
@@ -236,10 +234,8 @@ mod tests {
             worst_negativity: 0.0,
         };
         assert!(ok.is_feasible());
-        let bad = FeasibilityReport {
-            violated_resources: vec![(ResourceId::new(0), 1.5)],
-            ..ok.clone()
-        };
+        let bad =
+            FeasibilityReport { violated_resources: vec![(ResourceId::new(0), 1.5)], ..ok.clone() };
         assert!(!bad.is_feasible());
     }
 }

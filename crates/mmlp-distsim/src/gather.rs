@@ -40,11 +40,7 @@ impl LocalKnowledge {
     /// Extracts the native knowledge of `agent` from the instance.
     pub fn of_agent(instance: &MaxMinInstance, agent: AgentId) -> Self {
         let record = instance.agent(agent);
-        Self {
-            agent,
-            resources: record.resources.clone(),
-            parties: record.parties.clone(),
-        }
+        Self { agent, resources: record.resources.clone(), parties: record.parties.clone() }
     }
 }
 
@@ -118,8 +114,10 @@ impl NodeProgram for GatherProgram {
         let mut fresh = Vec::new();
         for (_, message) in inbox {
             for record in &message.records {
-                if !state.known.contains_key(&record.agent.0) {
-                    state.known.insert(record.agent.0, (round, record.clone()));
+                if let std::collections::btree_map::Entry::Vacant(e) =
+                    state.known.entry(record.agent.0)
+                {
+                    e.insert((round, record.clone()));
                     fresh.push(record.clone());
                 }
             }
@@ -134,10 +132,7 @@ impl NodeProgram for GatherProgram {
             let view = LocalView::from_records(
                 AgentId::new(node),
                 self.radius,
-                state
-                    .known
-                    .iter()
-                    .map(|(&id, (d, k))| (AgentId(id), *d, k.clone())),
+                state.known.iter().map(|(&id, (d, k))| (AgentId(id), *d, k.clone())),
             );
             return Action::Halt(view);
         }

@@ -36,10 +36,9 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::RoundLimitExceeded { limit, still_running } => write!(
-                f,
-                "{still_running} nodes still running after the round limit of {limit}"
-            ),
+            SimError::RoundLimitExceeded { limit, still_running } => {
+                write!(f, "{still_running} nodes still running after the round limit of {limit}")
+            }
         }
     }
 }
@@ -322,7 +321,7 @@ mod tests {
         let net = path_network(7);
         let one_round = Simulator::sequential().run(&net, &FloodSum { rounds: 1 }).unwrap();
         // Node 0 hears only node 1's initial value.
-        assert_eq!(one_round.outputs[0], 0 + 1);
+        assert_eq!(one_round.outputs[0], 1);
         // Node 3 hears nodes 2 and 4.
         assert_eq!(one_round.outputs[3], 3 + 2 + 4);
         assert_eq!(one_round.rounds, 2);

@@ -162,7 +162,7 @@ impl LocalView {
             .visible_parties()
             .keys()
             .copied()
-            .filter(|&k| self.min_distance_to_party(k).is_some_and(|d| d + 1 <= self.radius))
+            .filter(|&k| self.min_distance_to_party(k).is_some_and(|d| d < self.radius))
             .collect();
         out.sort_unstable();
         out
@@ -237,10 +237,7 @@ mod tests {
         assert_eq!(view.certainly_complete_parties(), vec![PartyId::new(0)]);
         // Radius 2: both parties of agents 0 and 1 are certainly complete.
         let view = LocalView::from_instance(&inst, &h, AgentId::new(0), 2);
-        assert_eq!(
-            view.certainly_complete_parties(),
-            vec![PartyId::new(0), PartyId::new(1)]
-        );
+        assert_eq!(view.certainly_complete_parties(), vec![PartyId::new(0), PartyId::new(1)]);
         // Radius 0: nothing is guaranteed.
         let view = LocalView::from_instance(&inst, &h, AgentId::new(0), 0);
         assert!(view.certainly_complete_parties().is_empty());

@@ -51,11 +51,7 @@ fn main() {
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         let worst = |v: &[f64]| v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let lower = if delta >= 2 {
-            bounds::theorem1_lower_bound(delta, 3)
-        } else {
-            1.0
-        };
+        let lower = if delta >= 2 { bounds::theorem1_lower_bound(delta, 3) } else { 1.0 };
         print_row(
             &[
                 delta.to_string(),

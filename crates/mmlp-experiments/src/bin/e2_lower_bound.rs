@@ -33,11 +33,36 @@ fn main() {
 
     let mut rng = StdRng::seed_from_u64(7);
     let configs = [
-        LowerBoundConfig { max_resource_support: 3, max_party_support: 2, local_horizon: 1, tree_radius: 2 },
-        LowerBoundConfig { max_resource_support: 3, max_party_support: 2, local_horizon: 1, tree_radius: 3 },
-        LowerBoundConfig { max_resource_support: 4, max_party_support: 2, local_horizon: 1, tree_radius: 2 },
-        LowerBoundConfig { max_resource_support: 3, max_party_support: 3, local_horizon: 1, tree_radius: 2 },
-        LowerBoundConfig { max_resource_support: 2, max_party_support: 3, local_horizon: 2, tree_radius: 3 },
+        LowerBoundConfig {
+            max_resource_support: 3,
+            max_party_support: 2,
+            local_horizon: 1,
+            tree_radius: 2,
+        },
+        LowerBoundConfig {
+            max_resource_support: 3,
+            max_party_support: 2,
+            local_horizon: 1,
+            tree_radius: 3,
+        },
+        LowerBoundConfig {
+            max_resource_support: 4,
+            max_party_support: 2,
+            local_horizon: 1,
+            tree_radius: 2,
+        },
+        LowerBoundConfig {
+            max_resource_support: 3,
+            max_party_support: 3,
+            local_horizon: 1,
+            tree_radius: 2,
+        },
+        LowerBoundConfig {
+            max_resource_support: 2,
+            max_party_support: 3,
+            local_horizon: 2,
+            tree_radius: 3,
+        },
     ];
     for config in configs {
         let lb = LowerBoundInstance::build(config, &mut rng);

@@ -41,8 +41,8 @@ fn main() {
         let sub = lb.sub_instance(&x);
         let x_hat = alternating_solution(&sub);
         assert!(sub.instance.is_feasible(&x_hat, 1e-9));
-        let ratio =
-            sub.instance.objective(&x_hat).unwrap() / sub.instance.objective(&sub.project(&x)).unwrap();
+        let ratio = sub.instance.objective(&x_hat).unwrap()
+            / sub.instance.objective(&sub.project(&x)).unwrap();
         print_row(
             &[
                 delta.to_string(),

@@ -15,10 +15,7 @@ use rand::SeedableRng;
 fn main() {
     let widths = [14usize, 4, 10, 14, 14, 12, 14];
     let mut rng = StdRng::seed_from_u64(13);
-    for (label, sides) in [
-        ("cycle (1-D)", vec![64usize]),
-        ("torus (2-D)", vec![10, 10]),
-    ] {
+    for (label, sides) in [("cycle (1-D)", vec![64usize]), ("torus (2-D)", vec![10, 10])] {
         banner(&format!("E4: local approximation scheme on a {label}"));
         let config = GridConfig { side_lengths: sides, torus: true, random_weights: true };
         let instance = grid_instance(&config, &mut rng);
@@ -72,5 +69,7 @@ fn main() {
         }
     }
     println!("\nReading: γ(R) → 1 and both bounds and the measured ratio converge towards 1 as R");
-    println!("grows — the algorithm is a local approximation scheme on these families (Theorem 3).");
+    println!(
+        "grows — the algorithm is a local approximation scheme on these families (Theorem 3)."
+    );
 }

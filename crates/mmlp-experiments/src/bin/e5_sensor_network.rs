@@ -112,8 +112,12 @@ fn main() {
             &widths,
         );
     }
-    println!("\nReading: the safe algorithm stays within a small constant factor of the optimum on");
+    println!(
+        "\nReading: the safe algorithm stays within a small constant factor of the optimum on"
+    );
     println!("both applications.  Local averaging improves with its radius on the sensor networks");
     println!("(moderate neighbourhood growth) but can trail the safe algorithm on the dense ISP");
-    println!("topology — exactly the growth-dependence that Theorem 3's γ(R−1)·γ(R) bound predicts.");
+    println!(
+        "topology — exactly the growth-dependence that Theorem 3's γ(R−1)·γ(R) bound predicts."
+    );
 }

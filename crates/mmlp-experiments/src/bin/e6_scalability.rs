@@ -45,13 +45,14 @@ fn main() {
         // Communication cost of the local averaging algorithm = gathering a
         // radius-(2R+1) view; we measure the gather itself (the per-node LP
         // work afterwards is local and message-free).
-        let radius = 2 * 1 + 1;
+        const R: usize = 1;
+        let radius = 2 * R + 1;
         let gather = gather_views(&inst, radius, &Simulator::new()).unwrap();
 
         // Wall-clock of the centralised local-averaging execution (parallel
         // over agents).
         let start = Instant::now();
-        let avg = local_averaging(&inst, &LocalAveragingOptions::new(1)).unwrap();
+        let avg = local_averaging(&inst, &LocalAveragingOptions::new(R)).unwrap();
         let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
         assert!(inst.is_feasible(&avg.solution, 1e-7));
 
@@ -68,6 +69,8 @@ fn main() {
             &widths,
         );
     }
-    println!("\nReading: total messages grow linearly with the number of agents while messages per");
+    println!(
+        "\nReading: total messages grow linearly with the number of agents while messages per"
+    );
     println!("agent stay flat — the defining property of a local algorithm (Section 1.1).");
 }

@@ -20,10 +20,7 @@ pub struct Graph {
 impl Graph {
     /// Creates a graph with `num_nodes` isolated nodes.
     pub fn new(num_nodes: usize) -> Self {
-        Self {
-            adjacency: vec![Vec::new(); num_nodes],
-            num_edges: 0,
-        }
+        Self { adjacency: vec![Vec::new(); num_nodes], num_edges: 0 }
     }
 
     /// Creates a graph from an explicit edge list.
@@ -46,10 +43,7 @@ impl Graph {
             u < self.adjacency.len() && v < self.adjacency.len(),
             "edge ({u},{v}) mentions an unknown node"
         );
-        assert!(
-            !self.adjacency[u].contains(&v),
-            "duplicate edge ({u},{v})"
-        );
+        assert!(!self.adjacency[u].contains(&v), "duplicate edge ({u},{v})");
         self.adjacency[u].push(v);
         self.adjacency[v].push(u);
         self.num_edges += 1;

@@ -48,11 +48,7 @@ pub fn growth_profile(h: &Hypergraph, max_radius: usize) -> GrowthProfile {
     let mut min_ball = vec![usize::MAX; max_radius + 2];
     let mut max_ball = vec![0usize; max_radius + 2];
     if n == 0 {
-        return GrowthProfile {
-            gamma,
-            min_ball: vec![0; max_radius + 2],
-            max_ball,
-        };
+        return GrowthProfile { gamma, min_ball: vec![0; max_radius + 2], max_ball };
     }
     for v in 0..n {
         let sizes = h.ball_sizes(v, max_radius + 1);

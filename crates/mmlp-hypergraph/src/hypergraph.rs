@@ -21,11 +21,7 @@ pub struct Hypergraph {
 impl Hypergraph {
     /// Creates a hypergraph with `num_nodes` isolated nodes and no edges.
     pub fn new(num_nodes: usize) -> Self {
-        Self {
-            num_nodes,
-            edges: Vec::new(),
-            incident: vec![Vec::new(); num_nodes],
-        }
+        Self { num_nodes, edges: Vec::new(), incident: vec![Vec::new(); num_nodes] }
     }
 
     /// Creates a hypergraph from an explicit edge list.
@@ -176,7 +172,7 @@ impl Hypergraph {
     /// the graph has unreachable nodes from `v`.
     pub fn eccentricity(&self, v: usize) -> Option<usize> {
         let dist = self.bfs_distances(v, usize::MAX);
-        if dist.iter().any(|&d| d == usize::MAX) {
+        if dist.contains(&usize::MAX) {
             return None;
         }
         dist.into_iter().max()
@@ -240,7 +236,7 @@ impl Hypergraph {
         // Union-find over nodes (0..num_nodes) and edges (num_nodes..num_nodes+num_edges).
         let total = self.num_nodes + self.edges.len();
         let mut parent: Vec<usize> = (0..total).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];

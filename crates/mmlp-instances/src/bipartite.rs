@@ -66,46 +66,50 @@ fn circulant_has_short_cycle(m: usize, shifts: &[usize], max_pairs: usize) -> bo
     if shifts.len() < 2 || max_pairs < 2 {
         return false;
     }
-    // DFS state: (current residue, number of completed (+s, −s') pairs,
-    // index of the shift used in the last step, whether the last step was a
-    // "+" (left→right) step).
-    fn dfs(
+    // The parameters that stay fixed throughout one search, so the recursion
+    // only threads the mutable walk state: (current residue, number of
+    // completed (+s, −s') pairs, index of the shift used in the last step,
+    // whether the last step was a "+" (left→right) step).
+    struct Search<'a> {
         m: usize,
-        shifts: &[usize],
+        shifts: &'a [usize],
+        max_pairs: usize,
+        first_shift: usize,
+    }
+
+    fn dfs(
+        search: &Search<'_>,
         residue: usize,
         pairs_done: usize,
-        max_pairs: usize,
         last_shift: usize,
-        first_shift: usize,
         going_right: bool,
     ) -> bool {
+        let m = search.m;
         if going_right {
             // Next step: right → left via some shift t ≠ last_shift,
             // new residue = residue − t.
-            for (idx, &t) in shifts.iter().enumerate() {
+            for (idx, &t) in search.shifts.iter().enumerate() {
                 if idx == last_shift {
                     continue;
                 }
                 let new_residue = (residue + m - t % m) % m;
                 let new_pairs = pairs_done + 1;
-                if new_residue == 0 && new_pairs >= 2 && idx != first_shift {
+                if new_residue == 0 && new_pairs >= 2 && idx != search.first_shift {
                     return true;
                 }
-                if new_pairs < max_pairs
-                    && dfs(m, shifts, new_residue, new_pairs, max_pairs, idx, first_shift, false)
-                {
+                if new_pairs < search.max_pairs && dfs(search, new_residue, new_pairs, idx, false) {
                     return true;
                 }
             }
             false
         } else {
             // Next step: left → right via some shift u ≠ last_shift.
-            for (idx, &u) in shifts.iter().enumerate() {
+            for (idx, &u) in search.shifts.iter().enumerate() {
                 if idx == last_shift {
                     continue;
                 }
                 let new_residue = (residue + u) % m;
-                if dfs(m, shifts, new_residue, pairs_done, max_pairs, idx, first_shift, true) {
+                if dfs(search, new_residue, pairs_done, idx, true) {
                     return true;
                 }
             }
@@ -114,8 +118,9 @@ fn circulant_has_short_cycle(m: usize, shifts: &[usize], max_pairs: usize) -> bo
     }
 
     for first in 0..shifts.len() {
+        let search = Search { m, shifts, max_pairs, first_shift: first };
         let residue = shifts[first] % m;
-        if dfs(m, shifts, residue, 0, max_pairs, first, first, true) {
+        if dfs(&search, residue, 0, first, true) {
             return true;
         }
     }
@@ -141,11 +146,7 @@ fn circulant_has_short_cycle(m: usize, shifts: &[usize], max_pairs: usize) -> bo
 ///
 /// The returned graph is verified: regularity, bipartiteness and girth are
 /// asserted (in debug builds) before returning.
-pub fn regular_bipartite_with_girth<R: Rng>(
-    degree: usize,
-    min_girth: usize,
-    rng: &mut R,
-) -> Graph {
+pub fn regular_bipartite_with_girth<R: Rng>(degree: usize, min_girth: usize, rng: &mut R) -> Graph {
     assert!(degree >= 1, "degree must be positive");
     let graph = match degree {
         1 => Graph::from_edges(2, [(0, 1)]),

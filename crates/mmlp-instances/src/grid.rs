@@ -209,7 +209,8 @@ mod tests {
 
     #[test]
     fn single_cell_grid_is_valid() {
-        let inst = grid_instance(&GridConfig { side_lengths: vec![1], ..Default::default() }, &mut rng());
+        let inst =
+            grid_instance(&GridConfig { side_lengths: vec![1], ..Default::default() }, &mut rng());
         assert_eq!(inst.num_agents(), 1);
         assert_eq!(inst.num_resources(), 1);
         assert_eq!(inst.num_parties(), 1);

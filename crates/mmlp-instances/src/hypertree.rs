@@ -188,8 +188,8 @@ mod tests {
         // root path advances one level).
         let t = complete_hypertree(2, 2, 4);
         let dist = t.hypergraph.bfs_distances(0, usize::MAX);
-        for v in 0..t.num_nodes() {
-            assert_eq!(dist[v], t.levels[v]);
+        for (d, level) in dist.iter().zip(&t.levels) {
+            assert_eq!(d, level);
         }
     }
 

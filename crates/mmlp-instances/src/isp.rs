@@ -75,10 +75,8 @@ pub fn isp_instance<R: Rng>(cfg: &IspConfig, rng: &mut R) -> MaxMinInstance {
     let mut router_has_route = vec![false; cfg.num_routers];
     let all_routers: Vec<usize> = (0..cfg.num_routers).collect();
     for customer in 0..cfg.num_customers {
-        let reachable: Vec<usize> = all_routers
-            .choose_multiple(rng, routers_per_customer)
-            .copied()
-            .collect();
+        let reachable: Vec<usize> =
+            all_routers.choose_multiple(rng, routers_per_customer).copied().collect();
         for router in reachable {
             let v = b.add_agent();
             router_has_route[router] = true;

@@ -31,8 +31,6 @@ pub use bipartite::{circulant_bipartite, even_cycle, regular_bipartite_with_girt
 pub use grid::{grid_instance, GridConfig};
 pub use hypertree::{complete_hypertree, Hypertree, HypertreeEdgeKind};
 pub use isp::{isp_instance, IspConfig};
-pub use lower_bound::{
-    alternating_solution, LowerBoundConfig, LowerBoundInstance, SubInstance,
-};
+pub use lower_bound::{alternating_solution, LowerBoundConfig, LowerBoundInstance, SubInstance};
 pub use random::{random_instance, RandomInstanceConfig};
 pub use sensor::{sensor_network_instance, SensorNetworkConfig, SensorNetworkInstance};

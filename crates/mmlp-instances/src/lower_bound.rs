@@ -94,10 +94,7 @@ impl LowerBoundConfig {
             "the construction requires dD > 1 (Δ_I^V and Δ_K^V not both 2)"
         );
         assert!(self.local_horizon >= 1, "the local horizon must be at least 1");
-        assert!(
-            self.tree_radius > self.local_horizon,
-            "the construction requires R > r"
-        );
+        assert!(self.tree_radius > self.local_horizon, "the construction requires R > r");
         assert!(
             self.template_degree() <= 1024,
             "template degree d^R·D^(R-1) = {} is too large; lower R or the degree bounds",
@@ -250,7 +247,11 @@ impl LowerBoundInstance {
 
     /// The leaf agents of tree `q`.
     pub fn leaves_of_tree(&self, q: usize) -> Vec<AgentId> {
-        self.tree.leaves().into_iter().map(|local| self.agent_of(q, local)).collect()
+        self.tree
+            .leaves()
+            .into_iter()
+            .map(|local| self.agent_of(q, local))
+            .collect()
     }
 
     /// The quantity `δ(q) = Σ_{v ∈ L_q} (x_v − x_{f(v)})` of Section 4.3.
@@ -313,7 +314,11 @@ impl LowerBoundInstance {
             if support.iter().all(|(v, _)| keep[v.index()]) {
                 let new_i = b.add_resource();
                 for (v, a) in support {
-                    b.set_consumption(new_i, new_agents[reverse_map[v.index()].unwrap().index()], *a);
+                    b.set_consumption(
+                        new_i,
+                        new_agents[reverse_map[v.index()].unwrap().index()],
+                        *a,
+                    );
                 }
             }
         }
@@ -356,13 +361,7 @@ pub fn alternating_solution(sub: &SubInstance) -> Solution {
     let (h, _) = communication_hypergraph(&sub.instance);
     let dist = h.bfs_distances(sub.root.index(), usize::MAX);
     let values = (0..sub.instance.num_agents())
-        .map(|v| {
-            if dist[v] != usize::MAX && dist[v] % 2 == 0 {
-                1.0
-            } else {
-                0.0
-            }
-        })
+        .map(|v| if dist[v] != usize::MAX && dist[v] % 2 == 0 { 1.0 } else { 0.0 })
         .collect();
     Solution::new(values)
 }
@@ -458,10 +457,7 @@ mod tests {
     fn instance_size_matches_template_and_tree() {
         let lb = LowerBoundInstance::build(tiny_config(), &mut rng(2));
         assert_eq!(lb.tree_size(), 6); // levels 1,1,2,2 for (d,D) = (1,2), height 3
-        assert_eq!(
-            lb.instance.num_agents(),
-            lb.num_trees() * lb.tree_size()
-        );
+        assert_eq!(lb.instance.num_agents(), lb.num_trees() * lb.tree_size());
         // Every leaf has a partner in a different tree.
         for q in 0..lb.num_trees() {
             for leaf in lb.leaves_of_tree(q) {

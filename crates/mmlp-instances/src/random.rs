@@ -128,11 +128,7 @@ mod tests {
     #[test]
     fn all_agents_have_resources() {
         // Few resources, many agents: the repair step must kick in.
-        let cfg = RandomInstanceConfig {
-            num_agents: 40,
-            num_resources: 5,
-            ..Default::default()
-        };
+        let cfg = RandomInstanceConfig { num_agents: 40, num_resources: 5, ..Default::default() };
         let inst = random_instance(&cfg, &mut rng(3));
         for v in inst.agent_ids() {
             assert!(inst.agent_resources(v).count() >= 1);

@@ -123,10 +123,7 @@ fn area_centres<R: Rng>(n: usize, rng: &mut R) -> Vec<(f64, f64)> {
             }
             let jitter_x = rng.gen_range(0.25..0.75);
             let jitter_y = rng.gen_range(0.25..0.75);
-            out.push((
-                (col as f64 + jitter_x) * cell,
-                (row as f64 + jitter_y) * cell,
-            ));
+            out.push(((col as f64 + jitter_x) * cell, (row as f64 + jitter_y) * cell));
         }
     }
     out
@@ -144,8 +141,7 @@ pub fn sensor_network_instance<R: Rng>(
     assert!(cfg.num_sensors > 0 && cfg.num_relays > 0 && cfg.num_areas > 0);
     assert!(cfg.radio_range > 0.0 && cfg.sensing_range > 0.0);
 
-    let sensors: Vec<(f64, f64)> =
-        (0..cfg.num_sensors).map(|_| (rng.gen(), rng.gen())).collect();
+    let sensors: Vec<(f64, f64)> = (0..cfg.num_sensors).map(|_| (rng.gen(), rng.gen())).collect();
     let relays: Vec<(f64, f64)> = (0..cfg.num_relays).map(|_| (rng.gen(), rng.gen())).collect();
     let areas = area_centres(cfg.num_areas, rng);
 
@@ -254,9 +250,7 @@ pub fn sensor_network_instance<R: Rng>(
         }
     }
 
-    let instance = b
-        .build()
-        .expect("pruning guarantees non-empty support sets");
+    let instance = b.build().expect("pruning guarantees non-empty support sets");
     SensorNetworkInstance {
         instance,
         sensor_positions: kept_sensors,
@@ -309,7 +303,8 @@ mod tests {
         let net = sensor_network_instance(&cfg, &mut StdRng::seed_from_u64(3));
         for &(s, t) in &net.links {
             assert!(
-                distance(net.sensor_positions[s], net.relay_positions[t]) <= cfg.radio_range + 1e-12
+                distance(net.sensor_positions[s], net.relay_positions[t])
+                    <= cfg.radio_range + 1e-12
             );
         }
     }

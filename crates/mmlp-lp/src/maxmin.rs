@@ -39,21 +39,13 @@ pub fn build_maxmin_lp(instance: &MaxMinInstance) -> LpProblem {
     let mut p = LpProblem::new(n + 1, ObjectiveSense::Maximize);
     p.set_objective(omega, 1.0);
     for i in instance.resource_ids() {
-        let coeffs: Vec<(usize, f64)> = instance
-            .resource(i)
-            .agents
-            .iter()
-            .map(|(v, a)| (v.index(), *a))
-            .collect();
+        let coeffs: Vec<(usize, f64)> =
+            instance.resource(i).agents.iter().map(|(v, a)| (v.index(), *a)).collect();
         p.add_constraint(LpConstraint::le(coeffs, 1.0));
     }
     for k in instance.party_ids() {
-        let mut coeffs: Vec<(usize, f64)> = instance
-            .party(k)
-            .agents
-            .iter()
-            .map(|(v, c)| (v.index(), -*c))
-            .collect();
+        let mut coeffs: Vec<(usize, f64)> =
+            instance.party(k).agents.iter().map(|(v, c)| (v.index(), -*c)).collect();
         coeffs.push((omega, 1.0));
         p.add_constraint(LpConstraint::le(coeffs, 0.0));
     }

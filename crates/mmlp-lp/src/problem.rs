@@ -86,12 +86,7 @@ impl LpProblem {
     /// Creates a problem with the given number of variables, zero objective
     /// and no constraints.
     pub fn new(num_vars: usize, sense: ObjectiveSense) -> Self {
-        Self {
-            num_vars,
-            objective: vec![0.0; num_vars],
-            sense,
-            constraints: Vec::new(),
-        }
+        Self { num_vars, objective: vec![0.0; num_vars], sense, constraints: Vec::new() }
     }
 
     /// Sets a single objective coefficient.

@@ -24,17 +24,11 @@ use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Thread-count configuration for the parallel helpers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ParallelConfig {
     /// Number of worker threads to use.  `None` means "one per available
     /// core".  A value of 1 runs sequentially on the calling thread.
     pub num_threads: Option<NonZeroUsize>,
-}
-
-impl Default for ParallelConfig {
-    fn default() -> Self {
-        Self { num_threads: None }
-    }
 }
 
 impl ParallelConfig {
@@ -51,9 +45,7 @@ impl ParallelConfig {
     /// The number of worker threads this configuration resolves to for a
     /// workload of `items` items.
     pub fn resolve(&self, items: usize) -> usize {
-        let hw = std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1);
+        let hw = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
         let requested = self.num_threads.map(NonZeroUsize::get).unwrap_or(hw);
         requested.min(items.max(1))
     }
@@ -88,7 +80,7 @@ where
     }
     let workers = config.resolve(n);
     if workers <= 1 {
-        return items.iter().map(|item| f(item)).collect();
+        return items.iter().map(&f).collect();
     }
 
     let next = AtomicUsize::new(0);

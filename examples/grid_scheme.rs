@@ -11,11 +11,7 @@ use rand::SeedableRng;
 
 fn main() {
     let side = 12;
-    let config = GridConfig {
-        side_lengths: vec![side, side],
-        torus: true,
-        random_weights: true,
-    };
+    let config = GridConfig { side_lengths: vec![side, side], torus: true, random_weights: true };
     let mut rng = StdRng::seed_from_u64(5);
     let instance = grid_instance(&config, &mut rng);
     let (hypergraph, _) = communication_hypergraph(&instance);
@@ -62,8 +58,6 @@ fn main() {
         assert!(instance.is_feasible(&result.solution, 1e-7));
     }
 
-    println!(
-        "\nAs R grows, γ(R−1)·γ(R) → 1 on the torus, so the measured ratio approaches 1:"
-    );
+    println!("\nAs R grows, γ(R−1)·γ(R) → 1 on the torus, so the measured ratio approaches 1:");
     println!("the local averaging algorithm is a local approximation scheme on this family.");
 }

@@ -47,10 +47,7 @@ fn main() {
     // on S.  Being deterministic and local, its choices on the T_p agents are
     // the same as they would be on S'.
     let x_on_s = safe_algorithm(&lb.instance);
-    println!(
-        "\nsafe algorithm on S: objective {:.4}",
-        lb.instance.objective(&x_on_s).unwrap()
-    );
+    println!("\nsafe algorithm on S: objective {:.4}", lb.instance.objective(&x_on_s).unwrap());
 
     // Derive the adversarial sub-instance S' from those choices.
     let sub = lb.sub_instance(&x_on_s);
@@ -67,8 +64,11 @@ fn main() {
     // Section 4.5: S' admits a feasible solution with ω = 1.
     let x_hat = alternating_solution(&sub);
     let opt_value = sub.instance.objective(&x_hat).unwrap();
-    println!("  alternating solution of S': feasible = {}, ω = {:.4}",
-        sub.instance.is_feasible(&x_hat, 1e-9), opt_value);
+    println!(
+        "  alternating solution of S': feasible = {}, ω = {:.4}",
+        sub.instance.is_feasible(&x_hat, 1e-9),
+        opt_value
+    );
 
     // The algorithm's own choices, re-interpreted on S' (identical for the
     // T_p agents because their radius-r views coincide).

@@ -28,7 +28,12 @@ fn main() {
     builder.set_benefit(k2, v[2], 1.0);
     let instance = builder.build().expect("a valid max-min LP");
 
-    println!("instance: {} agents, {} resources, {} parties", instance.num_agents(), instance.num_resources(), instance.num_parties());
+    println!(
+        "instance: {} agents, {} resources, {} parties",
+        instance.num_agents(),
+        instance.num_resources(),
+        instance.num_parties()
+    );
     let degrees = instance.degree_bounds();
     println!(
         "degree bounds: Δ_I^V = {}, Δ_K^V = {}, Δ_V^I = {}, Δ_V^K = {}",

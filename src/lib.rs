@@ -23,7 +23,7 @@
 //! * the **local averaging algorithm** of Theorem 3 — approximation ratio
 //!   `γ(R−1)·γ(R)` in terms of the relative growth of balls, i.e. a local
 //!   approximation scheme on bounded-growth networks such as grids
-//!   ([`local_averaging`]),
+//!   ([`local_averaging()`]),
 //! * the **lower-bound construction** of Theorem 1 / Corollary 2 showing no
 //!   local algorithm beats `Δ_I^V/2 + 1/2 − 1/(2Δ_K^V − 2)`
 //!   ([`LowerBoundInstance`](instances::LowerBoundInstance)),

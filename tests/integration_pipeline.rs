@@ -16,14 +16,8 @@ fn rng(seed: u64) -> StdRng {
 fn safe_algorithm_guarantee_holds_on_every_generator() {
     let mut r = rng(1);
     let instances: Vec<(String, MaxMinInstance)> = vec![
-        (
-            "random".into(),
-            random_instance(&RandomInstanceConfig::default(), &mut r),
-        ),
-        (
-            "grid".into(),
-            grid_instance(&GridConfig::square(5), &mut r),
-        ),
+        ("random".into(), random_instance(&RandomInstanceConfig::default(), &mut r)),
+        ("grid".into(), grid_instance(&GridConfig::square(5), &mut r)),
         (
             "torus".into(),
             grid_instance(
@@ -177,10 +171,7 @@ fn views_of_tp_agents_coincide_between_s_and_s_prime() {
         if in_tp {
             let a = x_on_s.activity(*old);
             let b = x_on_s_prime.activity(AgentId::new(new_idx));
-            assert!(
-                (a - b).abs() < 1e-12,
-                "T_p agent {old} chose {a} on S but {b} on S'"
-            );
+            assert!((a - b).abs() < 1e-12, "T_p agent {old} chose {a} on S but {b} on S'");
         }
     }
 }

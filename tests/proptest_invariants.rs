@@ -18,30 +18,20 @@ use rand::SeedableRng;
 
 /// A strategy producing small random-instance configurations.
 fn instance_config() -> impl Strategy<Value = (RandomInstanceConfig, u64)> {
-    (
-        4usize..20,
-        4usize..24,
-        1usize..12,
-        1usize..5,
-        1usize..5,
-        any::<bool>(),
-        any::<u64>(),
-    )
-        .prop_map(
-            |(agents, resources, parties, max_ri, max_pi, zero_one, seed)| {
-                (
-                    RandomInstanceConfig {
-                        num_agents: agents,
-                        num_resources: resources,
-                        num_parties: parties,
-                        max_resource_support: max_ri,
-                        max_party_support: max_pi,
-                        zero_one_coefficients: zero_one,
-                    },
-                    seed,
-                )
-            },
-        )
+    (4usize..20, 4usize..24, 1usize..12, 1usize..5, 1usize..5, any::<bool>(), any::<u64>())
+        .prop_map(|(agents, resources, parties, max_ri, max_pi, zero_one, seed)| {
+            (
+                RandomInstanceConfig {
+                    num_agents: agents,
+                    num_resources: resources,
+                    num_parties: parties,
+                    max_resource_support: max_ri,
+                    max_party_support: max_pi,
+                    zero_one_coefficients: zero_one,
+                },
+                seed,
+            )
+        })
 }
 
 proptest! {
@@ -148,11 +138,12 @@ proptest! {
         }
         let mut row_sums = vec![0.0f64; num_constraints];
         for (row, sum) in row_sums.iter_mut().enumerate() {
-            let coeffs: Vec<(usize, f64)> = (0..num_vars)
-                .filter_map(|j| {
-                    rng.gen_bool(0.6).then(|| (j, rng.gen_range(0.1..1.5)))
-                })
-                .collect();
+            let mut coeffs: Vec<(usize, f64)> = Vec::new();
+            for j in 0..num_vars {
+                if rng.gen_bool(0.6) {
+                    coeffs.push((j, rng.gen_range(0.1..1.5)));
+                }
+            }
             *sum = coeffs.iter().map(|(_, a)| a).sum();
             p.add_constraint(LpConstraint::le(coeffs, 1.0));
             let _ = row;

@@ -1,0 +1,259 @@
+//! Offline stand-in for the subset of
+//! [Criterion.rs](https://crates.io/crates/criterion) that this workspace's
+//! benchmarks use: [`Criterion::benchmark_group`], `sample_size`,
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`], [`Bencher::iter`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of Criterion's statistical machinery it takes a straightforward
+//! mean over `sample_size` timed iterations (after a short warm-up) and prints
+//! one line per benchmark.  `cargo bench -- --test` runs every benchmark body
+//! exactly once without timing, which is what the CI smoke pass uses.
+//! Swapping this path dependency for the real crate requires no source
+//! changes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Default number of timed iterations when a group does not set
+/// [`BenchmarkGroup::sample_size`].
+const DEFAULT_SAMPLE_SIZE: usize = 100;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments.
+    ///
+    /// Recognises `--test` (run each benchmark once, untimed — the smoke mode
+    /// used by `cargo bench -- --test`); other harness flags are ignored.
+    pub fn from_args() -> Self {
+        Self { test_mode: std::env::args().any(|a| a == "--test") }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: DEFAULT_SAMPLE_SIZE }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_benchmark_id().id;
+        run_one(self.test_mode, DEFAULT_SAMPLE_SIZE, &label, f);
+        self
+    }
+
+    /// Prints the closing line, mirroring Criterion's summary hook.
+    pub fn final_summary(&self) {
+        if self.test_mode {
+            println!("criterion-shim: all benchmarks ran once in test mode");
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs `f` as a benchmark named by `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        run_one(self.criterion.test_mode, self.sample_size, &label, f);
+        self
+    }
+
+    /// Runs `f` with `input` as a benchmark named by `id` within this group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.  Reporting happens per benchmark, so this is a no-op.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id made of just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// Conversion into a [`BenchmarkId`], so string literals work directly.
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Timing harness handed to each benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `f` over this bencher's iteration budget.
+    ///
+    /// In test mode `f` runs exactly once and nothing is recorded.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warm-up: a few untimed runs so one-off setup cost (page faults,
+        // lazy allocation) does not dominate small sample sizes.
+        for _ in 0..2.min(self.iterations) {
+            black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(test_mode: bool, sample_size: usize, label: &str, mut f: F) {
+    let mut bencher =
+        Bencher { test_mode, iterations: sample_size as u64, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    if test_mode {
+        println!("test {label} ... ok");
+    } else if bencher.elapsed.is_zero() {
+        println!("{label}: no measurement (body never called iter)");
+    } else {
+        let mean = bencher.elapsed.as_secs_f64() / bencher.iterations as f64;
+        println!("{label}: mean {:.3} µs over {} iterations", mean * 1e6, bencher.iterations);
+    }
+}
+
+/// Bundles benchmark functions into a single group entry point, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark function registered in this group.
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Generates the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_their_bodies() {
+        let mut c = Criterion { test_mode: true };
+        let mut calls = 0;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("direct", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 1, "test mode runs the body exactly once");
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input() {
+        let mut c = Criterion { test_mode: true };
+        let mut seen = 0usize;
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter(3), &41usize, |b, &x| {
+            b.iter(|| seen = x + 1)
+        });
+        group.finish();
+        assert_eq!(seen, 42);
+    }
+
+    #[test]
+    fn timed_mode_records_elapsed() {
+        let mut c = Criterion { test_mode: false };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_function("spin", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -1,0 +1,74 @@
+//! Offline stand-in for the slice of the
+//! [`parking_lot`](https://crates.io/crates/parking_lot) API this workspace
+//! uses: a [`Mutex`] whose `lock()` returns the guard directly instead of a
+//! `Result`.
+//!
+//! Backed by `std::sync::Mutex`; poisoning is dissolved by handing back the
+//! inner guard, which matches parking_lot's "no poisoning" semantics.  Swapping
+//! this path dependency for the real crate requires no source changes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::PoisonError;
+
+/// Guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// A mutual-exclusion lock with parking_lot's panic-free `lock()` signature.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex guarding `value`.
+    pub fn new(value: T) -> Self {
+        Self { inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Consumes the mutex and returns the guarded value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    ///
+    /// Unlike `std`, a panic in another thread while holding the lock does not
+    /// poison it: the guard is returned regardless.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking; only possible with exclusive ownership.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_round_trip() {
+        let m = Mutex::new(41);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn survives_a_poisoning_panic() {
+        let m = std::sync::Arc::new(Mutex::new(0));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*m.lock(), 0);
+    }
+}

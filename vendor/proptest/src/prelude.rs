@@ -1,0 +1,6 @@
+//! One-import surface, mirroring `proptest::prelude`.
+
+pub use crate::{
+    any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, Arbitrary, ProptestConfig,
+    Strategy, TestCaseError, TestCaseResult,
+};

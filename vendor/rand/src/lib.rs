@@ -1,0 +1,273 @@
+//! Offline stand-in for the subset of the [`rand`](https://crates.io/crates/rand)
+//! crate (0.8 API) that this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal, dependency-free implementation of the surface the code actually
+//! calls: the [`Rng`] and [`SeedableRng`] traits, [`rngs::StdRng`], and the
+//! [`seq::SliceRandom`] helpers.  `StdRng` is a deterministic xoshiro256++
+//! generator seeded through SplitMix64 — not cryptographically secure, but
+//! statistically solid and reproducible, which is all the instance generators
+//! and tests need.  Swapping this path dependency for the real `rand` crate
+//! requires no source changes.
+//!
+//! Intentional deviations from `rand` proper:
+//!
+//! * integer ranges are sampled by modulo reduction (the bias is negligible at
+//!   the range sizes used here and irrelevant for test workloads);
+//! * inclusive float ranges are sampled like half-open ones (the chance of
+//!   hitting the exact upper endpoint is ~2⁻⁵³ either way).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rngs;
+pub mod seq;
+
+/// The core source of randomness: a stream of `u64` values.
+///
+/// Mirrors `rand::RngCore`, reduced to the one method everything else can be
+/// derived from.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, available on every [`RngCore`].
+///
+/// Mirrors the `rand::Rng` extension trait.
+pub trait Rng: RngCore {
+    /// Returns a uniformly distributed value of type `T`.
+    ///
+    /// For floats this is uniform over `[0, 1)`; for integers uniform over the
+    /// whole domain; for `bool` a fair coin.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Returns a value uniformly distributed over `range`.
+    ///
+    /// Supports half-open (`a..b`) and inclusive (`a..=b`) ranges over the
+    /// common integer types and `f32`/`f64`.  Panics on an empty range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be constructed from a seed.
+///
+/// Mirrors the part of `rand::SeedableRng` the workspace uses.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, expanding it into full state.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types with a canonical "whole domain" uniform distribution, as produced by
+/// [`Rng::gen`].
+///
+/// Plays the role of `rand::distributions::Standard`.
+pub trait Standard: Sized {
+    /// Draws one value from the standard distribution for this type.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits, uniform over [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+///
+/// Plays the role of `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                // i128 difference handles signed ranges (e.g. -5..5); the
+                // half-open width of any 64-bit type fits in u64, and the
+                // wrapping add is exact two's-complement offset arithmetic.
+                let width = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add((rng.next_u64() % width) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let width = (end as i128 - start as i128) as u128 + 1;
+                if width > u64::MAX as u128 {
+                    // Full-domain range: every bit pattern is a valid sample.
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add((rng.next_u64() % width as u64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                self.start + <$t as Standard>::sample(rng) * (self.end - self.start)
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                start + <$t as Standard>::sample(rng) * (end - start)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&x));
+            let y = rng.gen_range(1usize..=5);
+            assert!((1..=5).contains(&y));
+            let f = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let g: f64 = rng.gen_range(0.5..=1.5);
+            assert!((0.5..=1.5).contains(&g));
+        }
+    }
+
+    #[test]
+    fn gen_range_handles_signed_and_full_domain_ranges() {
+        let mut rng = StdRng::seed_from_u64(19);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&x));
+            let y = rng.gen_range(i64::MIN..=i64::MAX);
+            let _ = y; // any value is valid; the point is no overflow panic
+            let z = rng.gen_range(-3i8..=3);
+            assert!((-3..=3).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn unit_interval_is_covered_roughly_uniformly() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut buckets = [0usize; 10];
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            buckets[(x * 10.0) as usize] += 1;
+        }
+        for b in buckets {
+            assert!((700..1300).contains(&b), "bucket count {b} far from uniform");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_multiple_returns_distinct_elements() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let v: Vec<usize> = (0..20).collect();
+        let picked: Vec<usize> = v.choose_multiple(&mut rng, 8).copied().collect();
+        assert_eq!(picked.len(), 8);
+        let mut dedup = picked.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8);
+    }
+}

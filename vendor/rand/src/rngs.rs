@@ -1,0 +1,46 @@
+//! Concrete generators, mirroring `rand::rngs`.
+
+use crate::{RngCore, SeedableRng};
+
+/// A deterministic pseudo-random generator standing in for `rand::rngs::StdRng`.
+///
+/// Implemented as xoshiro256++ (Blackman–Vigna), with the 256-bit state
+/// expanded from the 64-bit seed by SplitMix64 — the initialisation the
+/// xoshiro authors recommend.  Deterministic across platforms and runs, which
+/// is what the experiment harnesses and property tests rely on.  Not suitable
+/// for cryptography.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    state: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Self { state: [next(), next(), next(), next()] }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+}

@@ -1,0 +1,82 @@
+//! Sequence-related helpers, mirroring `rand::seq`.
+
+use crate::Rng;
+
+/// Extension methods on slices for random selection and shuffling.
+///
+/// Mirrors the part of `rand::seq::SliceRandom` the workspace uses.
+pub trait SliceRandom {
+    /// The element type of the slice.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns a uniformly chosen element, or `None` if the slice is empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Returns `amount` distinct elements chosen uniformly without
+    /// replacement, in random order.  If the slice has fewer than `amount`
+    /// elements, all of them are returned.
+    fn choose_multiple<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'_, Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = crate::SampleRange::sample_single(0..=i, rng);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[crate::SampleRange::sample_single(0..self.len(), rng)])
+        }
+    }
+
+    fn choose_multiple<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'_, T> {
+        let amount = amount.min(self.len());
+        // Partial Fisher–Yates over an index vector: the first `amount`
+        // positions end up holding a uniform sample without replacement.
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        for i in 0..amount {
+            let j = crate::SampleRange::sample_single(i..indices.len(), rng);
+            indices.swap(i, j);
+        }
+        let picked: Vec<&T> = indices[..amount].iter().map(|&i| &self[i]).collect();
+        SliceChooseIter { inner: picked.into_iter() }
+    }
+}
+
+/// Iterator over the elements selected by [`SliceRandom::choose_multiple`].
+#[derive(Debug)]
+pub struct SliceChooseIter<'a, T> {
+    inner: std::vec::IntoIter<&'a T>,
+}
+
+impl<'a, T> Iterator for SliceChooseIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        self.inner.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<T> ExactSizeIterator for SliceChooseIter<'_, T> {}

@@ -1,0 +1,27 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) facade.
+//!
+//! The workspace annotates its data types with `#[derive(Serialize,
+//! Deserialize)]` so they are ready for wire formats, but no code path
+//! serialises anything yet and the build environment cannot reach crates.io.
+//! This crate supplies the two names in both namespaces — marker traits in the
+//! type namespace and no-op derive macros in the macro namespace, exactly like
+//! serde with the `derive` feature — so `use serde::{Deserialize, Serialize}`
+//! and the derive attributes compile unchanged.  Swapping this path dependency
+//! for real serde requires no source changes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// The no-op derive does not implement it; nothing in the workspace requires
+/// the bound yet.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+///
+/// The no-op derive does not implement it; nothing in the workspace requires
+/// the bound yet.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,24 @@
+//! No-op stand-ins for serde's derive macros.
+//!
+//! The workspace's types carry `#[derive(Serialize, Deserialize)]` so that the
+//! real serde can be dropped in once the build environment has network access,
+//! but nothing in the workspace serialises anything yet.  These derives accept
+//! the same positions and expand to nothing, so the attribute compiles without
+//! pulling in `syn`/`quote` (unavailable offline).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
