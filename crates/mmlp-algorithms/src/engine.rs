@@ -1,0 +1,510 @@
+//! The batched local-LP engine.
+//!
+//! The local averaging algorithm (Theorem 3) solves one radius-`R` local LP
+//! per agent, but on the regular instances the paper cares about — grids,
+//! hypertrees, sensor-network workloads — most agents see *structurally
+//! identical* balls, so solving every local LP independently wastes almost
+//! all of the work.  This engine replaces the per-agent solve pipeline with
+//! four explicit stages:
+//!
+//! 1. **Enumerate** — all radius-`R` balls are produced in one sweep over a
+//!    shared [`NeighborCache`](mmlp_hypergraph::NeighborCache) with amortised
+//!    scratch ([`BallEnumerator`]), instead of `n` independent BFS runs.
+//! 2. **Canonicalise** — each ball's local LP (9) is mapped to a canonical
+//!    key ([`mmlp_core::canonical`]).  A cheap *presentation key* (the LP
+//!    exactly as presented, members in sorted agent order) groups balls that
+//!    are literally identical first, so the full canonicalisation runs once
+//!    per presentation class rather than once per ball.
+//! 3. **Dedup + solve** — each *unique* canonical LP is solved once, in
+//!    parallel over `mmlp-parallel`; the optimal simplex bases are retained
+//!    as warm-start hooks ([`mmlp_lp::WarmStart`]) for future reuse.
+//! 4. **Scatter** — the canonical solutions are mapped back through each
+//!    ball's canonical labelling to all agents sharing the ball class.
+//!
+//! # Why dedup cannot change the answer
+//!
+//! Both engine modes — [`SolveMode::Batched`] and the
+//! [`SolveMode::NaivePerAgent`] reference mode — hand the **canonically
+//! relabelled** LP to the (deterministic) simplex solver.  Two balls in the
+//! same class have *bit-identical* canonical LPs, so solving the class once
+//! and reusing the result is pure memoisation: the batched path returns
+//! solutions bit-identical to the naive reference path by construction, even
+//! when a local LP has several optimal vertices.  The conformance suite
+//! (`tests/conformance_batched.rs`) asserts this across every instance
+//! generator.
+//!
+//! [`SolveStats`] reports what the engine did: balls enumerated, distinct
+//! presentations, unique LP classes, cache hits, simplex solves and pivots,
+//! and the wall-clock spent in each stage.
+
+use mmlp_core::canonical::{canonical_form, CanonicalForm, CanonicalKey, SEP_PARTY, SEP_RESOURCE};
+use mmlp_core::{AgentId, InstanceBuilder, MaxMinInstance, PartyId, ResourceId};
+use mmlp_hypergraph::{communication_hypergraph, BallEnumerator};
+use mmlp_lp::{solve_maxmin_with, LpError, SimplexOptions};
+use mmlp_parallel::{par_chunks_map, par_map_with, ParallelConfig};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::time::{Duration, Instant};
+
+/// How the engine distributes the per-ball LP solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolveMode {
+    /// Deduplicate: solve each unique canonical LP once and scatter the
+    /// result to every agent whose ball is in that class.
+    #[default]
+    Batched,
+    /// The naive reference mode: solve every agent's ball LP independently
+    /// (still canonically presented, so the results are bit-identical to
+    /// [`SolveMode::Batched`]).
+    NaivePerAgent,
+}
+
+/// Options of the batched local-LP engine.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalLpOptions {
+    /// The ball radius `R ≥ 0`.
+    pub radius: usize,
+    /// Thread configuration for all four stages.
+    pub parallel: ParallelConfig,
+    /// Simplex options for the per-class LP solves.
+    pub simplex: SimplexOptions,
+    /// Batched (dedup) or naive (reference) execution.
+    pub mode: SolveMode,
+}
+
+impl LocalLpOptions {
+    /// Default (batched, parallel) options for a given radius.
+    pub fn new(radius: usize) -> Self {
+        Self {
+            radius,
+            parallel: ParallelConfig::default(),
+            simplex: SimplexOptions::default(),
+            mode: SolveMode::Batched,
+        }
+    }
+}
+
+/// Wall-clock spent in each stage of the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageTimings {
+    /// Ball enumeration (communication hypergraph + multi-source sweep).
+    pub enumerate: Duration,
+    /// Local-LP construction, presentation grouping and canonicalisation.
+    pub canonicalise: Duration,
+    /// Simplex solves of the unique (or, in naive mode, all) local LPs.
+    pub solve: Duration,
+    /// Mapping canonical solutions back onto the balls.
+    pub scatter: Duration,
+}
+
+/// What the engine did, in numbers.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SolveStats {
+    /// Number of balls enumerated (= number of agents).
+    pub balls_enumerated: usize,
+    /// Number of distinct LP *presentations* (cheap first-level grouping).
+    pub distinct_presentations: usize,
+    /// Number of unique canonical LP classes among the balls.
+    pub unique_classes: usize,
+    /// Number of LP solve jobs that were answered from the class cache
+    /// instead of running the simplex (0 in naive mode).
+    pub cache_hits: usize,
+    /// Number of simplex solves actually performed (party-less ball LPs are
+    /// answered with the zero solution and never reach the solver).
+    pub lp_solves: usize,
+    /// Total simplex pivots across all LP solves.
+    pub total_pivots: u64,
+    /// Wall-clock per stage.
+    pub timings: StageTimings,
+}
+
+impl SolveStats {
+    /// Fraction of per-ball solve jobs answered from the class cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.balls_enumerated == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.balls_enumerated as f64
+        }
+    }
+
+    /// `balls_enumerated / unique_classes` — how many agents share each
+    /// unique local LP on average.
+    pub fn dedup_factor(&self) -> f64 {
+        if self.unique_classes == 0 {
+            1.0
+        } else {
+            self.balls_enumerated as f64 / self.unique_classes as f64
+        }
+    }
+}
+
+/// The output of the engine: every agent's ball and local-LP optimum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalLpBatch {
+    /// `balls[u]` is `B_H(u, R)`, sorted.
+    pub balls: Vec<Vec<usize>>,
+    /// `local_x[u][j]` is the local optimum `x^u` evaluated at the agent
+    /// `balls[u][j]` — aligned with `balls[u]`.
+    pub local_x: Vec<Vec<f64>>,
+    /// Canonical class index of each agent's ball.
+    pub class_of_ball: Vec<usize>,
+    /// For each canonical class, the optimal simplex basis of its LP —
+    /// the warm-start hook for future cross-class reuse
+    /// (see ROADMAP "Open items").  Empty for party-less classes.
+    pub class_bases: Vec<Vec<usize>>,
+    /// Stage statistics.
+    pub stats: SolveStats,
+}
+
+/// Runs the engine: enumerate, canonicalise, dedup + solve, scatter.
+///
+/// # Errors
+///
+/// Propagates simplex failures from the local LPs (which do not occur for
+/// validated instances under default options).
+pub fn solve_local_lps(
+    instance: &MaxMinInstance,
+    options: &LocalLpOptions,
+) -> Result<LocalLpBatch, LpError> {
+    let n = instance.num_agents();
+    if n == 0 {
+        return Ok(LocalLpBatch {
+            balls: vec![],
+            local_x: vec![],
+            class_of_ball: vec![],
+            class_bases: vec![],
+            stats: SolveStats::default(),
+        });
+    }
+    let mut timings = StageTimings::default();
+
+    // ---- Stage 1: enumerate all balls in one sweep. ----
+    let stage = Instant::now();
+    let (h, _) = communication_hypergraph(instance);
+    let cache = h.neighbor_cache();
+    let agents: Vec<usize> = (0..n).collect();
+    let workers = options.parallel.resolve(n).max(1);
+    let chunk = n.div_ceil(workers * 4).max(1);
+    let balls: Vec<Vec<usize>> = par_chunks_map(&options.parallel, &agents, chunk, |_, part| {
+        let mut enumerator = BallEnumerator::new(&cache);
+        part.iter().map(|&u| enumerator.ball(u, options.radius)).collect()
+    });
+    timings.enumerate = stage.elapsed();
+
+    // ---- Stage 2: build the ball LPs, group by presentation, canonicalise
+    // one representative per presentation class. ----
+    let stage = Instant::now();
+    let presented: Vec<PresentedLp> =
+        par_map_with(&options.parallel, &balls, |ball| present_ball_lp(instance, ball));
+    let mut presentation_of_ball = vec![0usize; n];
+    let mut presentation_reps: Vec<usize> = Vec::new();
+    {
+        let mut by_key: HashMap<&[u64], usize> = HashMap::new();
+        for (u, lp) in presented.iter().enumerate() {
+            let next = presentation_reps.len();
+            let id = *by_key.entry(&lp.key).or_insert_with(|| {
+                presentation_reps.push(u);
+                next
+            });
+            presentation_of_ball[u] = id;
+        }
+    }
+    let forms: Vec<CanonicalForm> = par_map_with(&options.parallel, &presentation_reps, |&u| {
+        canonical_form(&presented[u].instance)
+    });
+    let mut class_of_presentation = vec![0usize; forms.len()];
+    let mut class_reps: Vec<usize> = Vec::new();
+    {
+        let mut by_key: HashMap<&CanonicalKey, usize> = HashMap::new();
+        for (p, form) in forms.iter().enumerate() {
+            let next = class_reps.len();
+            let id = *by_key.entry(&form.key).or_insert_with(|| {
+                class_reps.push(p);
+                next
+            });
+            class_of_presentation[p] = id;
+        }
+    }
+    let class_of_ball: Vec<usize> =
+        (0..n).map(|u| class_of_presentation[presentation_of_ball[u]]).collect();
+    timings.canonicalise = stage.elapsed();
+
+    // ---- Stage 3: solve each job (one per class, or one per ball in naive
+    // mode) on the canonical presentation. ----
+    let stage = Instant::now();
+    let job_forms: Vec<&CanonicalForm> = match options.mode {
+        SolveMode::Batched => class_reps.iter().map(|&p| &forms[p]).collect(),
+        SolveMode::NaivePerAgent => (0..n).map(|u| &forms[presentation_of_ball[u]]).collect(),
+    };
+    let solved: Vec<Result<SolvedLp, LpError>> =
+        par_map_with(&options.parallel, &job_forms, |form| {
+            if form.instance.num_parties() == 0 {
+                // A ball with no complete party support has objective 0 and
+                // the zero vector as its (unique sensible) local optimum.
+                return Ok(SolvedLp {
+                    x: vec![0.0; form.instance.num_agents()],
+                    pivots: 0,
+                    basis: vec![],
+                    solved: false,
+                });
+            }
+            let opt = solve_maxmin_with(&form.instance, &options.simplex)?;
+            Ok(SolvedLp {
+                x: opt.solution.into_vec(),
+                pivots: opt.pivots as u64,
+                basis: opt.basis,
+                solved: true,
+            })
+        });
+    let mut jobs = Vec::with_capacity(solved.len());
+    let mut lp_solves = 0usize;
+    let mut total_pivots = 0u64;
+    for job in solved {
+        let job = job?;
+        lp_solves += usize::from(job.solved);
+        total_pivots += job.pivots;
+        jobs.push(job);
+    }
+    let class_bases: Vec<Vec<usize>> = match options.mode {
+        SolveMode::Batched => jobs.iter().map(|j| j.basis.clone()).collect(),
+        SolveMode::NaivePerAgent => {
+            // One basis per class: taken from the first ball of the class.
+            let mut bases = vec![Vec::new(); class_reps.len()];
+            let mut filled = vec![false; class_reps.len()];
+            for u in 0..n {
+                let c = class_of_ball[u];
+                if !filled[c] {
+                    bases[c] = jobs[u].basis.clone();
+                    filled[c] = true;
+                }
+            }
+            bases
+        }
+    };
+    timings.solve = stage.elapsed();
+
+    // ---- Stage 4: scatter canonical solutions back onto the balls. ----
+    let stage = Instant::now();
+    let local_x: Vec<Vec<f64>> = (0..n)
+        .map(|u| {
+            let form = &forms[presentation_of_ball[u]];
+            let job = match options.mode {
+                SolveMode::Batched => &jobs[class_of_ball[u]],
+                SolveMode::NaivePerAgent => &jobs[u],
+            };
+            form.unpermute(&job.x)
+        })
+        .collect();
+    timings.scatter = stage.elapsed();
+
+    let stats = SolveStats {
+        balls_enumerated: n,
+        distinct_presentations: presentation_reps.len(),
+        unique_classes: class_reps.len(),
+        cache_hits: n - job_forms.len(),
+        lp_solves,
+        total_pivots,
+        timings,
+    };
+    Ok(LocalLpBatch { balls, local_x, class_of_ball, class_bases, stats })
+}
+
+/// One solved LP job.
+struct SolvedLp {
+    x: Vec<f64>,
+    pivots: u64,
+    basis: Vec<usize>,
+    /// Whether the simplex actually ran (false for party-less shortcuts).
+    solved: bool,
+}
+
+/// A ball's local LP together with its presentation key.
+struct PresentedLp {
+    /// The LP (9) of the ball: resources clipped to the ball, parties kept
+    /// only when their support lies entirely inside; agents are the ball
+    /// members in sorted order.
+    instance: MaxMinInstance,
+    /// Exact flat encoding of the LP as presented.  Equal keys mean the two
+    /// ball LPs are bit-identical as labelled objects, hence share their
+    /// canonical form *and* canonical labelling.
+    key: Vec<u64>,
+}
+
+/// Builds the local LP of one ball in `O(|ball| · Δ)` — without scanning the
+/// full instance the way `MaxMinInstance::restrict_to_agents` does.
+fn present_ball_lp(instance: &MaxMinInstance, ball: &[usize]) -> PresentedLp {
+    let local_of = |v: AgentId| ball.binary_search(&v.index()).ok();
+
+    // Resources intersecting the ball, clipped to it.  Iterating members in
+    // ball order keeps every entry list sorted by local index.
+    let mut resources: BTreeMap<ResourceId, Vec<(usize, f64)>> = BTreeMap::new();
+    let mut party_candidates: BTreeSet<PartyId> = BTreeSet::new();
+    for (local, &v) in ball.iter().enumerate() {
+        let agent = instance.agent(AgentId::new(v));
+        for (i, a) in &agent.resources {
+            resources.entry(*i).or_default().push((local, *a));
+        }
+        for (k, _) in &agent.parties {
+            party_candidates.insert(*k);
+        }
+    }
+    // Parties whose support lies entirely inside the ball.
+    let mut parties: BTreeMap<PartyId, Vec<(usize, f64)>> = BTreeMap::new();
+    for k in party_candidates {
+        let support = instance.party(k).members();
+        let locals: Option<Vec<(usize, f64)>> =
+            support.iter().map(|(v, c)| local_of(*v).map(|l| (l, *c))).collect();
+        if let Some(mut locals) = locals {
+            locals.sort_unstable_by_key(|(l, _)| *l);
+            parties.insert(k, locals);
+        }
+    }
+
+    let mut key = vec![ball.len() as u64, resources.len() as u64, parties.len() as u64];
+    let mut b = InstanceBuilder::with_capacity(ball.len(), resources.len(), parties.len());
+    let agents = b.add_agents(ball.len());
+    for entries in resources.values() {
+        let i = b.add_resource();
+        key.push(SEP_RESOURCE);
+        for &(local, a) in entries {
+            b.set_consumption(i, agents[local], a);
+            key.push(local as u64);
+            key.push(a.to_bits());
+        }
+    }
+    for entries in parties.values() {
+        let k = b.add_party();
+        key.push(SEP_PARTY);
+        for &(local, c) in entries {
+            b.set_benefit(k, agents[local], c);
+            key.push(local as u64);
+            key.push(c.to_bits());
+        }
+    }
+    let instance = b.build().expect("ball restriction preserves validity");
+    PresentedLp { instance, key }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmlp_instances::{grid_instance, random_instance, GridConfig, RandomInstanceConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grid(side: usize, torus: bool) -> MaxMinInstance {
+        let cfg = GridConfig { side_lengths: vec![side, side], torus, random_weights: false };
+        grid_instance(&cfg, &mut StdRng::seed_from_u64(9))
+    }
+
+    #[test]
+    fn presented_ball_lp_matches_restrict_to_agents() {
+        // `present_ball_lp` builds the same LP as `restrict_to_agents`, up to
+        // the order of the entries inside each support list (the fast path
+        // sorts them by local index; the reference keeps insertion order) —
+        // so the two must agree exactly after canonicalisation.
+        let mut rng = StdRng::seed_from_u64(3);
+        let inst = random_instance(
+            &RandomInstanceConfig { num_agents: 18, ..Default::default() },
+            &mut rng,
+        );
+        let (h, _) = communication_hypergraph(&inst);
+        for u in 0..inst.num_agents() {
+            let ball = h.ball(u, 1);
+            let keep: Vec<AgentId> = ball.iter().map(|&v| AgentId::new(v)).collect();
+            let (reference, _) = inst.restrict_to_agents(&keep);
+            let presented = present_ball_lp(&inst, &ball);
+            assert_eq!(presented.instance.num_agents(), reference.num_agents());
+            assert_eq!(presented.instance.num_resources(), reference.num_resources());
+            assert_eq!(presented.instance.num_parties(), reference.num_parties());
+            let a = canonical_form(&presented.instance);
+            let b = canonical_form(&reference);
+            assert_eq!(a.key, b.key, "ball of agent {u}");
+            assert_eq!(a.instance, b.instance, "ball of agent {u}");
+        }
+    }
+
+    #[test]
+    fn batched_and_naive_modes_agree_bitwise() {
+        let inst = grid(6, true);
+        for radius in [1usize, 2] {
+            let batched = solve_local_lps(&inst, &LocalLpOptions::new(radius)).unwrap();
+            let naive = solve_local_lps(
+                &inst,
+                &LocalLpOptions { mode: SolveMode::NaivePerAgent, ..LocalLpOptions::new(radius) },
+            )
+            .unwrap();
+            assert_eq!(batched.local_x, naive.local_x);
+            assert_eq!(batched.balls, naive.balls);
+            assert_eq!(batched.class_of_ball, naive.class_of_ball);
+            assert_eq!(batched.stats.unique_classes, naive.stats.unique_classes);
+            assert!(batched.stats.lp_solves <= naive.stats.lp_solves);
+            assert_eq!(naive.stats.cache_hits, 0);
+        }
+    }
+
+    #[test]
+    fn dedup_statistics_are_consistent() {
+        let inst = grid(8, false);
+        let batch = solve_local_lps(&inst, &LocalLpOptions::new(2)).unwrap();
+        let s = &batch.stats;
+        assert_eq!(s.balls_enumerated, inst.num_agents());
+        assert!(s.unique_classes <= s.distinct_presentations);
+        assert!(s.distinct_presentations <= s.balls_enumerated);
+        assert!(s.lp_solves <= s.unique_classes);
+        assert_eq!(s.cache_hits, s.balls_enumerated - s.unique_classes);
+        assert!(s.cache_hit_rate() > 0.0);
+        assert!(s.dedup_factor() > 1.0);
+        assert_eq!(batch.class_bases.len(), s.unique_classes);
+    }
+
+    #[test]
+    fn torus_collapses_to_a_single_class() {
+        // On an unweighted torus every agent sees the same ball LP.
+        let inst = grid(6, true);
+        let batch = solve_local_lps(&inst, &LocalLpOptions::new(1)).unwrap();
+        assert_eq!(batch.stats.unique_classes, 1);
+        assert_eq!(batch.stats.lp_solves, 1);
+        assert!(batch.class_of_ball.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn twenty_grid_dedups_at_least_10x_at_radius_2() {
+        let inst = grid(20, false);
+        let batch = solve_local_lps(&inst, &LocalLpOptions::new(2)).unwrap();
+        let s = &batch.stats;
+        assert!(
+            s.lp_solves * 10 <= s.balls_enumerated,
+            "only {}/{} LP solves saved",
+            s.lp_solves,
+            s.balls_enumerated
+        );
+    }
+
+    #[test]
+    fn sequential_and_parallel_execution_agree() {
+        let inst = grid(5, false);
+        let seq = solve_local_lps(
+            &inst,
+            &LocalLpOptions { parallel: ParallelConfig::sequential(), ..LocalLpOptions::new(2) },
+        )
+        .unwrap();
+        let par = solve_local_lps(
+            &inst,
+            &LocalLpOptions { parallel: ParallelConfig::with_threads(8), ..LocalLpOptions::new(2) },
+        )
+        .unwrap();
+        assert_eq!(seq.local_x, par.local_x);
+        assert_eq!(seq.stats.unique_classes, par.stats.unique_classes);
+    }
+
+    #[test]
+    fn empty_instance_short_circuits() {
+        let mut b = InstanceBuilder::new();
+        b.allow_unconstrained_agents();
+        let inst = b.build().unwrap();
+        let batch = solve_local_lps(&inst, &LocalLpOptions::new(1)).unwrap();
+        assert!(batch.balls.is_empty());
+        assert_eq!(batch.stats, SolveStats::default());
+    }
+}

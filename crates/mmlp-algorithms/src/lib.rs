@@ -7,6 +7,10 @@
 //!   every agent solves the local LP (9) in its radius-`R` ball and the
 //!   results are scaled and averaged, achieving ratio `γ(R−1)·γ(R)`
 //!   (Section 5);
+//! * [`engine`] — the batched local-LP engine: enumerates all balls in one
+//!   sweep, canonicalises each ball's local LP, solves each *unique* LP
+//!   class once and scatters the results (with a naive per-agent reference
+//!   mode that provably produces bit-identical solutions);
 //! * [`runner`] — the bridge to `mmlp-distsim`: run any view-based local rule
 //!   through the synchronous simulator and account for rounds and messages;
 //! * [`analysis`] — the centralised optimum baseline, the trivial uniform
@@ -21,14 +25,18 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod engine;
 pub mod local_averaging;
 pub mod runner;
 pub mod safe;
 
 pub use analysis::{compare_algorithms, uniform_baseline, AlgorithmComparison, ComparisonEntry};
+pub use engine::{
+    solve_local_lps, LocalLpBatch, LocalLpOptions, SolveMode, SolveStats, StageTimings,
+};
 pub use local_averaging::{
     local_averaging, local_averaging_activity_from_view, LocalAveragingOptions,
     LocalAveragingResult,
 };
-pub use runner::{run_local_rule, views_direct, LocalRun};
+pub use runner::{apply_rule_direct, run_local_rule, views_direct, LocalRun};
 pub use safe::{safe_activity_from_view, safe_algorithm, SAFE_HORIZON};

@@ -20,12 +20,21 @@
 //! ([`local_averaging`]) and the honest per-agent rule
 //! ([`local_averaging_activity_from_view`]) that only looks at the agent's
 //! radius-`2R+1` view; the two produce identical solutions.
+//!
+//! The per-agent local LPs are dispatched through the batched local-LP
+//! engine ([`crate::engine`]): structurally identical ball LPs are detected
+//! by canonicalisation and solved once.  Because every mode of the engine
+//! solves the *canonical* presentation of each ball LP, the batched default,
+//! the [`SolveMode::NaivePerAgent`] reference mode and the view-based rule
+//! all produce bit-identical solutions; the engine's [`SolveStats`] are
+//! surfaced in [`LocalAveragingResult::stats`].
 
+use crate::engine::{solve_local_lps, LocalLpOptions, SolveMode, SolveStats};
+use mmlp_core::canonical::canonical_form;
 use mmlp_core::{AgentId, InstanceBuilder, MaxMinInstance, PartyId, ResourceId, Solution};
 use mmlp_distsim::LocalView;
-use mmlp_hypergraph::communication_hypergraph;
 use mmlp_lp::{solve_maxmin_with, LpError, SimplexOptions};
-use mmlp_parallel::{par_map_with, ParallelConfig};
+use mmlp_parallel::ParallelConfig;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Options of the local averaging algorithm.
@@ -38,18 +47,32 @@ pub struct LocalAveragingOptions {
     pub parallel: ParallelConfig,
     /// Options for the simplex solver used on the local LPs.
     pub simplex: SimplexOptions,
+    /// How the local LPs are dispatched: batched (dedup, the default) or
+    /// naive per-agent (the reference mode).  Both produce bit-identical
+    /// solutions.
+    pub mode: SolveMode,
 }
 
 impl LocalAveragingOptions {
     /// Default options for a given radius.
     pub fn new(radius: usize) -> Self {
-        Self { radius, parallel: ParallelConfig::default(), simplex: SimplexOptions::default() }
+        Self {
+            radius,
+            parallel: ParallelConfig::default(),
+            simplex: SimplexOptions::default(),
+            mode: SolveMode::Batched,
+        }
     }
 
     /// Sequential execution (deterministic timing; results are identical
     /// either way).
     pub fn sequential(radius: usize) -> Self {
         Self { parallel: ParallelConfig::sequential(), ..Self::new(radius) }
+    }
+
+    /// The naive per-agent reference mode (no dedup).
+    pub fn naive(radius: usize) -> Self {
+        Self { mode: SolveMode::NaivePerAgent, ..Self::new(radius) }
     }
 }
 
@@ -68,8 +91,12 @@ pub struct LocalAveragingResult {
     /// `max_k M_k/m_k · max_i N_i/n_i` from the proof of Theorem 3 (always at
     /// most `γ(R−1)·γ(R)`).
     pub guaranteed_ratio: f64,
-    /// Total simplex pivots spent on local LPs (a work measure).
+    /// Total simplex pivots spent on local LPs (a work measure; equal to
+    /// `stats.total_pivots`).
     pub local_lp_pivots: u64,
+    /// What the batched local-LP engine did: balls enumerated, unique LP
+    /// classes, cache hits, solves, pivots and per-stage wall-clock.
+    pub stats: SolveStats,
 }
 
 /// Runs the local averaging algorithm centrally.
@@ -92,33 +119,24 @@ pub fn local_averaging(
             ball_sizes: vec![],
             guaranteed_ratio: 1.0,
             local_lp_pivots: 0,
+            stats: SolveStats::default(),
         });
     }
-    let (h, _) = communication_hypergraph(instance);
 
-    // Balls B_H(u, R) for every agent, sorted.
-    let agents: Vec<usize> = (0..n).collect();
-    let balls: Vec<Vec<usize>> =
-        par_map_with(&options.parallel, &agents, |&u| h.ball(u, options.radius));
-
-    // Local optima x^u of the LP (9), stored aligned with `balls[u]`.
-    let locals: Vec<Result<(Vec<f64>, u64), LpError>> =
-        par_map_with(&options.parallel, &agents, |&u| {
-            let keep: Vec<AgentId> = balls[u].iter().map(|&v| AgentId::new(v)).collect();
-            let (sub, _) = instance.restrict_to_agents(&keep);
-            if sub.num_parties() == 0 {
-                return Ok((vec![0.0; keep.len()], 0));
-            }
-            let opt = solve_maxmin_with(&sub, &options.simplex)?;
-            Ok((opt.solution.into_vec(), opt.pivots as u64))
-        });
-    let mut local_x: Vec<Vec<f64>> = Vec::with_capacity(n);
-    let mut local_lp_pivots = 0u64;
-    for result in locals {
-        let (x, pivots) = result?;
-        local_x.push(x);
-        local_lp_pivots += pivots;
-    }
+    // Balls B_H(u, R) and the local optima x^u of the LP (9), through the
+    // batched engine (enumerate → canonicalise → dedup + solve → scatter).
+    let batch = solve_local_lps(
+        instance,
+        &LocalLpOptions {
+            radius: options.radius,
+            parallel: options.parallel,
+            simplex: options.simplex,
+            mode: options.mode,
+        },
+    )?;
+    let balls = &batch.balls;
+    let local_x = &batch.local_x;
+    let local_lp_pivots = batch.stats.total_pivots;
 
     // Resource statistics n_i, N_i and party statistics m_k, M_k.
     let mut resource_ratio: Vec<f64> = Vec::with_capacity(instance.num_resources());
@@ -176,6 +194,7 @@ pub fn local_averaging(
         ball_sizes: balls.iter().map(|b| b.len()).collect(),
         guaranteed_ratio,
         local_lp_pivots,
+        stats: batch.stats,
     })
 }
 
@@ -223,7 +242,10 @@ pub fn local_averaging_activity_from_view(
         return 0.0;
     }
 
-    // Σ_{u ∈ V^j} x^u_j over the local LPs of every ball containing j.
+    // Σ_{u ∈ V^j} x^u_j over the local LPs of every ball containing j.  Each
+    // ball LP is solved on its *canonical* presentation — exactly what the
+    // batched engine does centrally — so the per-agent rule reproduces the
+    // central computation bit for bit.
     let mut sum = 0.0;
     for &u in &v_j {
         let ball_u = reconstruction.ball(u, radius);
@@ -231,10 +253,11 @@ pub fn local_averaging_activity_from_view(
         if sub.num_parties() == 0 {
             continue;
         }
-        let opt = solve_maxmin_with(&sub, simplex)
+        let form = canonical_form(&sub);
+        let opt = solve_maxmin_with(&form.instance, simplex)
             .expect("local LPs of validated instances are solvable");
         let pos = members.binary_search(&view.center).expect("j ∈ V^u because u ∈ V^j");
-        sum += opt.solution.activity(AgentId::new(pos));
+        sum += opt.solution.activity(AgentId::new(form.labelling[pos]));
     }
     beta / v_j.len() as f64 * sum
 }
@@ -379,7 +402,7 @@ mod tests {
     use crate::runner::views_direct;
     use crate::safe::safe_algorithm;
     use mmlp_core::bounds::theorem3_ratio;
-    use mmlp_hypergraph::growth_profile;
+    use mmlp_hypergraph::{communication_hypergraph, growth_profile};
     use mmlp_instances::{
         grid_instance, random_instance, sensor_network_instance, GridConfig, RandomInstanceConfig,
         SensorNetworkConfig,

@@ -45,6 +45,12 @@ pub fn safe_algorithm(instance: &MaxMinInstance) -> Solution {
 ///
 /// Agents with no resource constraint (possible only in relaxed instances
 /// such as the paper's `S'`) output 0, the conservative choice.
+///
+/// At horizon ≥ 1 every resource the centre consumes has its full support
+/// inside the view (all members of `V_i` share the hyperedge `V_i` with the
+/// centre), so a resource without a visible support cannot occur; it is a
+/// debug assertion, and in release builds the rule falls back to the
+/// always-feasible activity 0 rather than guessing a support size.
 pub fn safe_activity_from_view(view: &LocalView) -> f64 {
     let Some(own) = view.knowledge(view.center) else {
         return 0.0;
@@ -54,8 +60,16 @@ pub fn safe_activity_from_view(view: &LocalView) -> f64 {
         .resources
         .iter()
         .map(|(i, a_iv)| {
-            let support = visible.get(i).map(|s| s.len()).unwrap_or(1);
-            1.0 / (a_iv * support as f64)
+            let Some(support) = visible.get(i) else {
+                debug_assert!(
+                    false,
+                    "resource {i} consumed by the centre has no visible support; \
+                     the safe rule needs a horizon-{SAFE_HORIZON} view (got radius {})",
+                    view.radius
+                );
+                return 0.0;
+            };
+            1.0 / (a_iv * support.len() as f64)
         })
         .fold(f64::INFINITY, f64::min);
     if x.is_finite() {

@@ -1,0 +1,65 @@
+//! Benchmark for the batched local-LP engine: dedup + scatter versus the
+//! naive one-LP-per-agent reference mode, and the engine's scaling on the
+//! acceptance workload (50×50 grid at `R = 2`, where canonicalisation
+//! collapses 2500 per-agent LPs into a few dozen unique classes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maxmin_local_lp::prelude::*;
+use mmlp_bench::bench_rng;
+
+fn uniform_grid(side: usize) -> MaxMinInstance {
+    let cfg = GridConfig { side_lengths: vec![side, side], torus: false, random_weights: false };
+    grid_instance(&cfg, &mut bench_rng(4))
+}
+
+fn bench_batched_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_batched_vs_naive_local_averaging");
+    group.sample_size(10);
+    let inst = uniform_grid(12);
+    for (name, options) in
+        [("batched", LocalAveragingOptions::new(2)), ("naive", LocalAveragingOptions::naive(2))]
+    {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let result = local_averaging(&inst, &options).unwrap();
+                std::hint::black_box(inst.objective(&result.solution).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_stages_on_grid50(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_engine_grid50");
+    group.sample_size(10);
+    let inst = uniform_grid(50);
+    for radius in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::from_parameter(radius), &radius, |b, &radius| {
+            b.iter(|| {
+                let batch = solve_local_lps(&inst, &LocalLpOptions::new(radius)).unwrap();
+                // The acceptance property the stats must show: ≥10× fewer
+                // simplex solves than agents.
+                assert!(batch.stats.lp_solves * 10 <= batch.stats.balls_enumerated);
+                std::hint::black_box(batch.stats.unique_classes)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ball_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_ball_enumeration_sweep");
+    group.sample_size(20);
+    let inst = uniform_grid(50);
+    let (h, _) = communication_hypergraph(&inst);
+    group.bench_function("all_balls_r2", |b| b.iter(|| std::hint::black_box(h.all_balls(2).len())));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batched_vs_naive,
+    bench_engine_stages_on_grid50,
+    bench_ball_enumeration
+);
+criterion_main!(benches);

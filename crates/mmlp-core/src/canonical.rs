@@ -1,0 +1,594 @@
+//! Canonical forms of max-min LP instances.
+//!
+//! The batched local-LP engine (in `mmlp-algorithms`) solves one local LP per
+//! agent, and on regular instances most of those LPs are *structurally
+//! identical*: they differ only in how their agents, resources and parties
+//! happen to be numbered.  This module computes a **canonical form** — a
+//! relabelling of the instance that is invariant under any permutation of
+//! agent identifiers (and of the resource/party listing order) — so that
+//! structurally identical LPs map to the same [`CanonicalKey`] and are
+//! detected by a hash lookup.
+//!
+//! The algorithm is the classic individualisation–refinement scheme used for
+//! graph canonisation, specialised to the bipartite agent/constraint
+//! structure of a max-min LP:
+//!
+//! 1. **Colour refinement.**  Agents start with one shared colour and are
+//!    repeatedly split by the signature "(own colour, multiset of incident
+//!    resource shapes, multiset of incident party shapes)", where a
+//!    resource/party shape lists the member colours together with the exact
+//!    coefficient bits.  This is the Weisfeiler–Leman refinement on the
+//!    coefficient-weighted incidence structure.
+//! 2. **Individualisation.**  If refinement stabilises with a non-singleton
+//!    colour class, each member of the first such class is tentatively given
+//!    a fresh colour, refinement is re-run, and the recursion keeps the
+//!    lexicographically smallest complete encoding.  This makes the result a
+//!    true canonical form (isomorphic instances produce identical keys), not
+//!    just an invariant.
+//!
+//! Local LPs have constant-bounded size in the paper's setting, so the
+//! worst-case exponential branching of step 2 is never a concern in
+//! practice; highly symmetric balls simply explore one branch per
+//! automorphism-equivalent choice.
+
+use crate::ids::AgentId;
+use crate::instance::{Agent, MaxMinInstance, Party, Resource};
+
+/// Sentinel opening each resource section inside flat LP encodings (both
+/// the canonical encoding here and the engine's presentation keys).
+/// Coefficient bit patterns can collide with small integers, so the
+/// sentinels are fixed bit patterns that valid (positive, finite)
+/// coefficients and indices never produce.
+pub const SEP_RESOURCE: u64 = u64::MAX;
+/// Sentinel opening each party section inside flat LP encodings.
+pub const SEP_PARTY: u64 = u64::MAX - 1;
+/// Sentinel opening each `(agent, coefficient)` entry inside an encoding.
+pub const SEP_ENTRY: u64 = u64::MAX - 2;
+
+/// A hashable, order-independent fingerprint of a max-min LP instance.
+///
+/// Two instances have equal keys **iff** they are isomorphic: there is a
+/// bijection of agents (and an induced matching of resources and parties)
+/// that maps every coefficient onto an exactly equal coefficient.  The key
+/// is the flat encoding of the canonically relabelled instance.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonicalKey(Vec<u64>);
+
+impl CanonicalKey {
+    /// The raw encoding words (exposed for diagnostics and hashing).
+    pub fn as_words(&self) -> &[u64] {
+        &self.0
+    }
+}
+
+/// The canonical form of an instance: its key, the relabelling that produced
+/// it, and the relabelled instance itself (ready to hand to a solver).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CanonicalForm {
+    /// The canonical fingerprint.
+    pub key: CanonicalKey,
+    /// `labelling[v]` is the canonical index of original agent `v`.
+    pub labelling: Vec<usize>,
+    /// The instance with agents renumbered by `labelling` and the resource /
+    /// party lists sorted into canonical order.
+    ///
+    /// Isomorphic inputs produce **bit-identical** canonical instances, so a
+    /// deterministic solver run on this instance returns bit-identical
+    /// results for every member of an isomorphism class.
+    pub instance: MaxMinInstance,
+}
+
+impl CanonicalForm {
+    /// Translates a solution of the canonical instance back to the original
+    /// agent order: entry `v` of the result is the canonical solution's value
+    /// for original agent `v`.
+    pub fn unpermute(&self, canonical_values: &[f64]) -> Vec<f64> {
+        assert_eq!(canonical_values.len(), self.labelling.len());
+        self.labelling.iter().map(|&c| canonical_values[c]).collect()
+    }
+}
+
+/// Computes the canonical form of an instance.
+///
+/// See the module docs for the algorithm.  The instance may have any shape
+/// accepted by [`MaxMinInstance`] (including zero parties, as happens for
+/// ball LPs whose ball contains no complete party support).
+pub fn canonical_form(instance: &MaxMinInstance) -> CanonicalForm {
+    let n = instance.num_agents();
+    if n == 0 {
+        return CanonicalForm {
+            key: CanonicalKey(vec![0, 0, 0]),
+            labelling: Vec::new(),
+            instance: instance.clone(),
+        };
+    }
+    let ctx = Context::new(instance);
+    let mut colors = vec![0u32; n];
+    ctx.refine(&mut colors);
+    let mut best: Option<(Vec<u64>, Vec<usize>)> = None;
+    ctx.search(colors, &mut best);
+    let (encoding, labelling) = best.expect("search always yields at least one labelling");
+    let canonical = ctx.relabel(&labelling);
+    CanonicalForm { key: CanonicalKey(encoding), labelling, instance: canonical }
+}
+
+/// Convenience wrapper returning only the key.
+pub fn canonical_key(instance: &MaxMinInstance) -> CanonicalKey {
+    canonical_form(instance).key
+}
+
+/// Immutable view of the instance used throughout refinement and search.
+struct Context<'a> {
+    instance: &'a MaxMinInstance,
+    num_agents: usize,
+    /// Twin-equivalence class of each agent: two agents are *twins* when
+    /// swapping them (and touching nothing else) is an automorphism of the
+    /// instance.  The individualisation search only needs to branch on one
+    /// member per twin class — the branches of the other members are images
+    /// of that one under the transposition, so they reach the same minimal
+    /// encoding.  This keeps instances with many interchangeable agents
+    /// (e.g. identical agents on private resources) linear instead of
+    /// factorial.
+    twin_class: Vec<usize>,
+}
+
+impl<'a> Context<'a> {
+    fn new(instance: &'a MaxMinInstance) -> Self {
+        let twin_class = twin_classes(instance);
+        Self { instance, num_agents: instance.num_agents(), twin_class }
+    }
+
+    /// One agent's refinement signature under the current colouring.
+    ///
+    /// The signature is a flat word list: own colour, then the sorted
+    /// multiset of incident resource shapes, then the sorted multiset of
+    /// incident party shapes.  A shape records the agent's own coefficient
+    /// and the full `(colour, coefficient)` membership of the hyperedge.
+    fn signature(&self, v: usize, colors: &[u32]) -> Vec<u64> {
+        let agent = &self.instance.agents[v];
+        let mut sig = vec![colors[v] as u64];
+        let mut shapes: Vec<Vec<u64>> = agent
+            .resources
+            .iter()
+            .map(|(i, a)| {
+                let mut shape = vec![a.to_bits()];
+                let mut members: Vec<(u64, u64)> = self.instance.resources[i.index()]
+                    .agents
+                    .iter()
+                    .map(|(u, b)| (colors[u.index()] as u64, b.to_bits()))
+                    .collect();
+                members.sort_unstable();
+                for (c, b) in members {
+                    shape.push(c);
+                    shape.push(b);
+                }
+                shape
+            })
+            .collect();
+        shapes.sort_unstable();
+        for shape in &shapes {
+            sig.push(SEP_RESOURCE);
+            sig.extend_from_slice(shape);
+        }
+        let mut shapes: Vec<Vec<u64>> = agent
+            .parties
+            .iter()
+            .map(|(k, c)| {
+                let mut shape = vec![c.to_bits()];
+                let mut members: Vec<(u64, u64)> = self.instance.parties[k.index()]
+                    .agents
+                    .iter()
+                    .map(|(u, b)| (colors[u.index()] as u64, b.to_bits()))
+                    .collect();
+                members.sort_unstable();
+                for (col, b) in members {
+                    shape.push(col);
+                    shape.push(b);
+                }
+                shape
+            })
+            .collect();
+        shapes.sort_unstable();
+        for shape in &shapes {
+            sig.push(SEP_PARTY);
+            sig.extend_from_slice(shape);
+        }
+        sig
+    }
+
+    /// Runs colour refinement to a fixed point.  Colours are canonical ranks
+    /// (0-based, ordered by signature), so the result is invariant under any
+    /// permutation of the input agent ids.
+    fn refine(&self, colors: &mut [u32]) {
+        let n = self.num_agents;
+        let mut num_colors = colors.iter().collect::<std::collections::BTreeSet<_>>().len();
+        loop {
+            let sigs: Vec<Vec<u64>> = (0..n).map(|v| self.signature(v, colors)).collect();
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| sigs[a].cmp(&sigs[b]));
+            let mut next = 0u32;
+            let mut previous: Option<&[u64]> = None;
+            for &v in &order {
+                if let Some(p) = previous {
+                    if p != sigs[v].as_slice() {
+                        next += 1;
+                    }
+                }
+                colors[v] = next;
+                previous = Some(&sigs[v]);
+            }
+            let new_num = next as usize + 1;
+            if new_num == num_colors {
+                return;
+            }
+            num_colors = new_num;
+        }
+    }
+
+    /// Individualisation search: explores every member of the first
+    /// non-singleton colour class and keeps the lexicographically smallest
+    /// complete encoding.
+    fn search(&self, colors: Vec<u32>, best: &mut Option<(Vec<u64>, Vec<usize>)>) {
+        let n = self.num_agents;
+        // Count class sizes to find the first non-singleton class.
+        let mut class_size = vec![0usize; n];
+        for &c in &colors {
+            class_size[c as usize] += 1;
+        }
+        let target = class_size.iter().position(|&s| s > 1);
+        let Some(target) = target else {
+            // Discrete colouring: colours are exactly the canonical indices.
+            let labelling: Vec<usize> = colors.iter().map(|&c| c as usize).collect();
+            let encoding = self.encode(&labelling);
+            let improves = match best {
+                None => true,
+                Some((incumbent, _)) => encoding < *incumbent,
+            };
+            if improves {
+                *best = Some((encoding, labelling));
+            }
+            return;
+        };
+        let mut branched_twin_classes = std::collections::BTreeSet::new();
+        for v in 0..n {
+            if colors[v] as usize != target {
+                continue;
+            }
+            // Twins reach the same minimal encoding; branch once per class.
+            if !branched_twin_classes.insert(self.twin_class[v]) {
+                continue;
+            }
+            let mut branch = colors.clone();
+            // Give `v` a fresh colour; refinement re-ranks everything.
+            branch[v] = n as u32;
+            self.refine(&mut branch);
+            self.search(branch, best);
+        }
+    }
+
+    /// Flat encoding of the instance under a discrete labelling.
+    fn encode(&self, labelling: &[usize]) -> Vec<u64> {
+        let inst = self.instance;
+        let mut encoding =
+            vec![inst.num_agents() as u64, inst.num_resources() as u64, inst.num_parties() as u64];
+        let mut resources = self.relabelled_edges(&inst.resources, labelling, Resource::members);
+        let mut parties = self.relabelled_edges(&inst.parties, labelling, Party::members);
+        for (sep, edges) in [(SEP_RESOURCE, &mut resources), (SEP_PARTY, &mut parties)] {
+            edges.sort_unstable();
+            for edge in edges.iter() {
+                encoding.push(sep);
+                for &(v, bits) in edge {
+                    encoding.push(SEP_ENTRY);
+                    encoding.push(v as u64);
+                    encoding.push(bits);
+                }
+            }
+        }
+        encoding
+    }
+
+    /// The hyperedges of one kind, relabelled and sorted member-wise.
+    fn relabelled_edges<E>(
+        &self,
+        edges: &[E],
+        labelling: &[usize],
+        members: impl Fn(&E) -> &[(AgentId, f64)],
+    ) -> Vec<Vec<(usize, u64)>> {
+        edges
+            .iter()
+            .map(|e| {
+                let mut entries: Vec<(usize, u64)> = members(e)
+                    .iter()
+                    .map(|(v, c)| (labelling[v.index()], c.to_bits()))
+                    .collect();
+                entries.sort_unstable();
+                entries
+            })
+            .collect()
+    }
+
+    /// Builds the canonically relabelled instance for a discrete labelling.
+    fn relabel(&self, labelling: &[usize]) -> MaxMinInstance {
+        let inst = self.instance;
+        let mut resources = self.relabelled_edges(&inst.resources, labelling, Resource::members);
+        resources.sort_unstable();
+        let mut parties = self.relabelled_edges(&inst.parties, labelling, Party::members);
+        parties.sort_unstable();
+        assemble(self.num_agents, &resources, &parties)
+    }
+}
+
+/// Computes the twin-equivalence classes of the agents: `u` and `v` are
+/// twins iff the transposition `(u v)` is an automorphism of the instance,
+/// i.e. it maps the resource shape multiset and the party shape multiset
+/// each onto themselves.
+fn twin_classes(instance: &MaxMinInstance) -> Vec<usize> {
+    use std::collections::HashMap;
+    let n = instance.num_agents();
+    type Shape = Vec<(usize, u64)>;
+    let shape_of = |entries: &[(AgentId, f64)]| -> Shape {
+        let mut s: Shape = entries.iter().map(|(v, c)| (v.index(), c.to_bits())).collect();
+        s.sort_unstable();
+        s
+    };
+    let resource_shapes: Vec<Shape> =
+        instance.resources.iter().map(|r| shape_of(&r.agents)).collect();
+    let party_shapes: Vec<Shape> = instance.parties.iter().map(|p| shape_of(&p.agents)).collect();
+    let count_shapes = |shapes: &[Shape]| -> HashMap<Shape, usize> {
+        let mut counts = HashMap::new();
+        for s in shapes {
+            *counts.entry(s.clone()).or_insert(0) += 1;
+        }
+        counts
+    };
+    let resource_counts = count_shapes(&resource_shapes);
+    let party_counts = count_shapes(&party_shapes);
+
+    let swap = |shape: &Shape, u: usize, v: usize| -> Shape {
+        let mut out: Shape = shape
+            .iter()
+            .map(|&(w, c)| {
+                (
+                    if w == u {
+                        v
+                    } else if w == v {
+                        u
+                    } else {
+                        w
+                    },
+                    c,
+                )
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    };
+    // A cheap pre-filter: twins must have identical coefficient profiles.
+    let profile = |v: usize| -> (Vec<u64>, Vec<u64>) {
+        let agent = &instance.agents[v];
+        let mut r: Vec<u64> = agent.resources.iter().map(|(_, a)| a.to_bits()).collect();
+        r.sort_unstable();
+        let mut p: Vec<u64> = agent.parties.iter().map(|(_, c)| c.to_bits()).collect();
+        p.sort_unstable();
+        (r, p)
+    };
+    let profiles: Vec<(Vec<u64>, Vec<u64>)> = (0..n).map(profile).collect();
+
+    let are_twins = |u: usize, v: usize| -> bool {
+        let check = |shapes: &[Shape],
+                     counts: &HashMap<Shape, usize>,
+                     edges_u: &[usize],
+                     edges_v: &[usize]| {
+            let mut touched: Vec<usize> = edges_u.iter().chain(edges_v).copied().collect();
+            touched.sort_unstable();
+            touched.dedup();
+            touched.iter().all(|&e| {
+                let swapped = swap(&shapes[e], u, v);
+                counts.get(&swapped) == counts.get(&shapes[e])
+            })
+        };
+        let eu: Vec<usize> = instance.agents[u].resources.iter().map(|(i, _)| i.index()).collect();
+        let ev: Vec<usize> = instance.agents[v].resources.iter().map(|(i, _)| i.index()).collect();
+        if !check(&resource_shapes, &resource_counts, &eu, &ev) {
+            return false;
+        }
+        let eu: Vec<usize> = instance.agents[u].parties.iter().map(|(k, _)| k.index()).collect();
+        let ev: Vec<usize> = instance.agents[v].parties.iter().map(|(k, _)| k.index()).collect();
+        check(&party_shapes, &party_counts, &eu, &ev)
+    };
+
+    // Union-find over agents; twinness is transitive enough for our use
+    // (each union is justified by an explicit transposition automorphism,
+    // and products of automorphisms are automorphisms).
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for u in 0..n {
+        for v in u + 1..n {
+            if profiles[u] != profiles[v] {
+                continue;
+            }
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru != rv && are_twins(u, v) {
+                parent[rv] = ru;
+            }
+        }
+    }
+    let mut dense = vec![usize::MAX; n];
+    let mut next = 0;
+    (0..n)
+        .map(|v| {
+            let root = find(&mut parent, v);
+            if dense[root] == usize::MAX {
+                dense[root] = next;
+                next += 1;
+            }
+            dense[root]
+        })
+        .collect()
+}
+
+/// Assembles a [`MaxMinInstance`] from relabelled, canonically sorted edge
+/// lists (entries are `(canonical agent index, coefficient bits)`).
+fn assemble(
+    num_agents: usize,
+    resources: &[Vec<(usize, u64)>],
+    parties: &[Vec<(usize, u64)>],
+) -> MaxMinInstance {
+    let mut agents = vec![Agent::default(); num_agents];
+    let mut out_resources = Vec::with_capacity(resources.len());
+    for (idx, entries) in resources.iter().enumerate() {
+        let i = crate::ids::resource(idx);
+        let mut members = Vec::with_capacity(entries.len());
+        for &(v, bits) in entries {
+            let a = f64::from_bits(bits);
+            members.push((AgentId::new(v), a));
+            agents[v].resources.push((i, a));
+        }
+        out_resources.push(Resource { agents: members });
+    }
+    let mut out_parties = Vec::with_capacity(parties.len());
+    for (idx, entries) in parties.iter().enumerate() {
+        let k = crate::ids::party(idx);
+        let mut members = Vec::with_capacity(entries.len());
+        for &(v, bits) in entries {
+            let c = f64::from_bits(bits);
+            members.push((AgentId::new(v), c));
+            agents[v].parties.push((k, c));
+        }
+        out_parties.push(Party { agents: members });
+    }
+    MaxMinInstance { agents, resources: out_resources, parties: out_parties }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::InstanceBuilder;
+
+    /// A 4-cycle: agents 0-1-2-3-0, one resource per edge, one party per
+    /// agent over its closed neighbourhood.
+    fn cycle4() -> MaxMinInstance {
+        let mut b = InstanceBuilder::new();
+        let v = b.add_agents(4);
+        for e in 0..4 {
+            let i = b.add_resource();
+            b.set_consumption(i, v[e], 1.0);
+            b.set_consumption(i, v[(e + 1) % 4], 1.0);
+        }
+        for a in 0..4 {
+            let k = b.add_party();
+            b.set_benefit(k, v[a], 1.0);
+            b.set_benefit(k, v[(a + 1) % 4], 1.0);
+            b.set_benefit(k, v[(a + 3) % 4], 1.0);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn key_is_invariant_under_agent_permutation() {
+        let inst = cycle4();
+        let base = canonical_form(&inst);
+        for rotation in 1..4 {
+            let perm: Vec<usize> = (0..4).map(|v| (v + rotation) % 4).collect();
+            let permuted = inst.permute_agents(&perm);
+            let form = canonical_form(&permuted);
+            assert_eq!(base.key, form.key, "rotation {rotation}");
+            assert_eq!(base.instance, form.instance, "rotation {rotation}");
+        }
+    }
+
+    #[test]
+    fn key_distinguishes_different_coefficients() {
+        let mut b = InstanceBuilder::new();
+        let v = b.add_agents(2);
+        let i = b.add_resource();
+        b.set_consumption(i, v[0], 1.0);
+        b.set_consumption(i, v[1], 1.0);
+        let k = b.add_party();
+        b.set_benefit(k, v[0], 1.0);
+        let symmetric = b.build().unwrap();
+
+        let mut b = InstanceBuilder::new();
+        let v = b.add_agents(2);
+        let i = b.add_resource();
+        b.set_consumption(i, v[0], 1.0);
+        b.set_consumption(i, v[1], 2.0);
+        let k = b.add_party();
+        b.set_benefit(k, v[0], 1.0);
+        let skewed = b.build().unwrap();
+
+        assert_ne!(canonical_key(&symmetric), canonical_key(&skewed));
+    }
+
+    #[test]
+    fn mirror_images_share_a_key() {
+        // A path 0-1-2 with benefits 1, 2 on the endpoint parties, and its
+        // mirror with the benefits swapped: isomorphic via reversal.
+        let build = |left: f64, right: f64| {
+            let mut b = InstanceBuilder::new();
+            let v = b.add_agents(3);
+            for e in 0..2 {
+                let i = b.add_resource();
+                b.set_consumption(i, v[e], 1.0);
+                b.set_consumption(i, v[e + 1], 1.0);
+            }
+            let k = b.add_party();
+            b.set_benefit(k, v[0], left);
+            let k = b.add_party();
+            b.set_benefit(k, v[2], right);
+            b.build().unwrap()
+        };
+        assert_eq!(canonical_key(&build(1.0, 2.0)), canonical_key(&build(2.0, 1.0)));
+        assert_ne!(canonical_key(&build(1.0, 2.0)), canonical_key(&build(1.0, 3.0)));
+    }
+
+    #[test]
+    fn canonical_instance_is_isomorphic_to_the_input() {
+        let inst = cycle4();
+        let form = canonical_form(&inst);
+        // The canonical instance of the canonical instance is itself
+        // (idempotence), and its labelling is the identity ordering.
+        let again = canonical_form(&form.instance);
+        assert_eq!(form.key, again.key);
+        assert_eq!(form.instance, again.instance);
+        // The labelling is a bijection.
+        let mut seen = vec![false; inst.num_agents()];
+        for &c in &form.labelling {
+            assert!(!seen[c]);
+            seen[c] = true;
+        }
+    }
+
+    #[test]
+    fn unpermute_round_trips() {
+        let inst = cycle4();
+        let form = canonical_form(&inst);
+        // Value of canonical agent c is 10 + c; original agent v must read
+        // back 10 + labelling[v].
+        let canonical_values: Vec<f64> = (0..4).map(|c| 10.0 + c as f64).collect();
+        let original = form.unpermute(&canonical_values);
+        for (v, value) in original.iter().enumerate() {
+            assert_eq!(*value, 10.0 + form.labelling[v] as f64);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_instances() {
+        let mut b = InstanceBuilder::new();
+        let v = b.add_agent();
+        let i = b.add_resource();
+        b.set_consumption(i, v, 1.0);
+        let k = b.add_party();
+        b.set_benefit(k, v, 1.0);
+        let single = b.build().unwrap();
+        let form = canonical_form(&single);
+        assert_eq!(form.labelling, vec![0]);
+        assert_eq!(form.instance, single);
+    }
+}

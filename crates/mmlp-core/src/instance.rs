@@ -29,11 +29,25 @@ pub struct Resource {
     pub agents: Vec<(AgentId, f64)>,
 }
 
+impl Resource {
+    /// The support entries `(v, a_iv)` of this resource.
+    pub fn members(&self) -> &[(AgentId, f64)] {
+        &self.agents
+    }
+}
+
 /// Per-party view: the support set `V_k`.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Party {
     /// Agents benefiting this party: pairs `(v, c_kv)` with `c_kv > 0`.
     pub agents: Vec<(AgentId, f64)>,
+}
+
+impl Party {
+    /// The support entries `(v, c_kv)` of this party.
+    pub fn members(&self) -> &[(AgentId, f64)] {
+        &self.agents
+    }
 }
 
 /// The four degree bounds `Δ_I^V`, `Δ_K^V`, `Δ_V^I`, `Δ_V^K` of an instance.
@@ -332,6 +346,52 @@ impl MaxMinInstance {
             parties.push(Party { agents: kept });
         }
         (MaxMinInstance { agents, resources, parties }, keep_agents.to_vec())
+    }
+
+    /// The same instance with agent identifiers renamed by `perm`
+    /// (`perm[old] = new`); support lists are re-sorted by the new ids so the
+    /// result is a well-formed instance in its own right.
+    ///
+    /// This is the "agent-ID permutation" the canonicalisation layer
+    /// ([`crate::canonical`]) is invariant under; it is used by the
+    /// property-based tests to state that invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..num_agents`.
+    pub fn permute_agents(&self, perm: &[usize]) -> MaxMinInstance {
+        let n = self.num_agents();
+        assert_eq!(perm.len(), n, "permutation length mismatch");
+        let mut seen = vec![false; n];
+        for &p in perm {
+            assert!(p < n && !seen[p], "not a permutation of 0..{n}");
+            seen[p] = true;
+        }
+        let mut agents = vec![Agent::default(); n];
+        let relabel = |entries: &[(AgentId, f64)]| -> Vec<(AgentId, f64)> {
+            let mut out: Vec<(AgentId, f64)> =
+                entries.iter().map(|(v, c)| (AgentId::new(perm[v.index()]), *c)).collect();
+            out.sort_by_key(|(v, _)| *v);
+            out
+        };
+        let resources: Vec<Resource> = self
+            .resources
+            .iter()
+            .map(|r| Resource { agents: relabel(&r.agents) })
+            .collect();
+        let parties: Vec<Party> =
+            self.parties.iter().map(|p| Party { agents: relabel(&p.agents) }).collect();
+        for (idx, r) in resources.iter().enumerate() {
+            for (v, a) in &r.agents {
+                agents[v.index()].resources.push((ResourceId::new(idx), *a));
+            }
+        }
+        for (idx, p) in parties.iter().enumerate() {
+            for (v, c) in &p.agents {
+                agents[v.index()].parties.push((PartyId::new(idx), *c));
+            }
+        }
+        MaxMinInstance { agents, resources, parties }
     }
 
     fn check_solution_shape(&self, x: &Solution) -> Result<(), CoreError> {

@@ -28,12 +28,14 @@
 
 pub mod bounds;
 pub mod builder;
+pub mod canonical;
 pub mod error;
 pub mod ids;
 pub mod instance;
 pub mod solution;
 
 pub use builder::InstanceBuilder;
+pub use canonical::{canonical_form, canonical_key, CanonicalForm, CanonicalKey};
 pub use error::{CoreError, ValidationError};
 pub use ids::{AgentId, PartyId, ResourceId};
 pub use instance::{Agent, DegreeBounds, MaxMinInstance, Party, Resource};

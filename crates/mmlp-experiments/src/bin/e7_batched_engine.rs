@@ -1,0 +1,119 @@
+//! Experiment E7 — the batched local-LP engine at work.
+//!
+//! Three demonstrations:
+//!
+//! 1. **Dedup on the acceptance workload.**  On a 50×50 grid every interior
+//!    agent sees the same radius-`R` ball up to relabelling, so the
+//!    canonicalisation layer collapses 2500 per-agent local LPs into a few
+//!    dozen unique classes; the `SolveStats` table shows the ≥10× (in fact
+//!    ~100×) reduction in simplex solves together with the per-stage
+//!    wall-clock.
+//! 2. **Batched vs naive wall-clock.**  The same computation with dedup
+//!    disabled (the bit-identical reference mode) on a smaller grid.
+//! 3. **Warm starts.**  Re-solving a max-min LP from its own optimal basis
+//!    skips phase 1 entirely — the hook the engine exposes per ball class
+//!    for future cross-class reuse.
+
+use maxmin_local_lp::prelude::*;
+use mmlp_experiments::{banner, fmt, print_row};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn uniform_grid(side: usize) -> MaxMinInstance {
+    let cfg = GridConfig { side_lengths: vec![side, side], torus: false, random_weights: false };
+    grid_instance(&cfg, &mut StdRng::seed_from_u64(4))
+}
+
+fn main() {
+    banner("E7a: dedup statistics on the 50x50 grid (2500 agents)");
+    let widths = [3usize, 8, 8, 8, 8, 8, 8, 10, 10, 10];
+    print_row(
+        &[
+            "R".into(),
+            "balls".into(),
+            "present".into(),
+            "classes".into(),
+            "solves".into(),
+            "hit %".into(),
+            "pivots".into(),
+            "enum ms".into(),
+            "canon ms".into(),
+            "solve ms".into(),
+        ],
+        &widths,
+    );
+    let inst = uniform_grid(50);
+    for radius in [1usize, 2, 3] {
+        let batch = solve_local_lps(&inst, &LocalLpOptions::new(radius)).unwrap();
+        let s = &batch.stats;
+        print_row(
+            &[
+                radius.to_string(),
+                s.balls_enumerated.to_string(),
+                s.distinct_presentations.to_string(),
+                s.unique_classes.to_string(),
+                s.lp_solves.to_string(),
+                fmt(100.0 * s.cache_hit_rate(), 1),
+                s.total_pivots.to_string(),
+                fmt(s.timings.enumerate.as_secs_f64() * 1e3, 1),
+                fmt(s.timings.canonicalise.as_secs_f64() * 1e3, 1),
+                fmt(s.timings.solve.as_secs_f64() * 1e3, 1),
+            ],
+            &widths,
+        );
+        assert!(
+            s.lp_solves * 10 <= s.balls_enumerated,
+            "acceptance: expected >=10x fewer simplex solves than agents"
+        );
+    }
+    println!("\nReading: the number of simplex solves is the number of unique ball classes, not");
+    println!("the number of agents — on regular instances the dedup factor grows with the grid.");
+
+    banner("E7b: batched vs naive wall-clock (12x12 grid, R = 2, identical output)");
+    let small = uniform_grid(12);
+    let start = Instant::now();
+    let batched = local_averaging(&small, &LocalAveragingOptions::new(2)).unwrap();
+    let batched_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let naive = local_averaging(&small, &LocalAveragingOptions::naive(2)).unwrap();
+    let naive_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(batched.solution, naive.solution, "modes must be bit-identical");
+    let widths = [10usize, 12, 12, 12];
+    print_row(&["mode".into(), "time (ms)".into(), "lp solves".into(), "pivots".into()], &widths);
+    print_row(
+        &[
+            "batched".into(),
+            fmt(batched_ms, 1),
+            batched.stats.lp_solves.to_string(),
+            batched.stats.total_pivots.to_string(),
+        ],
+        &widths,
+    );
+    print_row(
+        &[
+            "naive".into(),
+            fmt(naive_ms, 1),
+            naive.stats.lp_solves.to_string(),
+            naive.stats.total_pivots.to_string(),
+        ],
+        &widths,
+    );
+    println!("\nThe two modes return bit-identical solutions (asserted above).");
+
+    banner("E7c: warm-start hook — re-solving from the optimal basis skips phase 1");
+    let torus = grid_instance(
+        &GridConfig { side_lengths: vec![14, 14], torus: true, random_weights: true },
+        &mut StdRng::seed_from_u64(4),
+    );
+    let options = SimplexOptions::default();
+    let cold = solve_maxmin_with(&torus, &options).unwrap();
+    let warm = solve_maxmin_warm(&torus, &options, Some(&cold.warm_start())).unwrap();
+    assert!((cold.objective - warm.objective).abs() < 1e-9);
+    let widths = [10usize, 12, 14];
+    print_row(&["solve".into(), "pivots".into(), "objective".into()], &widths);
+    print_row(&["cold".into(), cold.pivots.to_string(), fmt(cold.objective, 6)], &widths);
+    print_row(&["warm".into(), warm.pivots.to_string(), fmt(warm.objective, 6)], &widths);
+    println!("\nThe warm re-solve pays one installation elimination per row and zero phase-1");
+    println!("pivots; the engine records the optimal basis of every ball class for this reuse.");
+}

@@ -11,6 +11,7 @@
 //! | `e4_growth_scheme` | Theorem 3 / Figure 2: growth-bounded approximation scheme |
 //! | `e5_sensor_network` | Section 2 sensor-network application |
 //! | `e6_scalability` | Section 1.1 constant-per-node scalability claim |
+//! | `e7_batched_engine` | batched local-LP engine: dedup stats, naive mode, warm starts |
 
 #![forbid(unsafe_code)]
 

@@ -152,6 +152,35 @@ impl Hypergraph {
         (0..self.num_nodes).filter(|&u| dist[u] <= r).collect()
     }
 
+    /// Pre-computes the deduplicated neighbour lists of every node in CSR
+    /// form, the shared input of [`BallEnumerator`].
+    ///
+    /// Hyperedge-based BFS re-derives each node's neighbours from its
+    /// incident edge lists on every visit; building the cache once makes
+    /// every subsequent traversal a flat slice scan.
+    pub fn neighbor_cache(&self) -> NeighborCache {
+        let mut offsets = Vec::with_capacity(self.num_nodes + 1);
+        let mut targets = Vec::new();
+        offsets.push(0);
+        for v in 0..self.num_nodes {
+            targets.extend(self.neighbors(v));
+            offsets.push(targets.len());
+        }
+        NeighborCache { offsets, targets }
+    }
+
+    /// Enumerates the radius-`radius` balls of **all** nodes in one sweep.
+    ///
+    /// Equivalent to `(0..num_nodes).map(|v| self.ball(v, radius))` but runs
+    /// over a shared [`NeighborCache`] with amortised scratch space, so the
+    /// total cost is `O(Σ_v |B(v, radius)| · Δ)` instead of `n` independent
+    /// BFS runs paying `O(n)` initialisation each.
+    pub fn all_balls(&self, radius: usize) -> Vec<Vec<usize>> {
+        let cache = self.neighbor_cache();
+        let mut enumerator = BallEnumerator::new(&cache);
+        (0..self.num_nodes).map(|v| enumerator.ball(v, radius)).collect()
+    }
+
     /// Sizes `|B_H(v, r)|` for `r = 0, 1, …, max_radius`.
     pub fn ball_sizes(&self, v: usize, max_radius: usize) -> Vec<usize> {
         let dist = self.bfs_distances(v, max_radius);
@@ -293,6 +322,81 @@ impl Hypergraph {
             edge_origin.push(e_idx);
         }
         (sub, edge_origin)
+    }
+}
+
+/// Deduplicated neighbour lists of a hypergraph in compressed (CSR) form.
+///
+/// Built once by [`Hypergraph::neighbor_cache`] and shared (immutably) by any
+/// number of [`BallEnumerator`]s — including one per worker thread in the
+/// batched local-LP engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeighborCache {
+    /// `offsets[v]..offsets[v + 1]` indexes `targets`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted neighbour lists.
+    targets: Vec<usize>,
+}
+
+impl NeighborCache {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The sorted, deduplicated neighbours of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+}
+
+/// Repeated-ball enumeration over a shared [`NeighborCache`].
+///
+/// The scratch space (visit stamps and BFS queue) is reused across calls, so
+/// enumerating every ball of a graph costs `O(Σ_v |B(v, r)| · Δ)` overall —
+/// the per-call `O(n)` distance-array initialisation of
+/// [`Hypergraph::bfs_distances`] is paid once, not `n` times.
+#[derive(Debug)]
+pub struct BallEnumerator<'a> {
+    cache: &'a NeighborCache,
+    /// `stamp[v] == epoch` iff `v` was visited by the current call.
+    stamp: Vec<u64>,
+    epoch: u64,
+    /// BFS queue of `(node, distance)` pairs, reused across calls.
+    queue: VecDeque<(usize, usize)>,
+}
+
+impl<'a> BallEnumerator<'a> {
+    /// Creates an enumerator over the given neighbour cache.
+    pub fn new(cache: &'a NeighborCache) -> Self {
+        Self { cache, stamp: vec![0; cache.num_nodes()], epoch: 0, queue: VecDeque::new() }
+    }
+
+    /// The radius-`radius` ball around `center`, in sorted order.
+    ///
+    /// Produces exactly the same result as [`Hypergraph::ball`].
+    pub fn ball(&mut self, center: usize, radius: usize) -> Vec<usize> {
+        assert!(center < self.cache.num_nodes(), "unknown node {center}");
+        self.epoch += 1;
+        self.queue.clear();
+        self.stamp[center] = self.epoch;
+        self.queue.push_back((center, 0));
+        let mut members = vec![center];
+        while let Some((u, d)) = self.queue.pop_front() {
+            if d >= radius {
+                continue;
+            }
+            for &w in self.cache.neighbors(u) {
+                if self.stamp[w] != self.epoch {
+                    self.stamp[w] = self.epoch;
+                    members.push(w);
+                    self.queue.push_back((w, d + 1));
+                }
+            }
+        }
+        members.sort_unstable();
+        members
     }
 }
 
@@ -460,5 +564,48 @@ mod tests {
         assert_eq!(h.connected_components().len(), 3);
         assert_eq!(h.ball(1, 5), vec![1]);
         assert_eq!(h.neighbors(1), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn neighbor_cache_matches_neighbors() {
+        for h in [path5(), star_of_triples()] {
+            let cache = h.neighbor_cache();
+            assert_eq!(cache.num_nodes(), h.num_nodes());
+            for v in 0..h.num_nodes() {
+                assert_eq!(cache.neighbors(v), h.neighbors(v).as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn enumerated_balls_match_per_node_bfs() {
+        let graphs = [
+            path5(),
+            star_of_triples(),
+            Hypergraph::from_edges(4, vec![vec![0, 1], vec![2, 3]]),
+            Hypergraph::new(3),
+        ];
+        for h in graphs {
+            for radius in 0..4 {
+                let swept = h.all_balls(radius);
+                assert_eq!(swept.len(), h.num_nodes());
+                for (v, ball) in swept.iter().enumerate() {
+                    assert_eq!(ball, &h.ball(v, radius), "node {v}, radius {radius}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enumerator_scratch_is_reusable_in_any_order() {
+        let h = star_of_triples();
+        let cache = h.neighbor_cache();
+        let mut e = BallEnumerator::new(&cache);
+        // Interleave radii and centres to exercise stamp reuse.
+        assert_eq!(e.ball(0, 2), h.ball(0, 2));
+        assert_eq!(e.ball(6, 0), vec![6]);
+        assert_eq!(e.ball(6, 1), h.ball(6, 1));
+        assert_eq!(e.ball(0, 0), vec![0]);
+        assert_eq!(e.ball(3, 2), h.ball(3, 2));
     }
 }

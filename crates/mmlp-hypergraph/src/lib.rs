@@ -30,4 +30,4 @@ pub mod hypergraph;
 pub use comm::{collaboration_oblivious_hypergraph, communication_hypergraph, EdgeKind};
 pub use graph::Graph;
 pub use growth::{growth_profile, max_relative_growth, GrowthProfile};
-pub use hypergraph::Hypergraph;
+pub use hypergraph::{BallEnumerator, Hypergraph, NeighborCache};

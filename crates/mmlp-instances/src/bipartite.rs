@@ -14,9 +14,41 @@
 //!   `k`-regular bipartite circulant with girth at least the requested bound
 //!   (rejection-free for girth ≤ 6 via Sidon sets, search-based above).
 
+use mmlp_core::{InstanceBuilder, MaxMinInstance};
 use mmlp_hypergraph::Graph;
 use rand::seq::SliceRandom;
 use rand::Rng;
+
+/// Builds the max-min LP instance living on an arbitrary template graph:
+/// one agent per vertex, one unit resource per edge (consumed by its two
+/// endpoints), and one unit-benefit party per vertex served by its closed
+/// neighbourhood — the same coefficient pattern the grid generator uses.
+///
+/// Isolated vertices receive a private unit resource so the instance is
+/// valid for any input graph.
+pub fn graph_instance(graph: &Graph) -> MaxMinInstance {
+    let n = graph.num_nodes();
+    assert!(n > 0, "graph instance needs at least one vertex");
+    let mut b = InstanceBuilder::with_capacity(n, graph.num_edges() + 1, n);
+    let agents = b.add_agents(n);
+    for (u, v) in graph.edges() {
+        let i = b.add_resource();
+        b.set_consumption(i, agents[u], 1.0);
+        b.set_consumption(i, agents[v], 1.0);
+    }
+    for v in 0..n {
+        if graph.degree(v) == 0 {
+            let i = b.add_resource();
+            b.set_consumption(i, agents[v], 1.0);
+        }
+        let k = b.add_party();
+        b.set_benefit(k, agents[v], 1.0);
+        for &u in graph.neighbors(v) {
+            b.set_benefit(k, agents[u], 1.0);
+        }
+    }
+    b.build().expect("graph construction always yields a valid instance")
+}
 
 /// A 2-regular bipartite graph: an even cycle with at least `min_girth`
 /// edges (and at least 4).

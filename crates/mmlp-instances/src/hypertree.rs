@@ -10,6 +10,7 @@
 //! In the lower-bound construction, type I edges become unit resources and
 //! type II edges become beneficiary parties with coefficient `1/D`.
 
+use mmlp_core::{InstanceBuilder, MaxMinInstance};
 use mmlp_hypergraph::Hypergraph;
 use serde::{Deserialize, Serialize};
 
@@ -118,6 +119,56 @@ pub fn complete_hypertree(d: usize, big_d: usize, height: usize) -> Hypertree {
 
     let hypergraph = Hypergraph::from_edges(levels.len(), edges);
     Hypertree { hypergraph, levels, edge_kinds, d, big_d, height }
+}
+
+/// Builds the max-min LP instance living on a complete `(d, D)`-ary
+/// hypertree, with the coefficient pattern of the lower-bound construction:
+/// every type I hyperedge becomes a unit resource and every type II hyperedge
+/// a beneficiary party with coefficient `1/D`.
+///
+/// Nodes touched by no type I edge (the leaves of even-height trees) receive
+/// a private unit resource so the instance satisfies the paper's
+/// non-degeneracy assumptions for any height.
+pub fn hypertree_instance(d: usize, big_d: usize, height: usize) -> MaxMinInstance {
+    let tree = complete_hypertree(d, big_d, height);
+    let mut b = InstanceBuilder::with_capacity(
+        tree.num_nodes(),
+        tree.edge_kinds.len() + 1,
+        tree.edge_kinds.len(),
+    );
+    let agents = b.add_agents(tree.num_nodes());
+    let mut constrained = vec![false; tree.num_nodes()];
+    for (e, kind) in tree.edge_kinds.iter().enumerate() {
+        let members = tree.hypergraph.edge(e);
+        match kind {
+            HypertreeEdgeKind::TypeI => {
+                let i = b.add_resource();
+                for &v in members {
+                    b.set_consumption(i, agents[v], 1.0);
+                    constrained[v] = true;
+                }
+            }
+            HypertreeEdgeKind::TypeII => {
+                let k = b.add_party();
+                for &v in members {
+                    b.set_benefit(k, agents[v], 1.0 / big_d as f64);
+                }
+            }
+        }
+    }
+    for (v, &has_resource) in constrained.iter().enumerate() {
+        if !has_resource {
+            let i = b.add_resource();
+            b.set_consumption(i, agents[v], 1.0);
+        }
+    }
+    if b.num_parties() == 0 {
+        // Height-0 trees have no hyperedges at all; give the root a party so
+        // the objective is well defined.
+        let k = b.add_party();
+        b.set_benefit(k, agents[0], 1.0);
+    }
+    b.build().expect("hypertree construction always yields a valid instance")
 }
 
 #[cfg(test)]

@@ -27,9 +27,11 @@ pub mod lower_bound;
 pub mod random;
 pub mod sensor;
 
-pub use bipartite::{circulant_bipartite, even_cycle, regular_bipartite_with_girth};
+pub use bipartite::{
+    circulant_bipartite, even_cycle, graph_instance, regular_bipartite_with_girth,
+};
 pub use grid::{grid_instance, GridConfig};
-pub use hypertree::{complete_hypertree, Hypertree, HypertreeEdgeKind};
+pub use hypertree::{complete_hypertree, hypertree_instance, Hypertree, HypertreeEdgeKind};
 pub use isp::{isp_instance, IspConfig};
 pub use lower_bound::{alternating_solution, LowerBoundConfig, LowerBoundInstance, SubInstance};
 pub use random::{random_instance, RandomInstanceConfig};

@@ -23,6 +23,10 @@ pub mod maxmin;
 pub mod problem;
 pub mod simplex;
 
-pub use maxmin::{build_maxmin_lp, solve_maxmin, solve_maxmin_with, MaxMinOptimum};
+pub use maxmin::{
+    build_maxmin_lp, solve_maxmin, solve_maxmin_warm, solve_maxmin_with, MaxMinOptimum,
+};
 pub use problem::{ConstraintOp, LpConstraint, LpError, LpProblem, ObjectiveSense};
-pub use simplex::{solve, solve_with, LpSolution, LpStatus, SimplexOptions};
+pub use simplex::{
+    solve, solve_with, solve_with_warm_start, LpSolution, LpStatus, SimplexOptions, WarmStart,
+};

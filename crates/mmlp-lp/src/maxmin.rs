@@ -14,7 +14,7 @@
 //! LP is the global optimum `ω*` that local algorithms are compared against.
 
 use crate::problem::{LpConstraint, LpError, LpProblem, ObjectiveSense};
-use crate::simplex::{solve_with, LpStatus, SimplexOptions};
+use crate::simplex::{solve_with_warm_start, LpStatus, SimplexOptions, WarmStart};
 use mmlp_core::{MaxMinInstance, Solution};
 
 /// The exact optimum of a max-min LP, produced by the centralised simplex
@@ -27,6 +27,16 @@ pub struct MaxMinOptimum {
     pub objective: f64,
     /// Number of simplex pivots used.
     pub pivots: usize,
+    /// The optimal simplex basis, reusable as a [`WarmStart`] for re-solving
+    /// this instance (or a coefficient-perturbed variant of it).
+    pub basis: Vec<usize>,
+}
+
+impl MaxMinOptimum {
+    /// The optimal basis packaged as a warm start.
+    pub fn warm_start(&self) -> WarmStart {
+        WarmStart { basis: self.basis.clone() }
+    }
 }
 
 /// Builds the LP reformulation of `instance`.
@@ -62,8 +72,19 @@ pub fn solve_maxmin_with(
     instance: &MaxMinInstance,
     options: &SimplexOptions,
 ) -> Result<MaxMinOptimum, LpError> {
+    solve_maxmin_warm(instance, options, None)
+}
+
+/// Solves `instance` exactly, optionally warm-starting the simplex from a
+/// previously optimal basis (see [`solve_with_warm_start`] for the fallback
+/// semantics — an unusable basis is ignored, never an error).
+pub fn solve_maxmin_warm(
+    instance: &MaxMinInstance,
+    options: &SimplexOptions,
+    warm: Option<&WarmStart>,
+) -> Result<MaxMinOptimum, LpError> {
     let lp = build_maxmin_lp(instance);
-    let sol = solve_with(&lp, options)?;
+    let sol = solve_with_warm_start(&lp, options, warm)?;
     match sol.status {
         LpStatus::Optimal => {}
         // x = 0 is always feasible (all coefficients non-negative) and the
@@ -82,7 +103,7 @@ pub fn solve_maxmin_with(
     // they agree at the optimum, but the recomputation is what the rest of
     // the code treats as ground truth.
     let objective = instance.objective(&x).map_err(|e| LpError::Malformed(e.to_string()))?;
-    Ok(MaxMinOptimum { solution: x, objective, pivots: sol.pivots })
+    Ok(MaxMinOptimum { solution: x, objective, pivots: sol.pivots, basis: sol.basis })
 }
 
 #[cfg(test)]

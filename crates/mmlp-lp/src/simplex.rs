@@ -38,6 +38,34 @@ pub struct LpSolution {
     pub objective: f64,
     /// Total number of simplex pivots performed across both phases.
     pub pivots: usize,
+    /// The final basis: the column index that is basic in each tableau row
+    /// (structural and slack/surplus columns only, after artificials are
+    /// driven out).  Empty unless `status == Optimal`.  Feed it back through
+    /// [`solve_with_warm_start`] to re-solve the same (or a perturbed)
+    /// problem without paying for phase 1.
+    pub basis: Vec<usize>,
+}
+
+/// A starting basis for [`solve_with_warm_start`], usually taken from a
+/// previous [`LpSolution::basis`].
+///
+/// The basis is a set of column indices in the solver's column layout
+/// (structural variables first, then one slack/surplus column per `≤`/`≥`
+/// constraint, in constraint order).  A warm start is *advisory*: if the
+/// basis does not fit the problem (wrong cardinality, singular, or primal
+/// infeasible) the solver silently falls back to the ordinary two-phase
+/// method, so reusing a basis across structurally different problems is safe.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WarmStart {
+    /// Basic column indices, one per constraint row.
+    pub basis: Vec<usize>,
+}
+
+impl WarmStart {
+    /// A warm start from the final basis of a previous solution.
+    pub fn from_solution(solution: &LpSolution) -> Self {
+        Self { basis: solution.basis.clone() }
+    }
 }
 
 /// Tuning knobs for the simplex solver.
@@ -68,6 +96,28 @@ pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
 /// Solves `problem` with explicit options.
 pub fn solve_with(problem: &LpProblem, options: &SimplexOptions) -> Result<LpSolution, LpError> {
     problem.validate()?;
+    Tableau::build(problem, options).solve(problem)
+}
+
+/// Solves `problem`, optionally warm-started from a previously optimal basis.
+///
+/// If `warm` is given and its basis can be installed (right cardinality,
+/// non-singular, primal feasible), phase 1 is skipped entirely and the solver
+/// proceeds straight to phase-2 pivots from that basis; re-solving a problem
+/// from its own optimal basis performs no phase-2 pivots at all.  Any basis
+/// that does not fit is ignored and the ordinary two-phase solve runs
+/// instead, so the warm start can never change the reported status.
+pub fn solve_with_warm_start(
+    problem: &LpProblem,
+    options: &SimplexOptions,
+    warm: Option<&WarmStart>,
+) -> Result<LpSolution, LpError> {
+    problem.validate()?;
+    if let Some(ws) = warm {
+        if let Some(solution) = Tableau::build(problem, options).solve_warm(problem, ws)? {
+            return Ok(solution);
+        }
+    }
     Tableau::build(problem, options).solve(problem)
 }
 
@@ -195,12 +245,73 @@ impl Tableau {
                     x: vec![],
                     objective: f64::NAN,
                     pivots: self.pivots,
+                    basis: vec![],
                 });
             }
             self.drive_out_artificials();
         }
+        self.phase2(problem)
+    }
 
-        // ---- Phase 2: optimise the user objective. ----
+    /// Attempts a warm-started solve from the given basis.
+    ///
+    /// Returns `Ok(None)` when the basis cannot be installed (the caller
+    /// falls back to the cold two-phase path on a fresh tableau).
+    fn solve_warm(
+        mut self,
+        problem: &LpProblem,
+        warm: &WarmStart,
+    ) -> Result<Option<LpSolution>, LpError> {
+        if !self.install_basis(&warm.basis) {
+            return Ok(None);
+        }
+        self.phase2(problem).map(Some)
+    }
+
+    /// Pivots the tableau into the given basis via Gauss–Jordan elimination.
+    ///
+    /// Returns `false` (leaving the tableau in an unusable state) if the
+    /// basis has the wrong cardinality, touches artificial columns, is
+    /// singular, or yields a primal-infeasible basic solution.
+    fn install_basis(&mut self, basis: &[usize]) -> bool {
+        let m = self.rows.len();
+        if basis.len() != m {
+            return false;
+        }
+        let mut chosen = vec![false; self.num_cols];
+        for &j in basis {
+            if j >= self.artificial_start || chosen[j] {
+                return false;
+            }
+            chosen[j] = true;
+        }
+        let mut row_assigned = vec![false; m];
+        for &j in basis {
+            // Pick the best remaining pivot row for column j (largest
+            // magnitude, for numerical stability).
+            let pivot_row = (0..m)
+                .filter(|&r| !row_assigned[r] && self.rows[r][j].abs() > self.tolerance)
+                .max_by(|&a, &b| {
+                    self.rows[a][j]
+                        .abs()
+                        .partial_cmp(&self.rows[b][j].abs())
+                        .expect("tableau entries are finite")
+                });
+            let Some(r) = pivot_row else {
+                return false; // singular basis
+            };
+            self.pivot(r, j);
+            self.pivots += 1;
+            row_assigned[r] = true;
+        }
+        // The basic solution must be primal feasible to skip phase 1.
+        let tol = self.feasibility_tolerance();
+        self.rows.iter().all(|row| row[self.num_cols] >= -tol)
+    }
+
+    /// Phase 2 from the current (feasible) basis: optimise the user
+    /// objective, extract the solution and the final basis.
+    fn phase2(mut self, problem: &LpProblem) -> Result<LpSolution, LpError> {
         let mut cost = vec![0.0; self.num_cols];
         let maximize = problem.sense == ObjectiveSense::Maximize;
         for (j, c) in problem.objective.iter().enumerate() {
@@ -213,12 +324,19 @@ impl Tableau {
                 x: vec![],
                 objective: if maximize { f64::INFINITY } else { f64::NEG_INFINITY },
                 pivots: self.pivots,
+                basis: vec![],
             });
         }
 
         let x = self.extract_solution();
         let objective = problem.objective_value(&x);
-        Ok(LpSolution { status: LpStatus::Optimal, x, objective, pivots: self.pivots })
+        Ok(LpSolution {
+            status: LpStatus::Optimal,
+            x,
+            objective,
+            pivots: self.pivots,
+            basis: self.basis.clone(),
+        })
     }
 
     /// A slightly looser tolerance for the final phase-1 feasibility decision;
@@ -586,6 +704,88 @@ mod tests {
         let sol = solve(&p).unwrap();
         assert_close(sol.objective, 4.0, 1e-7);
         assert!(p.is_feasible(&sol.x, 1e-7));
+    }
+
+    #[test]
+    fn warm_start_from_optimal_basis_skips_all_pivoting_work() {
+        let mut p = LpProblem::new(2, ObjectiveSense::Maximize);
+        p.set_objective(0, 3.0).set_objective(1, 5.0);
+        p.add_constraint(LpConstraint::le(vec![(0, 1.0)], 4.0));
+        p.add_constraint(LpConstraint::le(vec![(1, 2.0)], 12.0));
+        p.add_constraint(LpConstraint::le(vec![(0, 3.0), (1, 2.0)], 18.0));
+        let cold = solve(&p).unwrap();
+        assert_eq!(cold.status, LpStatus::Optimal);
+        assert_eq!(cold.basis.len(), 3);
+
+        let warm = WarmStart::from_solution(&cold);
+        let resolved = solve_with_warm_start(&p, &SimplexOptions::default(), Some(&warm)).unwrap();
+        assert_eq!(resolved.status, LpStatus::Optimal);
+        assert_close(resolved.objective, cold.objective, 1e-7);
+        assert_close(resolved.x[0], cold.x[0], 1e-7);
+        assert_close(resolved.x[1], cold.x[1], 1e-7);
+        // Installing the basis costs one elimination per row and phase 2
+        // finds nothing to improve, so the pivot count is exactly the row
+        // count.
+        assert_eq!(resolved.pivots, 3);
+    }
+
+    #[test]
+    fn warm_start_re_solve_costs_only_the_installation() {
+        // ≥-constraints force artificial variables, so the cold solve pays a
+        // full phase 1 plus phase 2; the warm re-solve from the optimal basis
+        // pays exactly one installation elimination per row and never more
+        // than the cold solve.
+        let mut p = LpProblem::new(3, ObjectiveSense::Minimize);
+        for j in 0..3 {
+            p.set_objective(j, 1.0 + j as f64);
+            p.add_constraint(LpConstraint::ge(vec![(j, 1.0)], 1.0));
+        }
+        p.add_constraint(LpConstraint::ge(vec![(0, 1.0), (1, 1.0), (2, 1.0)], 4.0));
+        let cold = solve(&p).unwrap();
+        assert_eq!(cold.status, LpStatus::Optimal);
+        assert!(cold.pivots >= 4, "phase 1 must have pivoted artificials out");
+        let warm = solve_with_warm_start(
+            &p,
+            &SimplexOptions::default(),
+            Some(&WarmStart::from_solution(&cold)),
+        )
+        .unwrap();
+        assert_eq!(warm.status, LpStatus::Optimal);
+        assert_close(warm.objective, cold.objective, 1e-7);
+        assert_eq!(warm.pivots, 4); // one installation elimination per row
+        assert!(warm.pivots <= cold.pivots, "warm {} vs cold {}", warm.pivots, cold.pivots);
+    }
+
+    #[test]
+    fn unusable_warm_starts_fall_back_to_the_cold_path() {
+        let mut p = LpProblem::new(2, ObjectiveSense::Maximize);
+        p.set_objective(0, 1.0).set_objective(1, 1.0);
+        p.add_constraint(LpConstraint::le(vec![(0, 1.0), (1, 1.0)], 1.0));
+        let cold = solve(&p).unwrap();
+        let bogus = [
+            WarmStart { basis: vec![] },     // wrong cardinality
+            WarmStart { basis: vec![0, 0] }, // duplicates + wrong cardinality
+            WarmStart { basis: vec![99] },   // out of range (artificial zone)
+            WarmStart { basis: vec![1] },    // valid shape, different vertex
+        ];
+        for warm in &bogus {
+            let sol = solve_with_warm_start(&p, &SimplexOptions::default(), Some(warm)).unwrap();
+            assert_eq!(sol.status, LpStatus::Optimal);
+            assert_close(sol.objective, cold.objective, 1e-9);
+        }
+    }
+
+    #[test]
+    fn warm_start_never_changes_the_reported_status() {
+        // Infeasible problem: the (shape-valid) warm basis is primal
+        // infeasible, so the solver must fall back and still say Infeasible.
+        let mut p = LpProblem::new(1, ObjectiveSense::Maximize);
+        p.set_objective(0, 1.0);
+        p.add_constraint(LpConstraint::le(vec![(0, 1.0)], 1.0));
+        p.add_constraint(LpConstraint::ge(vec![(0, 1.0)], 2.0));
+        let warm = WarmStart { basis: vec![0, 1] };
+        let sol = solve_with_warm_start(&p, &SimplexOptions::default(), Some(&warm)).unwrap();
+        assert_eq!(sol.status, LpStatus::Infeasible);
     }
 
     #[test]

@@ -122,25 +122,29 @@ pub use mmlp_lp::solve_maxmin;
 /// Everything most programs need, in one import.
 pub mod prelude {
     pub use crate::algorithms::{
-        compare_algorithms, local_averaging, local_averaging_activity_from_view, run_local_rule,
-        safe_activity_from_view, safe_algorithm, uniform_baseline, views_direct,
-        AlgorithmComparison, LocalAveragingOptions, LocalAveragingResult, LocalRun, SAFE_HORIZON,
+        apply_rule_direct, compare_algorithms, local_averaging, local_averaging_activity_from_view,
+        run_local_rule, safe_activity_from_view, safe_algorithm, solve_local_lps, uniform_baseline,
+        views_direct, AlgorithmComparison, LocalAveragingOptions, LocalAveragingResult,
+        LocalLpBatch, LocalLpOptions, LocalRun, SolveMode, SolveStats, SAFE_HORIZON,
     };
     pub use crate::core::{
-        bounds, AgentId, DegreeBounds, InstanceBuilder, MaxMinInstance, PartyId, ResourceId,
-        Solution,
+        bounds, canonical_form, canonical_key, AgentId, CanonicalForm, CanonicalKey, DegreeBounds,
+        InstanceBuilder, MaxMinInstance, PartyId, ResourceId, Solution,
     };
     pub use crate::distsim::{gather_views, LocalView, Network, Simulator, SimulatorConfig};
     pub use crate::hypergraph::{
         communication_hypergraph, growth_profile, Graph, GrowthProfile, Hypergraph,
     };
     pub use crate::instances::{
-        alternating_solution, grid_instance, isp_instance, random_instance,
-        regular_bipartite_with_girth, sensor_network_instance, GridConfig, IspConfig,
-        LowerBoundConfig, LowerBoundInstance, RandomInstanceConfig, SensorNetworkConfig,
-        SensorNetworkInstance,
+        alternating_solution, circulant_bipartite, graph_instance, grid_instance,
+        hypertree_instance, isp_instance, random_instance, regular_bipartite_with_girth,
+        sensor_network_instance, GridConfig, IspConfig, LowerBoundConfig, LowerBoundInstance,
+        RandomInstanceConfig, SensorNetworkConfig, SensorNetworkInstance,
     };
-    pub use crate::lp::{solve_maxmin, LpProblem, LpStatus, SimplexOptions};
+    pub use crate::lp::{
+        solve_maxmin, solve_maxmin_warm, solve_maxmin_with, LpProblem, LpStatus, SimplexOptions,
+        WarmStart,
+    };
     pub use crate::parallel::{par_map, par_map_with, ParallelConfig};
 }
 

@@ -1,0 +1,147 @@
+//! Executable versions of the paper's approximation guarantees.
+//!
+//! On small instances the exact optimum `ω*` is computed with the
+//! centralised simplex baseline (`mmlp-lp::solve_maxmin_with`) and the two
+//! local algorithms are checked against the factors the paper proves:
+//!
+//! * the **safe algorithm** (Section 4) is feasible and satisfies
+//!   `ω* ≤ Δ_I^V · ω_safe`;
+//! * **local averaging** (Theorem 3, Section 5) is feasible and satisfies
+//!   `ω* ≤ γ(R−1) · γ(R) · ω_avg`, through the instance-specific
+//!   a-posteriori bound `max_k M_k/m_k · max_i N_i/n_i` which itself never
+//!   exceeds the γ product.
+
+use maxmin_local_lp::core::bounds::{safe_upper_bound, theorem3_ratio};
+use maxmin_local_lp::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TOL: f64 = 1e-7;
+
+fn small_instances() -> Vec<(&'static str, MaxMinInstance)> {
+    let mut out: Vec<(&'static str, MaxMinInstance)> = Vec::new();
+    let mut rng = StdRng::seed_from_u64(2008);
+    out.push((
+        "grid-4x4-torus",
+        grid_instance(
+            &GridConfig { side_lengths: vec![4, 4], torus: true, random_weights: false },
+            &mut rng,
+        ),
+    ));
+    out.push((
+        "grid-4x5-weighted",
+        grid_instance(
+            &GridConfig { side_lengths: vec![4, 5], torus: false, random_weights: true },
+            &mut rng,
+        ),
+    ));
+    out.push(("hypertree-2-2-3", hypertree_instance(2, 2, 3)));
+    out.push(("bipartite-circulant", graph_instance(&circulant_bipartite(5, &[0, 1, 2]))));
+    for seed in 0..3 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        out.push((
+            "random",
+            random_instance(
+                &RandomInstanceConfig {
+                    num_agents: 14,
+                    num_resources: 16,
+                    num_parties: 9,
+                    ..Default::default()
+                },
+                &mut rng,
+            ),
+        ));
+    }
+    out.push((
+        "sensor",
+        sensor_network_instance(
+            &SensorNetworkConfig {
+                num_sensors: 12,
+                num_relays: 5,
+                num_areas: 4,
+                radio_range: 0.4,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .instance,
+    ));
+    out
+}
+
+#[test]
+fn safe_algorithm_is_feasible_and_within_its_delta_factor() {
+    for (name, inst) in small_instances() {
+        let optimum = solve_maxmin_with(&inst, &SimplexOptions::default()).unwrap();
+        let safe = safe_algorithm(&inst);
+        assert!(inst.is_feasible(&safe, TOL), "safe solution infeasible on {name}");
+        let achieved = inst.objective(&safe).unwrap();
+        let delta = inst.degree_bounds().max_resource_support;
+        let bound = safe_upper_bound(delta);
+        assert_eq!(bound, delta as f64);
+        assert!(
+            optimum.objective <= bound * achieved + TOL,
+            "{name}: ω* = {} exceeds Δ_I^V · ω_safe = {} · {}",
+            optimum.objective,
+            bound,
+            achieved
+        );
+    }
+}
+
+#[test]
+fn local_averaging_is_feasible_and_within_the_gamma_product() {
+    for (name, inst) in small_instances() {
+        let optimum = solve_maxmin_with(&inst, &SimplexOptions::default()).unwrap();
+        let (h, _) = communication_hypergraph(&inst);
+        for radius in [1usize, 2] {
+            let result = local_averaging(&inst, &LocalAveragingOptions::new(radius)).unwrap();
+            assert!(
+                inst.is_feasible(&result.solution, TOL),
+                "averaged solution infeasible on {name}, R={radius}"
+            );
+            let achieved = inst.objective(&result.solution).unwrap();
+            assert!(achieved > 0.0, "{name}: local averaging achieved 0 at R={radius}");
+
+            // The instance-specific a-posteriori bound must hold…
+            let measured = optimum.objective / achieved;
+            assert!(
+                measured <= result.guaranteed_ratio + 1e-6,
+                "{name}, R={radius}: measured ratio {measured} > a-posteriori {}",
+                result.guaranteed_ratio
+            );
+            // …and itself be at most γ(R−1)·γ(R), the Theorem 3 factor.
+            let profile = growth_profile(&h, radius);
+            let gamma_bound = theorem3_ratio(profile.gamma[radius - 1], profile.gamma[radius]);
+            assert!(
+                result.guaranteed_ratio <= gamma_bound + 1e-9,
+                "{name}, R={radius}: a-posteriori {} exceeds γ(R−1)·γ(R) = {gamma_bound}",
+                result.guaranteed_ratio
+            );
+            assert!(
+                measured <= gamma_bound + 1e-6,
+                "{name}, R={radius}: measured ratio {measured} exceeds Theorem 3 bound {gamma_bound}"
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_optimum_dominates_every_algorithm() {
+    for (name, inst) in small_instances() {
+        let optimum = solve_maxmin_with(&inst, &SimplexOptions::default()).unwrap();
+        assert!(inst.is_feasible(&optimum.solution, TOL), "optimum infeasible on {name}");
+        for (algo, solution) in [
+            ("safe", safe_algorithm(&inst)),
+            ("uniform", uniform_baseline(&inst)),
+            ("averaging", local_averaging(&inst, &LocalAveragingOptions::new(1)).unwrap().solution),
+        ] {
+            let achieved = inst.objective(&solution).unwrap();
+            assert!(
+                achieved <= optimum.objective + TOL,
+                "{algo} beat the exact optimum on {name}: {achieved} > {}",
+                optimum.objective
+            );
+        }
+    }
+}

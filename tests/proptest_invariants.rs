@@ -9,11 +9,15 @@
 //! * the local averaging algorithm is always feasible and meets both its
 //!   a-posteriori guarantee and the `γ(R−1)·γ(R)` bound;
 //! * hypergraph balls are monotone and growth is at least 1;
-//! * solution scaling preserves feasibility.
+//! * solution scaling preserves feasibility;
+//! * the batched local-LP engine's canonical keys are invariant under
+//!   agent-ID permutation, dedup never changes the solution (let alone the
+//!   objective), and its statistics are internally consistent.
 
 use maxmin_local_lp::prelude::*;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 /// A strategy producing small random-instance configurations.
@@ -114,6 +118,50 @@ proptest! {
         let inst = random_instance(&cfg, &mut StdRng::seed_from_u64(seed));
         let x = uniform_baseline(&inst);
         prop_assert!(inst.is_feasible(&x, 1e-9));
+    }
+
+    #[test]
+    fn canonical_keys_are_invariant_under_agent_permutation((cfg, seed) in instance_config()) {
+        let inst = random_instance(&cfg, &mut StdRng::seed_from_u64(seed));
+        let base = canonical_form(&inst);
+        let mut perm: Vec<usize> = (0..inst.num_agents()).collect();
+        perm.shuffle(&mut StdRng::seed_from_u64(seed ^ 0x5eed));
+        let permuted = inst.permute_agents(&perm);
+        let form = canonical_form(&permuted);
+        prop_assert_eq!(&base.key, &form.key);
+        // The canonical *instances* are bit-identical too — this is what
+        // makes dedup pure memoisation in the batched engine.
+        prop_assert_eq!(&base.instance, &form.instance);
+    }
+
+    #[test]
+    fn dedup_never_changes_the_solution_or_objective((cfg, seed) in instance_config()) {
+        let inst = random_instance(&cfg, &mut StdRng::seed_from_u64(seed));
+        let batched = local_averaging(&inst, &LocalAveragingOptions::new(1)).unwrap();
+        let naive = local_averaging(&inst, &LocalAveragingOptions::naive(1)).unwrap();
+        prop_assert_eq!(&batched.solution, &naive.solution);
+        let batched_objective = inst.objective(&batched.solution).unwrap();
+        let naive_objective = inst.objective(&naive.solution).unwrap();
+        prop_assert_eq!(batched_objective, naive_objective);
+    }
+
+    #[test]
+    fn solve_stats_are_internally_consistent((cfg, seed) in instance_config(), radius in 1usize..3) {
+        let inst = random_instance(&cfg, &mut StdRng::seed_from_u64(seed));
+        let batch = solve_local_lps(&inst, &LocalLpOptions::new(radius)).unwrap();
+        let stats = &batch.stats;
+        prop_assert_eq!(stats.balls_enumerated, inst.num_agents());
+        prop_assert!(stats.unique_classes <= stats.balls_enumerated);
+        prop_assert!(stats.unique_classes <= stats.distinct_presentations);
+        prop_assert!(stats.distinct_presentations <= stats.balls_enumerated);
+        prop_assert!(stats.lp_solves <= stats.unique_classes);
+        prop_assert_eq!(stats.cache_hits, stats.balls_enumerated - stats.unique_classes);
+        prop_assert!(stats.unique_classes >= 1);
+        prop_assert_eq!(batch.class_bases.len(), stats.unique_classes);
+        for (u, ball) in batch.balls.iter().enumerate() {
+            prop_assert!(batch.class_of_ball[u] < stats.unique_classes);
+            prop_assert_eq!(batch.local_x[u].len(), ball.len());
+        }
     }
 }
 
