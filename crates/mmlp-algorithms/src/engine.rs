@@ -1,47 +1,75 @@
-//! The batched local-LP engine.
+//! The batched local-LP engine, staged on the pluggable solve backend.
 //!
 //! The local averaging algorithm (Theorem 3) solves one radius-`R` local LP
 //! per agent, but on the regular instances the paper cares about — grids,
 //! hypertrees, sensor-network workloads — most agents see *structurally
 //! identical* balls, so solving every local LP independently wastes almost
-//! all of the work.  This engine replaces the per-agent solve pipeline with
-//! four explicit stages:
+//! all of the work.  This engine expresses the computation as four explicit
+//! pipeline stages, each executed through a
+//! [`SolveBackend`] over contiguous
+//! *agent-range shards*:
 //!
-//! 1. **Enumerate** — all radius-`R` balls are produced in one sweep over a
-//!    shared [`NeighborCache`](mmlp_hypergraph::NeighborCache) with amortised
-//!    scratch ([`BallEnumerator`]), instead of `n` independent BFS runs.
-//! 2. **Canonicalise** — each ball's local LP (9) is mapped to a canonical
-//!    key ([`mmlp_core::canonical`]).  A cheap *presentation key* (the LP
-//!    exactly as presented, members in sorted agent order) groups balls that
-//!    are literally identical first, so the full canonicalisation runs once
-//!    per presentation class rather than once per ball.
-//! 3. **Dedup + solve** — each *unique* canonical LP is solved once, in
-//!    parallel over `mmlp-parallel`; the optimal simplex bases are retained
-//!    as warm-start hooks ([`mmlp_lp::WarmStart`]) for future reuse.
+//! 1. **Present** — each shard enumerates the radius-`R` balls of its agent
+//!    range in one sweep over a shared
+//!    [`NeighborCache`](mmlp_hypergraph::NeighborCache), builds each ball's
+//!    local LP (9), and deduplicates the LPs by an exact *presentation key*
+//!    into a shard-local table.  A sequential merge then combines the
+//!    per-shard tables into the global presentation table (first-occurrence
+//!    order, so the numbering is independent of the backend).
+//! 2. **Canonicalise** — the unique presentations are sharded again; each
+//!    shard computes the exact canonical form ([`mmlp_core::canonical`]) of
+//!    its presentations and a shard-local *canonical-class table*.  The
+//!    second phase of the two-phase dedup merges the per-shard class tables
+//!    into the global class list.
+//! 3. **Solve** — each *unique* canonical LP is solved once, sharded over
+//!    the class list.  With [`WarmStartPolicy::NearestClass`] the classes
+//!    are ordered by a cheap structural similarity key and every solve is
+//!    seeded from the most recently solved dimension-compatible class of its
+//!    shard ([`mmlp_lp::solve_maxmin_seeded`]); a seeded result is kept only
+//!    when a uniqueness certificate (or, for the cross-run class cache, a
+//!    zero-pivot exactness check) proves it bit-identical to the cold solve,
+//!    so warm starts can change the pivot count but never the output.
 //! 4. **Scatter** — the canonical solutions are mapped back through each
 //!    ball's canonical labelling to all agents sharing the ball class.
 //!
-//! # Why dedup cannot change the answer
+//! Because every stage communicates with the next only through its returned
+//! shard outputs (and the cheap sequential merges), the same pipeline runs
+//! unchanged on the inline, scoped-thread and fixed-shard backends — and a
+//! future multi-machine backend is a drop-in replacement
+//! ([`solve_local_lps_on`] is generic over the backend).
+//!
+//! # Why neither dedup nor warm starts can change the answer
 //!
 //! Both engine modes — [`SolveMode::Batched`] and the
 //! [`SolveMode::NaivePerAgent`] reference mode — hand the **canonically
 //! relabelled** LP to the (deterministic) simplex solver.  Two balls in the
 //! same class have *bit-identical* canonical LPs, so solving the class once
-//! and reusing the result is pure memoisation: the batched path returns
-//! solutions bit-identical to the naive reference path by construction, even
-//! when a local LP has several optimal vertices.  The conformance suite
-//! (`tests/conformance_batched.rs`) asserts this across every instance
+//! and reusing the result is pure memoisation.  Warm starts additionally
+//! rely on one of two gates.  Similarity seeds go through the certificate
+//! of [`resolve_from_basis`](mmlp_lp::resolve_from_basis): accepted only
+//! when the LP provably has a *unique optimal activity vector*, in which
+//! case both the seeded and the cold path re-derive that vector through the
+//! same canonical vertex basis.  Cross-run cache seeds are keyed by exact
+//! canonical encodings, so the recorded basis is this very LP's
+//! deterministic cold basis and [`mmlp_lp::solve_maxmin_resumed`] accepts
+//! exactly when phase 2 confirms it with zero pivots.  The conformance suite
+//! (`tests/conformance_batched.rs`) asserts bit-identity across modes,
+//! backends, shard counts and warm-start policies on every instance
 //! generator.
 //!
 //! [`SolveStats`] reports what the engine did: balls enumerated, distinct
 //! presentations, unique LP classes, cache hits, simplex solves and pivots,
-//! and the wall-clock spent in each stage.
+//! warm-start attempts and acceptances, wall-clock per stage and per-shard
+//! execution statistics.
 
 use mmlp_core::canonical::{canonical_form, CanonicalForm, CanonicalKey, SEP_PARTY, SEP_RESOURCE};
 use mmlp_core::{AgentId, InstanceBuilder, MaxMinInstance, PartyId, ResourceId};
 use mmlp_hypergraph::{communication_hypergraph, BallEnumerator};
-use mmlp_lp::{solve_maxmin_with, LpError, SimplexOptions};
-use mmlp_parallel::{par_chunks_map, par_map_with, ParallelConfig};
+use mmlp_lp::{solve_maxmin_resumed, solve_maxmin_seeded, LpError, SimplexOptions, WarmStart};
+use mmlp_parallel::{
+    BackendKind, ParallelConfig, ScopedThreads, Sequential, Shard, Sharded, SolveBackend,
+    StageStats,
+};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::{Duration, Instant};
 
@@ -54,8 +82,25 @@ pub enum SolveMode {
     Batched,
     /// The naive reference mode: solve every agent's ball LP independently
     /// (still canonically presented, so the results are bit-identical to
-    /// [`SolveMode::Batched`]).
+    /// [`SolveMode::Batched`]).  Warm starts are never used in this mode —
+    /// it is the reference the other configurations are compared against.
     NaivePerAgent,
+}
+
+/// Whether (and how) class solves are seeded from previously solved classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WarmStartPolicy {
+    /// Every class LP is solved cold.
+    #[default]
+    Off,
+    /// Classes are ordered by a cheap structural similarity key (ball size,
+    /// constraint counts, support-size signature) and each solve is seeded
+    /// from the most recently solved dimension-compatible class of its
+    /// shard.  Results are guaranteed bit-identical to [`Off`]
+    /// (see the module docs); only the pivot counts change.
+    ///
+    /// [`Off`]: WarmStartPolicy::Off
+    NearestClass,
 }
 
 /// Options of the batched local-LP engine.
@@ -63,32 +108,50 @@ pub enum SolveMode {
 pub struct LocalLpOptions {
     /// The ball radius `R ≥ 0`.
     pub radius: usize,
-    /// Thread configuration for all four stages.
+    /// Thread configuration used by the backend to execute shards.
     pub parallel: ParallelConfig,
     /// Simplex options for the per-class LP solves.
     pub simplex: SimplexOptions,
     /// Batched (dedup) or naive (reference) execution.
     pub mode: SolveMode,
+    /// Which backend executes the pipeline stages.
+    pub backend: BackendKind,
+    /// Whether class solves are seeded from similar solved classes.
+    pub warm_start: WarmStartPolicy,
 }
 
 impl LocalLpOptions {
-    /// Default (batched, parallel) options for a given radius.
+    /// Default (batched, scoped-thread, cold-solve) options for a radius.
     pub fn new(radius: usize) -> Self {
         Self {
             radius,
             parallel: ParallelConfig::default(),
             simplex: SimplexOptions::default(),
             mode: SolveMode::Batched,
+            backend: BackendKind::default(),
+            warm_start: WarmStartPolicy::Off,
         }
+    }
+
+    /// The same options on a different backend.
+    pub fn with_backend(self, backend: BackendKind) -> Self {
+        Self { backend, ..self }
+    }
+
+    /// The same options with warm-start reuse across classes enabled.
+    pub fn with_warm_start(self) -> Self {
+        Self { warm_start: WarmStartPolicy::NearestClass, ..self }
     }
 }
 
 /// Wall-clock spent in each stage of the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StageTimings {
-    /// Ball enumeration (communication hypergraph + multi-source sweep).
+    /// Ball enumeration, local-LP construction and the presentation dedup
+    /// (the *present* stage plus its merge).
     pub enumerate: Duration,
-    /// Local-LP construction, presentation grouping and canonicalisation.
+    /// Canonicalisation of the unique presentations and the class-table
+    /// merge.
     pub canonicalise: Duration,
     /// Simplex solves of the unique (or, in naive mode, all) local LPs.
     pub solve: Duration,
@@ -111,10 +174,25 @@ pub struct SolveStats {
     /// Number of simplex solves actually performed (party-less ball LPs are
     /// answered with the zero solution and never reach the solver).
     pub lp_solves: usize,
-    /// Total simplex pivots across all LP solves.
+    /// Total simplex *iterations* across all LP solves, including the
+    /// iterations of rejected warm attempts — the honest measure of pivoting
+    /// work that warm-start reuse is meant to reduce.  Basis-installation
+    /// eliminations are counted separately in
+    /// [`total_installs`](SolveStats::total_installs).
     pub total_pivots: u64,
+    /// Total Gauss–Jordan basis-installation eliminations across all LP
+    /// solves (warm-start seeding and canonical basis resolution).
+    pub total_installs: u64,
+    /// Number of class solves that were seeded from a similar class's basis.
+    pub warm_attempts: usize,
+    /// Number of seeded solves whose acceptance gate (uniqueness
+    /// certificate, or the zero-pivot exactness check for cache seeds) held,
+    /// skipping the cold solve entirely.
+    pub warm_accepted: usize,
     /// Wall-clock per stage.
     pub timings: StageTimings,
+    /// Per-shard execution statistics of every stage, in stage order.
+    pub stage_shards: Vec<StageStats>,
 }
 
 impl SolveStats {
@@ -148,15 +226,74 @@ pub struct LocalLpBatch {
     pub local_x: Vec<Vec<f64>>,
     /// Canonical class index of each agent's ball.
     pub class_of_ball: Vec<usize>,
-    /// For each canonical class, the optimal simplex basis of its LP —
-    /// the warm-start hook for future cross-class reuse
-    /// (see ROADMAP "Open items").  Empty for party-less classes.
+    /// For each canonical class, the optimal simplex basis of its LP — the
+    /// seed the warm-start policy feeds into similar classes.  Empty for
+    /// party-less classes.
     pub class_bases: Vec<Vec<usize>>,
+    /// The canonical key of each class, aligned with
+    /// [`class_bases`](LocalLpBatch::class_bases) — what
+    /// [`basis_cache`](LocalLpBatch::basis_cache) indexes the recorded bases
+    /// by.
+    pub class_keys: Vec<CanonicalKey>,
     /// Stage statistics.
     pub stats: SolveStats,
 }
 
-/// Runs the engine: enumerate, canonicalise, dedup + solve, scatter.
+impl LocalLpBatch {
+    /// Packages this batch's per-class optimal bases as a donor cache for a
+    /// later solve ([`solve_local_lps_reusing`]).
+    ///
+    /// The production re-solve pattern: serving workloads solve the same (or
+    /// an incrementally updated) instance over and over, and every class
+    /// whose canonical LP is unchanged since the donor batch re-solves from
+    /// its own recorded optimal basis — zero simplex iterations, one
+    /// installation elimination per row.
+    pub fn basis_cache(&self) -> ClassBasisCache {
+        let mut bases = HashMap::with_capacity(self.class_keys.len());
+        for (key, basis) in self.class_keys.iter().zip(&self.class_bases) {
+            if !basis.is_empty() {
+                bases.insert(key.clone(), WarmStart { basis: basis.clone() });
+            }
+        }
+        ClassBasisCache { bases }
+    }
+}
+
+/// A donor table of previously optimal class bases, keyed by canonical key —
+/// the warm-start carrier between engine runs.
+///
+/// Looked up before the intra-run [`WarmStartPolicy`] donor table: a class
+/// whose exact canonical LP was solved before is seeded from its own optimal
+/// basis, which installs in one elimination per row and pivots zero times.
+/// Entries are keyed by the class's *exact* canonical encoding and the cache
+/// can only be built from a real batch, so a hit always seeds an LP with its
+/// own deterministic cold basis; the zero-pivot exactness gate of
+/// [`solve_maxmin_resumed`] verifies that at solve time, and anything else
+/// (a stale or truncated basis) falls back to the cold path — a wrong cache
+/// can cost work but never change a result.
+#[derive(Debug, Clone, Default)]
+pub struct ClassBasisCache {
+    bases: HashMap<CanonicalKey, WarmStart>,
+}
+
+impl ClassBasisCache {
+    /// Number of class bases in the cache.
+    pub fn len(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// Whether the cache holds no bases.
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+
+    /// The recorded basis for a canonical key, if any.
+    pub fn get(&self, key: &CanonicalKey) -> Option<&WarmStart> {
+        self.bases.get(key)
+    }
+}
+
+/// Runs the engine on the backend selected in `options.backend`.
 ///
 /// # Errors
 ///
@@ -166,6 +303,71 @@ pub fn solve_local_lps(
     instance: &MaxMinInstance,
     options: &LocalLpOptions,
 ) -> Result<LocalLpBatch, LpError> {
+    dispatch_backend(instance, options, None)
+}
+
+/// Runs the engine seeding every class solve from `reuse` — the donor cache
+/// of a previous batch ([`LocalLpBatch::basis_cache`]).
+///
+/// This is the production re-solve path: on a repeat solve of the same (or a
+/// mostly unchanged) instance, every class already in the cache installs its
+/// own optimal basis and performs **zero simplex iterations**, and the
+/// zero-pivot exactness gate guarantees the results stay bit-identical to a
+/// cold solve.
+///
+/// # Errors
+///
+/// Propagates simplex failures from the local LPs.
+pub fn solve_local_lps_reusing(
+    instance: &MaxMinInstance,
+    options: &LocalLpOptions,
+    reuse: &ClassBasisCache,
+) -> Result<LocalLpBatch, LpError> {
+    dispatch_backend(instance, options, Some(reuse))
+}
+
+fn dispatch_backend(
+    instance: &MaxMinInstance,
+    options: &LocalLpOptions,
+    reuse: Option<&ClassBasisCache>,
+) -> Result<LocalLpBatch, LpError> {
+    match options.backend {
+        BackendKind::Sequential => run_pipeline(instance, options, &Sequential, reuse),
+        BackendKind::ScopedThreads => {
+            run_pipeline(instance, options, &ScopedThreads::new(options.parallel), reuse)
+        }
+        BackendKind::Sharded { shards } => {
+            run_pipeline(instance, options, &Sharded::new(shards, options.parallel), reuse)
+        }
+    }
+}
+
+/// Runs the engine pipeline — present, canonicalise, solve, scatter — on an
+/// explicit [`SolveBackend`].
+///
+/// This is the extension seam for execution substrates the crate does not
+/// know about: any backend honouring the trait contract produces
+/// bit-identical results, because shards communicate only through their
+/// returned tables and every merge is deterministic.
+///
+/// # Errors
+///
+/// Propagates simplex failures from the local LPs.
+pub fn solve_local_lps_on<B: SolveBackend>(
+    instance: &MaxMinInstance,
+    options: &LocalLpOptions,
+    backend: &B,
+) -> Result<LocalLpBatch, LpError> {
+    run_pipeline(instance, options, backend, None)
+}
+
+/// The engine pipeline proper, with an optional cross-run donor cache.
+fn run_pipeline<B: SolveBackend>(
+    instance: &MaxMinInstance,
+    options: &LocalLpOptions,
+    backend: &B,
+    reuse: Option<&ClassBasisCache>,
+) -> Result<LocalLpBatch, LpError> {
     let n = instance.num_agents();
     if n == 0 {
         return Ok(LocalLpBatch {
@@ -173,104 +375,238 @@ pub fn solve_local_lps(
             local_x: vec![],
             class_of_ball: vec![],
             class_bases: vec![],
+            class_keys: vec![],
             stats: SolveStats::default(),
         });
     }
     let mut timings = StageTimings::default();
+    let mut stage_shards: Vec<StageStats> = Vec::new();
 
-    // ---- Stage 1: enumerate all balls in one sweep. ----
+    // ---- Stage 1: present — enumerate balls, build ball LPs, dedup by
+    // presentation key (phase 1 per shard, phase 2 in the merge below). ----
     let stage = Instant::now();
     let (h, _) = communication_hypergraph(instance);
     let cache = h.neighbor_cache();
-    let agents: Vec<usize> = (0..n).collect();
-    let workers = options.parallel.resolve(n).max(1);
-    let chunk = n.div_ceil(workers * 4).max(1);
-    let balls: Vec<Vec<usize>> = par_chunks_map(&options.parallel, &agents, chunk, |_, part| {
+    let run = backend.execute("present", n, |shard: &Shard| {
         let mut enumerator = BallEnumerator::new(&cache);
-        part.iter().map(|&u| enumerator.ball(u, options.radius)).collect()
+        let presented: Vec<(Vec<usize>, PresentedLp)> = shard
+            .range()
+            .map(|u| {
+                let ball = enumerator.ball(u, options.radius);
+                let lp = present_ball_lp(instance, &ball);
+                (ball, lp)
+            })
+            .collect();
+        // Shard-local presentation table, in first-occurrence order.
+        let mut by_key: HashMap<&[u64], usize> = HashMap::new();
+        let mut rep_indices: Vec<usize> = Vec::new();
+        let mut pres_of_ball = Vec::with_capacity(presented.len());
+        for (idx, (_, lp)) in presented.iter().enumerate() {
+            let id = match by_key.get(lp.key.as_slice()) {
+                Some(&id) => id,
+                None => {
+                    let id = rep_indices.len();
+                    by_key.insert(&lp.key, id);
+                    rep_indices.push(idx);
+                    id
+                }
+            };
+            pres_of_ball.push(id);
+        }
+        drop(by_key);
+        let mut is_rep = vec![false; presented.len()];
+        for &idx in &rep_indices {
+            is_rep[idx] = true;
+        }
+        let mut balls = Vec::with_capacity(presented.len());
+        let mut reps = Vec::with_capacity(rep_indices.len());
+        for (idx, (ball, lp)) in presented.into_iter().enumerate() {
+            balls.push(ball);
+            if is_rep[idx] {
+                reps.push(lp);
+            }
+        }
+        ShardPresentation { balls, pres_of_ball, reps }
     });
+    // Merge phase 2: per-shard presentation tables → global table, in shard
+    // order (= agent order), so the numbering matches a sequential sweep.
+    let mut balls: Vec<Vec<usize>> = Vec::with_capacity(n);
+    let mut pres_of_ball: Vec<usize> = Vec::with_capacity(n);
+    let mut reps: Vec<PresentedLp> = Vec::new();
+    {
+        let mut global_ids: HashMap<Vec<u64>, usize> = HashMap::new();
+        for shard_out in run.outputs {
+            let mut local_to_global = Vec::with_capacity(shard_out.reps.len());
+            for lp in shard_out.reps {
+                let id = match global_ids.get(lp.key.as_slice()) {
+                    Some(&id) => id,
+                    None => {
+                        let id = reps.len();
+                        global_ids.insert(lp.key.clone(), id);
+                        reps.push(lp);
+                        id
+                    }
+                };
+                local_to_global.push(id);
+            }
+            balls.extend(shard_out.balls);
+            pres_of_ball.extend(shard_out.pres_of_ball.into_iter().map(|p| local_to_global[p]));
+        }
+    }
+    stage_shards.push(run.stats);
     timings.enumerate = stage.elapsed();
 
-    // ---- Stage 2: build the ball LPs, group by presentation, canonicalise
-    // one representative per presentation class. ----
+    // ---- Stage 2: canonicalise the unique presentations; each shard also
+    // returns its local canonical-class table (phase 1 of the class dedup).
     let stage = Instant::now();
-    let presented: Vec<PresentedLp> =
-        par_map_with(&options.parallel, &balls, |ball| present_ball_lp(instance, ball));
-    let mut presentation_of_ball = vec![0usize; n];
-    let mut presentation_reps: Vec<usize> = Vec::new();
-    {
-        let mut by_key: HashMap<&[u64], usize> = HashMap::new();
-        for (u, lp) in presented.iter().enumerate() {
-            let next = presentation_reps.len();
-            let id = *by_key.entry(&lp.key).or_insert_with(|| {
-                presentation_reps.push(u);
-                next
-            });
-            presentation_of_ball[u] = id;
-        }
-    }
-    let forms: Vec<CanonicalForm> = par_map_with(&options.parallel, &presentation_reps, |&u| {
-        canonical_form(&presented[u].instance)
-    });
-    let mut class_of_presentation = vec![0usize; forms.len()];
-    let mut class_reps: Vec<usize> = Vec::new();
-    {
+    let run = backend.execute("canonicalise", reps.len(), |shard: &Shard| {
+        let forms: Vec<CanonicalForm> =
+            shard.range().map(|p| canonical_form(&reps[p].instance)).collect();
+        // Shard-local class table: indices into `forms`, first occurrence.
         let mut by_key: HashMap<&CanonicalKey, usize> = HashMap::new();
-        for (p, form) in forms.iter().enumerate() {
-            let next = class_reps.len();
-            let id = *by_key.entry(&form.key).or_insert_with(|| {
-                class_reps.push(p);
-                next
-            });
-            class_of_presentation[p] = id;
+        let mut class_reps: Vec<usize> = Vec::new();
+        let mut class_of: Vec<usize> = Vec::with_capacity(forms.len());
+        for (idx, form) in forms.iter().enumerate() {
+            let id = match by_key.get(&form.key) {
+                Some(&id) => id,
+                None => {
+                    let id = class_reps.len();
+                    by_key.insert(&form.key, id);
+                    class_reps.push(idx);
+                    id
+                }
+            };
+            class_of.push(id);
+        }
+        ShardClasses { forms, class_reps, class_of }
+    });
+    // Flatten the forms (shard order = presentation order), then merge the
+    // per-shard class tables (phase 2).
+    let mut forms: Vec<CanonicalForm> = Vec::with_capacity(reps.len());
+    let mut shard_tables: Vec<(usize, Vec<usize>, Vec<usize>)> = Vec::new(); // (offset, class_reps, class_of)
+    for sc in run.outputs {
+        shard_tables.push((forms.len(), sc.class_reps, sc.class_of));
+        forms.extend(sc.forms);
+    }
+    let mut class_of_pres: Vec<usize> = vec![0; forms.len()];
+    let mut class_reps: Vec<usize> = Vec::new(); // global presentation index
+    {
+        let mut global_ids: HashMap<&CanonicalKey, usize> = HashMap::new();
+        for (offset, local_reps, class_of) in &shard_tables {
+            let mut local_to_global = Vec::with_capacity(local_reps.len());
+            for &r in local_reps {
+                let key = &forms[offset + r].key;
+                let id = match global_ids.get(key) {
+                    Some(&id) => id,
+                    None => {
+                        let id = class_reps.len();
+                        global_ids.insert(key, id);
+                        class_reps.push(offset + r);
+                        id
+                    }
+                };
+                local_to_global.push(id);
+            }
+            for (i, &c) in class_of.iter().enumerate() {
+                class_of_pres[offset + i] = local_to_global[c];
+            }
         }
     }
-    let class_of_ball: Vec<usize> =
-        (0..n).map(|u| class_of_presentation[presentation_of_ball[u]]).collect();
+    let class_of_ball: Vec<usize> = pres_of_ball.iter().map(|&p| class_of_pres[p]).collect();
+    stage_shards.push(run.stats);
     timings.canonicalise = stage.elapsed();
 
-    // ---- Stage 3: solve each job (one per class, or one per ball in naive
-    // mode) on the canonical presentation. ----
+    // ---- Stage 3: solve one job per class (batched) or per ball (naive),
+    // on the canonical presentation, optionally warm-started. ----
     let stage = Instant::now();
-    let job_forms: Vec<&CanonicalForm> = match options.mode {
-        SolveMode::Batched => class_reps.iter().map(|&p| &forms[p]).collect(),
-        SolveMode::NaivePerAgent => (0..n).map(|u| &forms[presentation_of_ball[u]]).collect(),
-    };
-    let solved: Vec<Result<SolvedLp, LpError>> =
-        par_map_with(&options.parallel, &job_forms, |form| {
-            if form.instance.num_parties() == 0 {
-                // A ball with no complete party support has objective 0 and
-                // the zero vector as its (unique sensible) local optimum.
-                return Ok(SolvedLp {
-                    x: vec![0.0; form.instance.num_agents()],
-                    pivots: 0,
-                    basis: vec![],
-                    solved: false,
-                });
-            }
-            let opt = solve_maxmin_with(&form.instance, &options.simplex)?;
-            Ok(SolvedLp {
-                x: opt.solution.into_vec(),
-                pivots: opt.pivots as u64,
-                basis: opt.basis,
-                solved: true,
-            })
-        });
-    let mut jobs = Vec::with_capacity(solved.len());
+    let num_classes = class_reps.len();
     let mut lp_solves = 0usize;
     let mut total_pivots = 0u64;
-    for job in solved {
-        let job = job?;
-        lp_solves += usize::from(job.solved);
-        total_pivots += job.pivots;
-        jobs.push(job);
-    }
-    let class_bases: Vec<Vec<usize>> = match options.mode {
-        SolveMode::Batched => jobs.iter().map(|j| j.basis.clone()).collect(),
+    let mut total_installs = 0u64;
+    let mut warm_attempts = 0usize;
+    let mut warm_accepted = 0usize;
+    let (jobs, class_bases) = match options.mode {
+        SolveMode::Batched => {
+            // Solve order: similarity-sorted under the warm-start policy so
+            // that neighbouring jobs have structurally similar LPs.
+            let order: Vec<usize> = match options.warm_start {
+                WarmStartPolicy::Off => (0..num_classes).collect(),
+                WarmStartPolicy::NearestClass => {
+                    let keys: Vec<Vec<u64>> =
+                        class_reps.iter().map(|&p| similarity_key(&forms[p].instance)).collect();
+                    let mut order: Vec<usize> = (0..num_classes).collect();
+                    order.sort_by(|&a, &b| keys[a].cmp(&keys[b]).then(a.cmp(&b)));
+                    order
+                }
+            };
+            let run = backend.execute("solve", num_classes, |shard: &Shard| {
+                let mut donors: HashMap<(usize, usize, usize), WarmStart> = HashMap::new();
+                let mut out = Vec::with_capacity(shard.len());
+                for k in shard.range() {
+                    let class = order[k];
+                    let form = &forms[class_reps[class]];
+                    out.push(solve_class_job(
+                        &form.instance,
+                        reuse.and_then(|cache| cache.get(&form.key)),
+                        &options.simplex,
+                        options.warm_start,
+                        &mut donors,
+                    ));
+                }
+                out
+            });
+            let mut jobs: Vec<Option<SolvedLp>> = (0..num_classes).map(|_| None).collect();
+            let mut k = 0usize;
+            stage_shards.push(run.stats);
+            for shard_out in run.outputs {
+                for job in shard_out {
+                    let job = job?;
+                    lp_solves += usize::from(job.solved);
+                    total_pivots += job.pivots;
+                    total_installs += job.installs;
+                    warm_attempts += usize::from(job.warm_attempted);
+                    warm_accepted += usize::from(job.warm_accepted);
+                    jobs[order[k]] = Some(job);
+                    k += 1;
+                }
+            }
+            let jobs: Vec<SolvedLp> = jobs
+                .into_iter()
+                .map(|j| j.expect("every class solved exactly once"))
+                .collect();
+            let bases: Vec<Vec<usize>> = jobs.iter().map(|j| j.basis.clone()).collect();
+            (jobs, bases)
+        }
         SolveMode::NaivePerAgent => {
-            // One basis per class: taken from the first ball of the class.
-            let mut bases = vec![Vec::new(); class_reps.len()];
-            let mut filled = vec![false; class_reps.len()];
+            let run = backend.execute("solve", n, |shard: &Shard| {
+                let mut out = Vec::with_capacity(shard.len());
+                for u in shard.range() {
+                    let lp = &forms[pres_of_ball[u]].instance;
+                    let mut donors = HashMap::new();
+                    out.push(solve_class_job(
+                        lp,
+                        None,
+                        &options.simplex,
+                        WarmStartPolicy::Off,
+                        &mut donors,
+                    ));
+                }
+                out
+            });
+            let mut jobs = Vec::with_capacity(n);
+            stage_shards.push(run.stats);
+            for shard_out in run.outputs {
+                for job in shard_out {
+                    let job = job?;
+                    lp_solves += usize::from(job.solved);
+                    total_pivots += job.pivots;
+                    total_installs += job.installs;
+                    jobs.push(job);
+                }
+            }
+            // One basis per class, taken from the first ball of the class.
+            let mut bases = vec![Vec::new(); num_classes];
+            let mut filled = vec![false; num_classes];
             for u in 0..n {
                 let c = class_of_ball[u];
                 if !filled[c] {
@@ -278,44 +614,154 @@ pub fn solve_local_lps(
                     filled[c] = true;
                 }
             }
-            bases
+            (jobs, bases)
         }
     };
     timings.solve = stage.elapsed();
 
     // ---- Stage 4: scatter canonical solutions back onto the balls. ----
     let stage = Instant::now();
-    let local_x: Vec<Vec<f64>> = (0..n)
-        .map(|u| {
-            let form = &forms[presentation_of_ball[u]];
-            let job = match options.mode {
-                SolveMode::Batched => &jobs[class_of_ball[u]],
-                SolveMode::NaivePerAgent => &jobs[u],
-            };
-            form.unpermute(&job.x)
-        })
-        .collect();
+    let run = backend.execute("scatter", n, |shard: &Shard| {
+        shard
+            .range()
+            .map(|u| {
+                let form = &forms[pres_of_ball[u]];
+                let job = match options.mode {
+                    SolveMode::Batched => &jobs[class_of_ball[u]],
+                    SolveMode::NaivePerAgent => &jobs[u],
+                };
+                form.unpermute(&job.x)
+            })
+            .collect::<Vec<_>>()
+    });
+    let mut local_x: Vec<Vec<f64>> = Vec::with_capacity(n);
+    for shard_out in run.outputs {
+        local_x.extend(shard_out);
+    }
+    stage_shards.push(run.stats);
     timings.scatter = stage.elapsed();
 
+    let jobs_submitted = match options.mode {
+        SolveMode::Batched => num_classes,
+        SolveMode::NaivePerAgent => n,
+    };
     let stats = SolveStats {
         balls_enumerated: n,
-        distinct_presentations: presentation_reps.len(),
-        unique_classes: class_reps.len(),
-        cache_hits: n - job_forms.len(),
+        distinct_presentations: reps.len(),
+        unique_classes: num_classes,
+        cache_hits: n - jobs_submitted,
         lp_solves,
         total_pivots,
+        total_installs,
+        warm_attempts,
+        warm_accepted,
         timings,
+        stage_shards,
     };
-    Ok(LocalLpBatch { balls, local_x, class_of_ball, class_bases, stats })
+    let class_keys: Vec<CanonicalKey> = class_reps.iter().map(|&p| forms[p].key.clone()).collect();
+    Ok(LocalLpBatch { balls, local_x, class_of_ball, class_bases, class_keys, stats })
+}
+
+/// The output of one *present* shard: its agents' balls, their shard-local
+/// presentation ids, and the shard's presentation table.
+struct ShardPresentation {
+    balls: Vec<Vec<usize>>,
+    pres_of_ball: Vec<usize>,
+    reps: Vec<PresentedLp>,
+}
+
+/// The output of one *canonicalise* shard: the canonical forms of its
+/// presentation range and the shard-local class table.
+struct ShardClasses {
+    forms: Vec<CanonicalForm>,
+    /// Indices into `forms` of the shard's class representatives.
+    class_reps: Vec<usize>,
+    /// Shard-local class id of each form.
+    class_of: Vec<usize>,
 }
 
 /// One solved LP job.
+#[derive(Debug, Clone)]
 struct SolvedLp {
     x: Vec<f64>,
     pivots: u64,
+    installs: u64,
     basis: Vec<usize>,
     /// Whether the simplex actually ran (false for party-less shortcuts).
     solved: bool,
+    warm_attempted: bool,
+    warm_accepted: bool,
+}
+
+/// Solves one class LP, seeding from the cross-run cache entry when one is
+/// given and otherwise consulting (and updating) the shard's donor table
+/// under the warm-start policy.
+fn solve_class_job(
+    lp: &MaxMinInstance,
+    cached: Option<&WarmStart>,
+    simplex: &SimplexOptions,
+    policy: WarmStartPolicy,
+    donors: &mut HashMap<(usize, usize, usize), WarmStart>,
+) -> Result<SolvedLp, LpError> {
+    if lp.num_parties() == 0 {
+        // A ball with no complete party support has objective 0 and the zero
+        // vector as its (unique sensible) local optimum.
+        return Ok(SolvedLp {
+            x: vec![0.0; lp.num_agents()],
+            pivots: 0,
+            installs: 0,
+            basis: vec![],
+            solved: false,
+            warm_attempted: false,
+            warm_accepted: false,
+        });
+    }
+    let dims = (lp.num_agents(), lp.num_resources(), lp.num_parties());
+    let (opt, report) = match cached {
+        // A cache hit is keyed by this class's exact canonical encoding, so
+        // the recorded basis is this very LP's deterministic cold basis and
+        // the zero-pivot exactness gate applies — no uniqueness certificate
+        // needed.
+        Some(seed) => solve_maxmin_resumed(lp, simplex, seed)?,
+        None => {
+            let seed = match policy {
+                WarmStartPolicy::Off => None,
+                WarmStartPolicy::NearestClass => donors.get(&dims),
+            };
+            solve_maxmin_seeded(lp, simplex, seed)?
+        }
+    };
+    if policy == WarmStartPolicy::NearestClass {
+        donors.insert(dims, opt.warm_start());
+    }
+    Ok(SolvedLp {
+        x: opt.solution.into_vec(),
+        pivots: opt.pivots as u64,
+        installs: opt.installs as u64,
+        basis: opt.basis,
+        solved: true,
+        warm_attempted: report.warm_attempted,
+        warm_accepted: report.warm_accepted,
+    })
+}
+
+/// The cheap structural similarity key that orders class solves under
+/// [`WarmStartPolicy::NearestClass`]: problem dimensions first (so
+/// dimension-compatible classes are adjacent — only those can share a
+/// basis), then the sorted support-size signatures.
+fn similarity_key(lp: &MaxMinInstance) -> Vec<u64> {
+    let mut key = Vec::with_capacity(3 + lp.num_resources() + lp.num_parties());
+    key.push(lp.num_agents() as u64);
+    key.push(lp.num_resources() as u64);
+    key.push(lp.num_parties() as u64);
+    let mut sizes: Vec<u64> =
+        lp.resource_ids().map(|i| lp.resource(i).agents.len() as u64).collect();
+    sizes.sort_unstable();
+    key.extend(sizes);
+    let mut sizes: Vec<u64> = lp.party_ids().map(|k| lp.party(k).agents.len() as u64).collect();
+    sizes.sort_unstable();
+    key.extend(sizes);
+    key
 }
 
 /// A ball's local LP together with its presentation key.
@@ -440,6 +886,132 @@ mod tests {
             assert_eq!(batched.stats.unique_classes, naive.stats.unique_classes);
             assert!(batched.stats.lp_solves <= naive.stats.lp_solves);
             assert_eq!(naive.stats.cache_hits, 0);
+        }
+    }
+
+    #[test]
+    fn all_backends_and_shard_counts_agree_bitwise() {
+        let inst = grid(6, false);
+        let reference =
+            solve_local_lps(&inst, &LocalLpOptions::new(2).with_backend(BackendKind::Sequential))
+                .unwrap();
+        for backend in [
+            BackendKind::ScopedThreads,
+            BackendKind::Sharded { shards: 1 },
+            BackendKind::Sharded { shards: 2 },
+            BackendKind::Sharded { shards: 5 },
+            BackendKind::Sharded { shards: 64 },
+        ] {
+            let batch =
+                solve_local_lps(&inst, &LocalLpOptions::new(2).with_backend(backend)).unwrap();
+            assert_eq!(batch.local_x, reference.local_x, "{backend:?}");
+            assert_eq!(batch.balls, reference.balls, "{backend:?}");
+            assert_eq!(batch.class_of_ball, reference.class_of_ball, "{backend:?}");
+            assert_eq!(batch.class_bases, reference.class_bases, "{backend:?}");
+            assert_eq!(batch.stats.unique_classes, reference.stats.unique_classes);
+            assert_eq!(batch.stats.distinct_presentations, reference.stats.distinct_presentations);
+        }
+    }
+
+    #[test]
+    fn custom_backends_plug_in_through_the_trait() {
+        // The generic entry point accepts any SolveBackend implementation.
+        let inst = grid(4, false);
+        let via_trait = solve_local_lps_on(
+            &inst,
+            &LocalLpOptions::new(1),
+            &Sharded::new(3, ParallelConfig::sequential()),
+        )
+        .unwrap();
+        let via_kind = solve_local_lps(
+            &inst,
+            &LocalLpOptions {
+                parallel: ParallelConfig::sequential(),
+                ..LocalLpOptions::new(1).with_backend(BackendKind::Sharded { shards: 3 })
+            },
+        )
+        .unwrap();
+        assert_eq!(via_trait.local_x, via_kind.local_x);
+        assert_eq!(via_trait.stats.unique_classes, via_kind.stats.unique_classes);
+        assert_eq!(via_trait.stats.total_pivots, via_kind.stats.total_pivots);
+    }
+
+    #[test]
+    fn warm_start_changes_pivots_but_never_results() {
+        let cfg = GridConfig { side_lengths: vec![8, 8], torus: true, random_weights: true };
+        let inst = grid_instance(&cfg, &mut StdRng::seed_from_u64(11));
+        let cold = solve_local_lps(&inst, &LocalLpOptions::new(1)).unwrap();
+        let warm = solve_local_lps(&inst, &LocalLpOptions::new(1).with_warm_start()).unwrap();
+        assert_eq!(cold.local_x, warm.local_x);
+        assert_eq!(cold.class_of_ball, warm.class_of_ball);
+        assert_eq!(cold.stats.unique_classes, warm.stats.unique_classes);
+        assert_eq!(cold.stats.warm_attempts, 0);
+        assert!(warm.stats.warm_attempts > 0, "similar classes must be chained");
+        assert!(warm.stats.warm_accepted <= warm.stats.warm_attempts);
+    }
+
+    #[test]
+    fn resolving_from_a_basis_cache_skips_pivots_and_keeps_results_identical() {
+        let inst = grid(8, false);
+        let cold = solve_local_lps(&inst, &LocalLpOptions::new(1)).unwrap();
+        let cache = cold.basis_cache();
+        assert!(!cache.is_empty());
+        let warm = solve_local_lps_reusing(&inst, &LocalLpOptions::new(1), &cache).unwrap();
+        assert_eq!(cold.local_x, warm.local_x);
+        assert_eq!(cold.class_of_ball, warm.class_of_ball);
+        assert_eq!(cold.class_keys, warm.class_keys);
+        assert!(warm.stats.warm_attempts > 0, "every cached class must be seeded");
+        assert_eq!(warm.stats.warm_accepted, warm.stats.warm_attempts);
+        assert_eq!(
+            warm.stats.total_pivots, 0,
+            "an unchanged instance must re-solve without a single simplex iteration"
+        );
+        assert!(warm.stats.total_pivots < cold.stats.total_pivots);
+    }
+
+    #[test]
+    fn a_foreign_basis_cache_never_changes_results() {
+        // A cache recorded from a *different* instance: lookups mostly miss
+        // (different canonical keys) and any hit is a genuinely identical
+        // canonical LP, so the results must be bit-identical to the cold
+        // solve.
+        let inst = grid(6, false);
+        let other = grid(7, true);
+        let foreign = solve_local_lps(&other, &LocalLpOptions::new(1)).unwrap().basis_cache();
+        let cold = solve_local_lps(&inst, &LocalLpOptions::new(1)).unwrap();
+        let warm = solve_local_lps_reusing(&inst, &LocalLpOptions::new(1), &foreign).unwrap();
+        assert_eq!(cold.local_x, warm.local_x);
+        assert_eq!(cold.class_of_ball, warm.class_of_ball);
+    }
+
+    #[test]
+    fn basis_cache_skips_party_less_classes() {
+        // A single unconstrained-party instance: balls with no full party
+        // support record an empty basis, which must not enter the cache.
+        let inst = grid(4, false);
+        let batch = solve_local_lps(&inst, &LocalLpOptions::new(1)).unwrap();
+        let cache = batch.basis_cache();
+        assert!(cache.len() <= batch.class_bases.len());
+        assert_eq!(cache.len(), batch.class_bases.iter().filter(|b| !b.is_empty()).count());
+    }
+
+    #[test]
+    fn stage_shard_stats_cover_all_four_stages() {
+        let inst = grid(5, false);
+        let batch = solve_local_lps(
+            &inst,
+            &LocalLpOptions::new(1).with_backend(BackendKind::Sharded { shards: 3 }),
+        )
+        .unwrap();
+        let stages: Vec<&str> = batch.stats.stage_shards.iter().map(|s| s.stage).collect();
+        assert_eq!(stages, vec!["present", "canonicalise", "solve", "scatter"]);
+        assert_eq!(batch.stats.stage_shards[0].items(), inst.num_agents());
+        assert_eq!(batch.stats.stage_shards[3].items(), inst.num_agents());
+        assert_eq!(batch.stats.stage_shards[1].items(), batch.stats.distinct_presentations);
+        assert_eq!(batch.stats.stage_shards[2].items(), batch.stats.unique_classes);
+        for stage in &batch.stats.stage_shards {
+            assert_eq!(stage.backend, "sharded");
+            assert!(stage.shards.len() <= 3);
         }
     }
 

@@ -7,10 +7,13 @@
 //!   every agent solves the local LP (9) in its radius-`R` ball and the
 //!   results are scaled and averaged, achieving ratio `γ(R−1)·γ(R)`
 //!   (Section 5);
-//! * [`engine`] — the batched local-LP engine: enumerates all balls in one
-//!   sweep, canonicalises each ball's local LP, solves each *unique* LP
-//!   class once and scatters the results (with a naive per-agent reference
-//!   mode that provably produces bit-identical solutions);
+//! * [`engine`] — the batched local-LP engine, staged on the pluggable
+//!   [`SolveBackend`](mmlp_parallel::SolveBackend): enumerates all balls in
+//!   one sweep, canonicalises each ball's local LP through a two-phase
+//!   (per-shard, then global) dedup, solves each *unique* LP class once —
+//!   optionally warm-started from similar classes — and scatters the
+//!   results (with a naive per-agent reference mode that provably produces
+//!   bit-identical solutions);
 //! * [`runner`] — the bridge to `mmlp-distsim`: run any view-based local rule
 //!   through the synchronous simulator and account for rounds and messages;
 //! * [`analysis`] — the centralised optimum baseline, the trivial uniform
@@ -32,7 +35,8 @@ pub mod safe;
 
 pub use analysis::{compare_algorithms, uniform_baseline, AlgorithmComparison, ComparisonEntry};
 pub use engine::{
-    solve_local_lps, LocalLpBatch, LocalLpOptions, SolveMode, SolveStats, StageTimings,
+    solve_local_lps, solve_local_lps_on, solve_local_lps_reusing, ClassBasisCache, LocalLpBatch,
+    LocalLpOptions, SolveMode, SolveStats, StageTimings, WarmStartPolicy,
 };
 pub use local_averaging::{
     local_averaging, local_averaging_activity_from_view, LocalAveragingOptions,

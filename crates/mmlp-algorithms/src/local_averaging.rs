@@ -29,12 +29,12 @@
 //! all produce bit-identical solutions; the engine's [`SolveStats`] are
 //! surfaced in [`LocalAveragingResult::stats`].
 
-use crate::engine::{solve_local_lps, LocalLpOptions, SolveMode, SolveStats};
+use crate::engine::{solve_local_lps, LocalLpOptions, SolveMode, SolveStats, WarmStartPolicy};
 use mmlp_core::canonical::canonical_form;
 use mmlp_core::{AgentId, InstanceBuilder, MaxMinInstance, PartyId, ResourceId, Solution};
 use mmlp_distsim::LocalView;
 use mmlp_lp::{solve_maxmin_with, LpError, SimplexOptions};
-use mmlp_parallel::ParallelConfig;
+use mmlp_parallel::{BackendKind, ParallelConfig};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Options of the local averaging algorithm.
@@ -51,6 +51,11 @@ pub struct LocalAveragingOptions {
     /// naive per-agent (the reference mode).  Both produce bit-identical
     /// solutions.
     pub mode: SolveMode,
+    /// Which execution backend runs the engine's pipeline stages.
+    pub backend: BackendKind,
+    /// Whether class solves are seeded from similar solved classes (results
+    /// are bit-identical either way; only the pivot counts change).
+    pub warm_start: WarmStartPolicy,
 }
 
 impl LocalAveragingOptions {
@@ -61,18 +66,34 @@ impl LocalAveragingOptions {
             parallel: ParallelConfig::default(),
             simplex: SimplexOptions::default(),
             mode: SolveMode::Batched,
+            backend: BackendKind::default(),
+            warm_start: WarmStartPolicy::Off,
         }
     }
 
     /// Sequential execution (deterministic timing; results are identical
     /// either way).
     pub fn sequential(radius: usize) -> Self {
-        Self { parallel: ParallelConfig::sequential(), ..Self::new(radius) }
+        Self {
+            parallel: ParallelConfig::sequential(),
+            backend: BackendKind::Sequential,
+            ..Self::new(radius)
+        }
     }
 
     /// The naive per-agent reference mode (no dedup).
     pub fn naive(radius: usize) -> Self {
         Self { mode: SolveMode::NaivePerAgent, ..Self::new(radius) }
+    }
+
+    /// The same options on a different backend.
+    pub fn with_backend(self, backend: BackendKind) -> Self {
+        Self { backend, ..self }
+    }
+
+    /// The same options with warm-start reuse across classes enabled.
+    pub fn with_warm_start(self) -> Self {
+        Self { warm_start: WarmStartPolicy::NearestClass, ..self }
     }
 }
 
@@ -132,6 +153,8 @@ pub fn local_averaging(
             parallel: options.parallel,
             simplex: options.simplex,
             mode: options.mode,
+            backend: options.backend,
+            warm_start: options.warm_start,
         },
     )?;
     let balls = &batch.balls;

@@ -1,8 +1,14 @@
 //! Deterministic synchronous execution of node programs.
+//!
+//! The per-node steps of every round are submitted through the same
+//! [`SolveBackend`] execution layer the batched
+//! local-LP engine uses, so the simulator and the engine share one executor
+//! and one [`ParallelConfig`]: a simulated message round is a pipeline stage
+//! over node-range shards, exactly like a batch of local-LP solves.
 
 use crate::network::Network;
 use crate::program::{Action, MessageSize, NodeProgram};
-use mmlp_parallel::{par_map_with, ParallelConfig};
+use mmlp_parallel::{backend_map, BackendKind, ParallelConfig, SolveBackend};
 use parking_lot::Mutex;
 use std::fmt;
 
@@ -13,11 +19,17 @@ pub struct SimulatorConfig {
     pub max_rounds: usize,
     /// Thread configuration for executing the per-node steps of one round.
     pub parallel: ParallelConfig,
+    /// Which execution backend runs the per-round node steps.
+    pub backend: BackendKind,
 }
 
 impl Default for SimulatorConfig {
     fn default() -> Self {
-        Self { max_rounds: 10_000, parallel: ParallelConfig::default() }
+        Self {
+            max_rounds: 10_000,
+            parallel: ParallelConfig::default(),
+            backend: BackendKind::default(),
+        }
     }
 }
 
@@ -96,15 +108,41 @@ impl Simulator {
     pub fn sequential() -> Self {
         Self::with_config(SimulatorConfig {
             parallel: ParallelConfig::sequential(),
+            backend: BackendKind::Sequential,
             ..SimulatorConfig::default()
         })
     }
 
-    /// Runs `program` on every node of `network` until all nodes halt.
+    /// Runs `program` on every node of `network` until all nodes halt, on
+    /// the backend selected in the configuration.
     pub fn run<P: NodeProgram>(
         &self,
         network: &Network,
         program: &P,
+    ) -> Result<SimulationResult<P::Output>, SimError> {
+        match self.config.backend {
+            BackendKind::Sequential => self.run_on(network, program, &mmlp_parallel::Sequential),
+            BackendKind::ScopedThreads => self.run_on(
+                network,
+                program,
+                &mmlp_parallel::ScopedThreads::new(self.config.parallel),
+            ),
+            BackendKind::Sharded { shards } => self.run_on(
+                network,
+                program,
+                &mmlp_parallel::Sharded::new(shards, self.config.parallel),
+            ),
+        }
+    }
+
+    /// Runs `program` on an explicit [`SolveBackend`] — the same extension
+    /// seam the batched local-LP engine exposes, so a custom execution
+    /// substrate serves simulated message rounds and batch solves alike.
+    pub fn run_on<P: NodeProgram, B: SolveBackend>(
+        &self,
+        network: &Network,
+        program: &P,
+        backend: &B,
     ) -> Result<SimulationResult<P::Output>, SimError> {
         let n = network.num_nodes();
         let states: Vec<Mutex<Option<P::State>>> =
@@ -129,10 +167,10 @@ impl Simulator {
                 });
             }
 
-            // Step every running node (in parallel); the per-node state is
-            // protected by its own uncontended mutex.
-            let actions: Vec<Action<P::Message, P::Output>> =
-                par_map_with(&self.config.parallel, &running, |&node| {
+            // Step every running node (sharded over the backend); the
+            // per-node state is protected by its own uncontended mutex.
+            let (actions, _round_stats): (Vec<Action<P::Message, P::Output>>, _) =
+                backend_map(backend, "round", &running, |&node| {
                     let mut guard = states[node].lock();
                     let state = guard.as_mut().expect("running node has state");
                     let inbox = &inboxes[node];
@@ -384,6 +422,7 @@ mod tests {
         let sim = Simulator::with_config(SimulatorConfig {
             max_rounds: 10,
             parallel: ParallelConfig::sequential(),
+            backend: BackendKind::Sequential,
         });
         assert_eq!(
             sim.run(&net, &Forever),
@@ -398,6 +437,59 @@ mod tests {
         assert!(result.outputs.is_empty());
         assert_eq!(result.rounds, 0);
         assert_eq!(result.messages_per_node(), 0.0);
+    }
+
+    #[test]
+    fn messages_per_node_is_guarded_against_empty_networks() {
+        // Even a hand-built result with messages recorded but zero nodes
+        // must not divide by zero: the average is defined as 0.0.
+        let empty: SimulationResult<usize> = SimulationResult {
+            outputs: vec![],
+            rounds: 0,
+            halting_round: vec![],
+            messages: 7,
+            message_units: 7,
+            messages_per_round: vec![7],
+        };
+        assert_eq!(empty.messages_per_node(), 0.0);
+        assert!(empty.messages_per_node().is_finite());
+        let nonempty: SimulationResult<usize> = SimulationResult {
+            outputs: vec![1, 2],
+            rounds: 1,
+            halting_round: vec![0, 0],
+            messages: 7,
+            message_units: 7,
+            messages_per_round: vec![7],
+        };
+        assert_eq!(nonempty.messages_per_node(), 3.5);
+    }
+
+    #[test]
+    fn all_backends_simulate_identically() {
+        let net = path_network(15);
+        let reference = Simulator::sequential().run(&net, &FloodSum { rounds: 4 }).unwrap();
+        for backend in [
+            BackendKind::ScopedThreads,
+            BackendKind::Sharded { shards: 2 },
+            BackendKind::Sharded { shards: 7 },
+        ] {
+            let run =
+                Simulator::with_config(SimulatorConfig { backend, ..SimulatorConfig::default() })
+                    .run(&net, &FloodSum { rounds: 4 })
+                    .unwrap();
+            assert_eq!(run.outputs, reference.outputs, "{backend:?}");
+            assert_eq!(run.messages, reference.messages, "{backend:?}");
+            assert_eq!(run.rounds, reference.rounds, "{backend:?}");
+        }
+        // The generic entry point accepts any backend implementation.
+        let via_trait = Simulator::new()
+            .run_on(
+                &net,
+                &FloodSum { rounds: 4 },
+                &mmlp_parallel::Sharded::new(3, ParallelConfig::default()),
+            )
+            .unwrap();
+        assert_eq!(via_trait.outputs, reference.outputs);
     }
 
     #[test]

@@ -11,10 +11,14 @@
 //! 2. **Batched vs naive wall-clock.**  The same computation with dedup
 //!    disabled (the bit-identical reference mode) on a smaller grid.
 //! 3. **Warm starts.**  Re-solving a max-min LP from its own optimal basis
-//!    skips phase 1 entirely — the hook the engine exposes per ball class
-//!    for future cross-class reuse.
+//!    performs zero simplex iterations — the hook behind the engine's
+//!    cross-run basis cache (`LocalLpBatch::basis_cache`, experiment E8c).
+//!
+//! Writes `BENCH_e7_batched_engine.json` with every number in the tables.
 
+use maxmin_local_lp::lp::{build_maxmin_lp, solve_with, solve_with_warm_start, WarmStart};
 use maxmin_local_lp::prelude::*;
+use mmlp_experiments::report::BenchReport;
 use mmlp_experiments::{banner, fmt, print_row};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -26,6 +30,7 @@ fn uniform_grid(side: usize) -> MaxMinInstance {
 }
 
 fn main() {
+    let mut report = BenchReport::new("e7_batched_engine");
     banner("E7a: dedup statistics on the 50x50 grid (2500 agents)");
     let widths = [3usize, 8, 8, 8, 8, 8, 8, 10, 10, 10];
     print_row(
@@ -61,6 +66,21 @@ fn main() {
                 fmt(s.timings.solve.as_secs_f64() * 1e3, 1),
             ],
             &widths,
+        );
+        report.push(
+            &format!("grid-50x50-r{radius}"),
+            &[
+                ("balls", s.balls_enumerated as f64),
+                ("presentations", s.distinct_presentations as f64),
+                ("classes", s.unique_classes as f64),
+                ("solves", s.lp_solves as f64),
+                ("cache_hit_rate", s.cache_hit_rate()),
+                ("pivots", s.total_pivots as f64),
+                ("installs", s.total_installs as f64),
+                ("enumerate_ms", s.timings.enumerate.as_secs_f64() * 1e3),
+                ("canonicalise_ms", s.timings.canonicalise.as_secs_f64() * 1e3),
+                ("solve_ms", s.timings.solve.as_secs_f64() * 1e3),
+            ],
         );
         assert!(
             s.lp_solves * 10 <= s.balls_enumerated,
@@ -99,21 +119,64 @@ fn main() {
         ],
         &widths,
     );
+    for (mode, ms, stats) in
+        [("batched", batched_ms, &batched.stats), ("naive", naive_ms, &naive.stats)]
+    {
+        report.push(
+            &format!("grid-12x12-r2-{mode}"),
+            &[
+                ("wall_ms", ms),
+                ("solves", stats.lp_solves as f64),
+                ("pivots", stats.total_pivots as f64),
+            ],
+        );
+    }
     println!("\nThe two modes return bit-identical solutions (asserted above).");
 
-    banner("E7c: warm-start hook — re-solving from the optimal basis skips phase 1");
+    banner("E7c: warm-start hook — re-solving an LP from its optimal basis");
     let torus = grid_instance(
         &GridConfig { side_lengths: vec![14, 14], torus: true, random_weights: true },
         &mut StdRng::seed_from_u64(4),
     );
     let options = SimplexOptions::default();
-    let cold = solve_maxmin_with(&torus, &options).unwrap();
-    let warm = solve_maxmin_warm(&torus, &options, Some(&cold.warm_start())).unwrap();
+    let lp = build_maxmin_lp(&torus);
+    let cold = solve_with(&lp, &options).unwrap();
+    let warm =
+        solve_with_warm_start(&lp, &options, Some(&WarmStart::from_solution(&cold))).unwrap();
     assert!((cold.objective - warm.objective).abs() < 1e-9);
-    let widths = [10usize, 12, 14];
-    print_row(&["solve".into(), "pivots".into(), "objective".into()], &widths);
-    print_row(&["cold".into(), cold.pivots.to_string(), fmt(cold.objective, 6)], &widths);
-    print_row(&["warm".into(), warm.pivots.to_string(), fmt(warm.objective, 6)], &widths);
-    println!("\nThe warm re-solve pays one installation elimination per row and zero phase-1");
-    println!("pivots; the engine records the optimal basis of every ball class for this reuse.");
+    let widths = [10usize, 12, 12, 14];
+    print_row(&["solve".into(), "pivots".into(), "installs".into(), "objective".into()], &widths);
+    print_row(
+        &[
+            "cold".into(),
+            cold.pivots.to_string(),
+            cold.installs.to_string(),
+            fmt(cold.objective, 6),
+        ],
+        &widths,
+    );
+    print_row(
+        &[
+            "warm".into(),
+            warm.pivots.to_string(),
+            warm.installs.to_string(),
+            fmt(warm.objective, 6),
+        ],
+        &widths,
+    );
+    for (solve, sol) in [("cold", &cold), ("warm", &warm)] {
+        report.push(
+            &format!("torus-14x14-{solve}"),
+            &[("pivots", sol.pivots as f64), ("installs", sol.installs as f64)],
+        );
+    }
+    assert_eq!(warm.pivots, 0, "re-solving from the optimal basis must not pivot");
+    println!("\nThe warm re-solve pays one installation elimination per row and performs zero");
+    println!("simplex iterations; the engine's basis cache (E8c) scales this reuse to whole");
+    println!("batches, certificate-gated so batched results stay bit-identical.");
+
+    match report.write() {
+        Ok(path) => println!("\nWrote machine-readable summary: {}", path.display()),
+        Err(e) => eprintln!("\nFailed to write BENCH summary: {e}"),
+    }
 }

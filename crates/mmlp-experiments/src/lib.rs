@@ -12,8 +12,15 @@
 //! | `e5_sensor_network` | Section 2 sensor-network application |
 //! | `e6_scalability` | Section 1.1 constant-per-node scalability claim |
 //! | `e7_batched_engine` | batched local-LP engine: dedup stats, naive mode, warm starts |
+//! | `e8_sharded_backend` | solve backends compared: shard counts, warm starts, wall-clock |
+//!
+//! Besides their human-readable tables, `e7` and `e8` write a machine-
+//! readable `BENCH_*.json` summary (see [`report`]) so the performance
+//! trajectory is tracked across PRs.
 
 #![forbid(unsafe_code)]
+
+pub mod report;
 
 /// Prints a row of fixed-width columns (the experiments' tabular output).
 pub fn print_row(cells: &[String], widths: &[usize]) {

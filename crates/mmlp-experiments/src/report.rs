@@ -1,0 +1,186 @@
+//! Machine-readable experiment summaries (`BENCH_*.json`).
+//!
+//! The experiment binaries print human-readable tables; this module writes
+//! the same numbers as a small JSON document so the performance trajectory
+//! (classes, pivots, wall-clock per backend/shard count) can be diffed and
+//! tracked across PRs.
+//!
+//! The document types carry serde derives so they are ready for the real
+//! `serde`/`serde_json` wire once the workspace switches its vendored shim
+//! for the registry crates; until then [`BenchReport::to_json`] renders the
+//! (deliberately tiny) format by hand, with deterministic field order.
+
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// The schema version stamped into every report, bumped whenever the JSON
+/// layout changes incompatibly.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One labelled row of metrics (e.g. one backend configuration, one radius).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRow {
+    /// Row label, unique within the report.
+    pub label: String,
+    /// Metric name → value, in insertion order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// A `BENCH_*.json` document: one experiment, many rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Experiment identifier (`e7_batched_engine`, `e8_sharded_backend`, …).
+    pub experiment: String,
+    /// Schema version of the document.
+    pub schema_version: u32,
+    /// The measurement rows, in insertion order.
+    pub rows: Vec<BenchRow>,
+}
+
+impl BenchReport {
+    /// An empty report for the given experiment.
+    pub fn new(experiment: &str) -> Self {
+        Self { experiment: experiment.to_string(), schema_version: SCHEMA_VERSION, rows: vec![] }
+    }
+
+    /// Appends one row of metrics.
+    pub fn push(&mut self, label: &str, metrics: &[(&str, f64)]) {
+        self.rows.push(BenchRow {
+            label: label.to_string(),
+            metrics: metrics.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        });
+    }
+
+    /// Renders the report as pretty-printed JSON with deterministic field
+    /// order.  Non-finite metric values become `null`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"experiment\": {},\n", json_string(&self.experiment)));
+        out.push_str(&format!("  \"schema_version\": {},\n", self.schema_version));
+        out.push_str("  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            out.push_str(&format!("      \"label\": {},\n", json_string(&row.label)));
+            out.push_str("      \"metrics\": {");
+            for (j, (key, value)) in row.metrics.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\n        {}: {}", json_string(key), json_number(*value)));
+            }
+            if !row.metrics.is_empty() {
+                out.push_str("\n      ");
+            }
+            out.push_str("}\n    }");
+        }
+        if !self.rows.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Writes the report to `BENCH_<experiment>.json` in the directory named
+    /// by the `MMLP_BENCH_DIR` environment variable (default: the current
+    /// directory) and returns the path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = std::env::var("MMLP_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+        self.write_to(Path::new(&dir))
+    }
+
+    /// Writes the report to `BENCH_<experiment>.json` inside `dir` and
+    /// returns the path.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        let path = dir.join(format!("BENCH_{}.json", self.experiment));
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(self.to_json().as_bytes())?;
+        Ok(path)
+    }
+}
+
+/// Escapes a string for JSON.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a finite number (integers without a fractional part), `null`
+/// otherwise — JSON has no NaN/∞.
+fn json_number(v: f64) -> String {
+    if !v.is_finite() {
+        "null".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_valid_deterministic_json() {
+        let mut report = BenchReport::new("e_test");
+        report.push("row \"one\"", &[("classes", 21.0), ("ms", 1.5)]);
+        report.push("row2", &[("pivots", f64::INFINITY)]);
+        let json = report.to_json();
+        assert!(json.contains("\"experiment\": \"e_test\""));
+        assert!(json.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")));
+        assert!(json.contains("\"row \\\"one\\\"\""));
+        assert!(json.contains("\"classes\": 21"));
+        assert!(json.contains("\"ms\": 1.5"));
+        assert!(json.contains("\"pivots\": null"));
+        // Deterministic: rendering twice yields identical bytes.
+        assert_eq!(json, report.to_json());
+    }
+
+    #[test]
+    fn empty_report_is_well_formed() {
+        let report = BenchReport::new("empty");
+        let json = report.to_json();
+        assert!(json.contains("\"rows\": []"));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn string_escapes_cover_control_characters() {
+        assert_eq!(json_string("a\nb"), "\"a\\nb\"");
+        assert_eq!(json_string("q\"w\\e"), "\"q\\\"w\\\\e\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn report_writes_to_an_explicit_directory() {
+        // `write()` only resolves MMLP_BENCH_DIR and delegates here, so the
+        // test avoids mutating process-global state (tests run in parallel
+        // threads of one process).
+        let dir = std::env::temp_dir().join("mmlp_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut report = BenchReport::new("e_write_test");
+        report.push("r", &[("v", 1.0)]);
+        let path = report.write_to(&dir).unwrap();
+        assert_eq!(path, dir.join("BENCH_e_write_test.json"));
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(contents, report.to_json());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

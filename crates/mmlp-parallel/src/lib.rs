@@ -1,12 +1,23 @@
-//! A minimal data-parallel executor used by the simulator and the local
-//! algorithms.
+//! The shared execution layer under the engine, the simulator and the
+//! experiment harnesses.
 //!
 //! The local algorithms of the paper are embarrassingly parallel: every agent
-//! computes its output from its own radius-`r` view, independently of all
-//! other agents.  This crate provides the small amount of machinery needed to
-//! exploit that on a multi-core machine without pulling in a full
-//! work-stealing framework:
+//! computes its output from its own radius-`r` ball, independently of all
+//! other agents.  Both follow-up papers on max-min LPs stress that this
+//! parallelism decomposes along *agent ranges* — which is exactly the axis
+//! this crate makes first-class:
 //!
+//! * [`SolveBackend`] — the pluggable executor trait: a pipeline stage is a
+//!   function of a [`Shard`] (a contiguous range of work items), and a
+//!   backend decides how items are sharded and where shards run, reporting
+//!   per-shard statistics ([`ShardStats`]).
+//! * [`Sequential`], [`ScopedThreads`], [`Sharded`] — the three built-in
+//!   backends: inline execution, the scoped-thread pool with a deterministic
+//!   per-shard work split, and an explicit fixed shard count that models a
+//!   multi-machine split (each shard sees only its own range, so a remote
+//!   backend is a drop-in replacement later).
+//! * [`BackendKind`] — a `Copy` selector carried inside option structs,
+//!   resolved to one of the built-in backends at the call site.
 //! * [`par_map`] / [`par_map_with`] — parallel map over a slice with dynamic
 //!   (atomic-counter) load balancing,
 //! * [`par_chunks_map`] — chunked variant for very cheap per-item work,
@@ -15,13 +26,17 @@
 //!
 //! The implementation uses scoped threads, so closures may borrow from the
 //! caller's stack; results are collected per worker and stitched back into
-//! input order, which keeps the crate free of `unsafe` code.
+//! input order, which keeps the crate free of `unsafe` code.  Every backend
+//! returns shard outputs in shard order, so results never depend on thread
+//! scheduling: a pure stage function produces bit-identical output on every
+//! backend and every shard count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// Thread-count configuration for the parallel helpers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -167,6 +182,355 @@ where
     par_map_with(config, &indices, |&i| f(i));
 }
 
+// ---------------------------------------------------------------------------
+// The pluggable sharded solve backend.
+// ---------------------------------------------------------------------------
+
+/// A contiguous range of work items (`start..end`) assigned to one shard of a
+/// pipeline stage.
+///
+/// Work items are whatever the stage iterates over — agents, presentation
+/// representatives, unique LP classes.  Shards are always contiguous, ordered
+/// and covering, so a stage that keeps per-shard tables (e.g. a local dedup
+/// table) can merge them deterministically by iterating shards in index
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shard {
+    /// Position of this shard in the stage's plan.
+    pub index: usize,
+    /// First work item of the shard (inclusive).
+    pub start: usize,
+    /// One past the last work item of the shard.
+    pub end: usize,
+}
+
+impl Shard {
+    /// Number of work items in the shard.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the shard holds no work items.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The shard's item range, for indexing into stage inputs.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+}
+
+/// What one shard of a stage did: how many items it processed and how long
+/// it took.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Shard index within the stage.
+    pub shard: usize,
+    /// Number of work items the shard processed.
+    pub items: usize,
+    /// Wall-clock the shard's stage function ran for.
+    pub wall: Duration,
+}
+
+/// Per-shard statistics of one executed pipeline stage.
+///
+/// The stage and backend labels are `&'static str` by design: stages are
+/// named by code, not data, and hot callers (the simulator executes one
+/// stage per message round) should not pay a heap allocation per round for
+/// bookkeeping they may discard.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StageStats {
+    /// The stage label passed to [`SolveBackend::execute`].
+    pub stage: &'static str,
+    /// Name of the backend that executed the stage.
+    pub backend: &'static str,
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardStats>,
+}
+
+impl StageStats {
+    /// Total number of work items across all shards.
+    pub fn items(&self) -> usize {
+        self.shards.iter().map(|s| s.items).sum()
+    }
+
+    /// The wall-clock of the slowest shard — the stage's critical path under
+    /// perfect parallelism.
+    pub fn critical_path(&self) -> Duration {
+        self.shards.iter().map(|s| s.wall).max().unwrap_or_default()
+    }
+}
+
+/// The outputs of one executed stage: one result per shard, in shard order,
+/// plus the per-shard statistics.
+#[derive(Debug, Clone)]
+pub struct StageRun<R> {
+    /// One stage-function result per shard, in shard order.
+    pub outputs: Vec<R>,
+    /// Per-shard execution statistics.
+    pub stats: StageStats,
+}
+
+/// A pluggable executor for shard-decomposed pipeline stages.
+///
+/// A backend owns two decisions: how `items` work items are partitioned into
+/// [`Shard`]s ([`plan`](SolveBackend::plan)) and where the per-shard stage
+/// function runs ([`execute`](SolveBackend::execute)).  The engine, the
+/// distributed simulator and the experiment harnesses all submit their
+/// stages through this trait, so a new execution substrate (a process pool,
+/// a remote fleet) only has to implement these two methods to slot in under
+/// every caller at once.
+///
+/// Contract: the plan is contiguous, ordered and covering (`plan(n)` shards
+/// concatenate to `0..n`), `execute` calls the stage function exactly once
+/// per shard, and outputs are returned in shard order.  A pure stage
+/// function therefore produces the same results on every backend.
+pub trait SolveBackend: Sync {
+    /// Human-readable backend name, used in statistics and reports.
+    fn name(&self) -> &'static str;
+
+    /// Partitions `items` work items into shards (empty when `items == 0`).
+    fn plan(&self, items: usize) -> Vec<Shard>;
+
+    /// Runs `stage` once per shard of `items` work items and collects the
+    /// per-shard outputs (in shard order) and statistics.
+    fn execute<R, F>(&self, stage: &'static str, items: usize, f: F) -> StageRun<R>
+    where
+        R: Send,
+        F: Fn(&Shard) -> R + Sync;
+}
+
+/// Splits `items` into (at most) `shards` contiguous ranges of near-equal
+/// size.  Earlier shards take the remainder, so sizes differ by at most one.
+pub fn balanced_plan(items: usize, shards: usize) -> Vec<Shard> {
+    if items == 0 {
+        return Vec::new();
+    }
+    let shards = shards.clamp(1, items);
+    let base = items / shards;
+    let remainder = items % shards;
+    let mut plan = Vec::with_capacity(shards);
+    let mut start = 0;
+    for index in 0..shards {
+        let len = base + usize::from(index < remainder);
+        plan.push(Shard { index, start, end: start + len });
+        start += len;
+    }
+    plan
+}
+
+fn timed_stage<R, F>(shard: &Shard, f: &F) -> (R, ShardStats)
+where
+    F: Fn(&Shard) -> R,
+{
+    let clock = Instant::now();
+    let out = f(shard);
+    (out, ShardStats { shard: shard.index, items: shard.len(), wall: clock.elapsed() })
+}
+
+fn run_plan<R, F>(
+    name: &'static str,
+    stage: &'static str,
+    config: &ParallelConfig,
+    plan: Vec<Shard>,
+    f: F,
+) -> StageRun<R>
+where
+    R: Send,
+    F: Fn(&Shard) -> R + Sync,
+{
+    let pairs = par_map_with(config, &plan, |shard| timed_stage(shard, &f));
+    let mut outputs = Vec::with_capacity(pairs.len());
+    let mut shards = Vec::with_capacity(pairs.len());
+    for (out, stats) in pairs {
+        outputs.push(out);
+        shards.push(stats);
+    }
+    StageRun { outputs, stats: StageStats { stage, backend: name, shards } }
+}
+
+/// The inline backend: one shard, executed on the calling thread.
+///
+/// Useful for deterministic debugging and as the baseline in backend
+/// comparisons; it is also what every other backend must agree with
+/// bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Sequential;
+
+impl SolveBackend for Sequential {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn plan(&self, items: usize) -> Vec<Shard> {
+        balanced_plan(items, 1)
+    }
+
+    fn execute<R, F>(&self, stage: &'static str, items: usize, f: F) -> StageRun<R>
+    where
+        R: Send,
+        F: Fn(&Shard) -> R + Sync,
+    {
+        // par_map_with runs inline for a single-shard plan, so this shares
+        // run_plan's collection logic without spawning any thread.
+        run_plan(self.name(), stage, &ParallelConfig::sequential(), self.plan(items), f)
+    }
+}
+
+/// How many shards each worker thread gets under [`ScopedThreads`]: a few
+/// shards per worker keep the dynamic scheduler busy when per-shard costs
+/// are uneven, while the static split keeps shard contents deterministic.
+const SHARDS_PER_WORKER: usize = 4;
+
+/// The scoped-thread backend: the successor of the crate's original
+/// `par_map`-everywhere style, now with a *deterministic per-shard* work
+/// split.
+///
+/// Items are statically partitioned into `workers × 4` contiguous shards;
+/// only the shard→thread assignment is dynamic (threads claim the next
+/// unprocessed shard from an atomic counter).  Shard contents — and hence
+/// any per-shard tables a stage builds — no longer depend on thread timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScopedThreads {
+    /// Thread-count configuration for executing the shards.
+    pub config: ParallelConfig,
+}
+
+impl ScopedThreads {
+    /// A scoped-thread backend with the given thread configuration.
+    pub fn new(config: ParallelConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl SolveBackend for ScopedThreads {
+    fn name(&self) -> &'static str {
+        "scoped-threads"
+    }
+
+    fn plan(&self, items: usize) -> Vec<Shard> {
+        balanced_plan(items, self.config.resolve(items) * SHARDS_PER_WORKER)
+    }
+
+    fn execute<R, F>(&self, stage: &'static str, items: usize, f: F) -> StageRun<R>
+    where
+        R: Send,
+        F: Fn(&Shard) -> R + Sync,
+    {
+        run_plan(self.name(), stage, &self.config, self.plan(items), f)
+    }
+}
+
+/// The fixed-shard backend: exactly `shards` contiguous ranges, regardless
+/// of how many threads execute them.
+///
+/// This models an agent-range split across machines: each shard sees only
+/// its own range and communicates with the rest of the pipeline exclusively
+/// through its returned output (e.g. a per-shard canonical-class table), so
+/// replacing the thread pool with a remote transport changes the backend,
+/// not the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sharded {
+    /// Number of shards to split every stage into (clamped to ≥ 1).
+    pub shards: usize,
+    /// Thread-count configuration for executing the shards locally.
+    pub config: ParallelConfig,
+}
+
+impl Sharded {
+    /// A fixed-shard backend with the given shard count and threads.
+    pub fn new(shards: usize, config: ParallelConfig) -> Self {
+        Self { shards: shards.max(1), config }
+    }
+}
+
+impl SolveBackend for Sharded {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn plan(&self, items: usize) -> Vec<Shard> {
+        balanced_plan(items, self.shards.max(1))
+    }
+
+    fn execute<R, F>(&self, stage: &'static str, items: usize, f: F) -> StageRun<R>
+    where
+        R: Send,
+        F: Fn(&Shard) -> R + Sync,
+    {
+        run_plan(self.name(), stage, &self.config, self.plan(items), f)
+    }
+}
+
+/// A `Copy` selector for the built-in backends, carried inside option
+/// structs (engine options, simulator config) and resolved at the call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Everything on the calling thread, one shard per stage.
+    Sequential,
+    /// The scoped-thread pool with a deterministic per-shard split.
+    #[default]
+    ScopedThreads,
+    /// A fixed number of agent-range shards (a multi-machine split executed
+    /// locally).
+    Sharded {
+        /// Number of shards per stage (clamped to ≥ 1).
+        shards: usize,
+    },
+}
+
+impl BackendKind {
+    /// Maps `f` over `items` through the selected backend, flattening the
+    /// per-shard outputs back into item order.
+    pub fn map<T, R, F>(
+        &self,
+        parallel: &ParallelConfig,
+        stage: &'static str,
+        items: &[T],
+        f: F,
+    ) -> (Vec<R>, StageStats)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        match self {
+            BackendKind::Sequential => backend_map(&Sequential, stage, items, f),
+            BackendKind::ScopedThreads => {
+                backend_map(&ScopedThreads::new(*parallel), stage, items, f)
+            }
+            BackendKind::Sharded { shards } => {
+                backend_map(&Sharded::new(*shards, *parallel), stage, items, f)
+            }
+        }
+    }
+}
+
+/// Per-item map on top of a [`SolveBackend`]: runs `f` for every item,
+/// sharded by the backend's plan, and returns the results in item order.
+pub fn backend_map<B, T, R, F>(
+    backend: &B,
+    stage: &'static str,
+    items: &[T],
+    f: F,
+) -> (Vec<R>, StageStats)
+where
+    B: SolveBackend,
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let run = backend.execute(stage, items.len(), |shard| {
+        items[shard.range()].iter().map(&f).collect::<Vec<R>>()
+    });
+    let mut flat = Vec::with_capacity(items.len());
+    for chunk in run.outputs {
+        flat.extend(chunk);
+    }
+    (flat, run.stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,5 +631,198 @@ mod tests {
         let lens = par_map(&items, |s| s.len());
         assert_eq!(lens[0], "item-0".len());
         assert_eq!(lens[49], "item-49".len());
+    }
+
+    // ---- Edge cases of the low-level helpers. ----
+
+    #[test]
+    fn single_item_inputs() {
+        let one = [41u64];
+        assert_eq!(par_map(&one, |&x| x + 1), vec![42]);
+        assert_eq!(par_map_with(&ParallelConfig::with_threads(16), &one, |&x| x + 1), vec![42]);
+        let chunked = par_chunks_map(&ParallelConfig::with_threads(16), &one, 8, |_, chunk| {
+            chunk.iter().map(|&x| x + 1).collect()
+        });
+        assert_eq!(chunked, vec![42]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let items: Vec<u32> = (0..3).collect();
+        let out = par_map_with(&ParallelConfig::with_threads(64), &items, |&x| x * 10);
+        assert_eq!(out, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn chunked_map_empty_slice_and_oversized_chunks() {
+        let empty: Vec<u8> = vec![];
+        let out: Vec<u8> =
+            par_chunks_map(&ParallelConfig::with_threads(4), &empty, 16, |_, c| c.to_vec());
+        assert!(out.is_empty());
+        // A chunk size larger than the input yields exactly one chunk.
+        let items: Vec<u8> = (0..5).collect();
+        let out = par_chunks_map(&ParallelConfig::with_threads(4), &items, 100, |start, c| {
+            assert_eq!(start, 0);
+            c.to_vec()
+        });
+        assert_eq!(out, items);
+        // Chunk size 0 is clamped to 1.
+        let out = par_chunks_map(&ParallelConfig::sequential(), &items, 0, |_, c| c.to_vec());
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn config_resolution_saturates() {
+        // A huge requested thread count saturates at the workload size…
+        assert_eq!(ParallelConfig::with_threads(usize::MAX).resolve(5), 5);
+        // …and a zero-item workload still resolves to one worker.
+        assert_eq!(ParallelConfig::with_threads(usize::MAX).resolve(0), 1);
+        assert_eq!(ParallelConfig::sequential().resolve(0), 1);
+        assert!(ParallelConfig::default().resolve(0) >= 1);
+        // One item never gets more than one worker.
+        assert_eq!(ParallelConfig::default().resolve(1), 1);
+    }
+
+    // ---- The backend layer. ----
+
+    fn backends() -> Vec<(&'static str, BackendKind)> {
+        vec![
+            ("sequential", BackendKind::Sequential),
+            ("scoped", BackendKind::ScopedThreads),
+            ("sharded-1", BackendKind::Sharded { shards: 1 }),
+            ("sharded-3", BackendKind::Sharded { shards: 3 }),
+            ("sharded-64", BackendKind::Sharded { shards: 64 }),
+        ]
+    }
+
+    fn assert_plan_is_contiguous_and_covering(plan: &[Shard], items: usize) {
+        let mut next = 0;
+        for (i, shard) in plan.iter().enumerate() {
+            assert_eq!(shard.index, i);
+            assert_eq!(shard.start, next);
+            assert!(shard.end >= shard.start);
+            next = shard.end;
+        }
+        assert_eq!(next, items);
+    }
+
+    #[test]
+    fn balanced_plans_cover_the_items() {
+        for items in [0usize, 1, 2, 7, 64, 1000] {
+            for shards in [1usize, 2, 3, 7, 64, 1000] {
+                let plan = balanced_plan(items, shards);
+                assert_plan_is_contiguous_and_covering(&plan, items);
+                if items > 0 {
+                    assert_eq!(plan.len(), shards.min(items));
+                    let min = plan.iter().map(Shard::len).min().unwrap();
+                    let max = plan.iter().map(Shard::len).max().unwrap();
+                    assert!(max - min <= 1, "unbalanced plan: {min}..{max}");
+                } else {
+                    assert!(plan.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backend_plans_are_contiguous_and_covering() {
+        let seq = Sequential;
+        let scoped = ScopedThreads::new(ParallelConfig::with_threads(3));
+        let sharded = Sharded::new(5, ParallelConfig::sequential());
+        for items in [0usize, 1, 4, 100] {
+            assert_plan_is_contiguous_and_covering(&seq.plan(items), items);
+            assert_plan_is_contiguous_and_covering(&scoped.plan(items), items);
+            assert_plan_is_contiguous_and_covering(&sharded.plan(items), items);
+        }
+        assert_eq!(seq.plan(100).len(), 1);
+        assert_eq!(sharded.plan(100).len(), 5);
+        // Sharded never creates more shards than items, and never zero.
+        assert_eq!(sharded.plan(3).len(), 3);
+        assert_eq!(Sharded::new(0, ParallelConfig::sequential()).shards, 1);
+    }
+
+    #[test]
+    fn all_backends_agree_with_sequential() {
+        let items: Vec<i64> = (0..257).collect();
+        let reference: Vec<i64> = items.iter().map(|&x| x * x - 7).collect();
+        for (name, kind) in backends() {
+            let (out, stats) =
+                kind.map(&ParallelConfig::with_threads(4), "square", &items, |&x| x * x - 7);
+            assert_eq!(out, reference, "backend {name}");
+            assert_eq!(stats.items(), items.len(), "backend {name}");
+            assert_eq!(stats.stage, "square");
+        }
+    }
+
+    #[test]
+    fn backend_map_on_empty_input() {
+        let empty: Vec<u32> = vec![];
+        for (name, kind) in backends() {
+            let (out, stats) = kind.map(&ParallelConfig::default(), "noop", &empty, |&x| x);
+            assert!(out.is_empty(), "backend {name}");
+            assert!(stats.shards.is_empty(), "backend {name}");
+            assert_eq!(stats.critical_path(), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn execute_passes_each_shard_exactly_once() {
+        let backend = Sharded::new(4, ParallelConfig::with_threads(2));
+        let run = backend.execute("count", 10, |shard| shard.len());
+        assert_eq!(run.outputs.iter().sum::<usize>(), 10);
+        assert_eq!(run.outputs.len(), 4);
+        assert_eq!(run.stats.backend, "sharded");
+        for (i, s) in run.stats.shards.iter().enumerate() {
+            assert_eq!(s.shard, i);
+            assert_eq!(s.items, run.outputs[i]);
+        }
+    }
+
+    #[test]
+    fn per_shard_tables_merge_deterministically() {
+        // The pattern the engine relies on: each shard returns a local table
+        // built from its own contiguous range; merging in shard order must
+        // reproduce the sequential first-occurrence order on every backend.
+        let items: Vec<u32> = (0..100).map(|i| i % 7).collect();
+        let merge = |kind: BackendKind| -> Vec<u32> {
+            let run = match kind {
+                BackendKind::Sequential => {
+                    Sequential.execute("dedup", items.len(), |shard: &Shard| {
+                        let mut seen = Vec::new();
+                        for &v in &items[shard.range()] {
+                            if !seen.contains(&v) {
+                                seen.push(v);
+                            }
+                        }
+                        seen
+                    })
+                }
+                _ => {
+                    let b = Sharded::new(6, ParallelConfig::with_threads(3));
+                    b.execute("dedup", items.len(), |shard: &Shard| {
+                        let mut seen = Vec::new();
+                        for &v in &items[shard.range()] {
+                            if !seen.contains(&v) {
+                                seen.push(v);
+                            }
+                        }
+                        seen
+                    })
+                }
+            };
+            let mut global = Vec::new();
+            for table in run.outputs {
+                for v in table {
+                    if !global.contains(&v) {
+                        global.push(v);
+                    }
+                }
+            }
+            global
+        };
+        let sequential = merge(BackendKind::Sequential);
+        let sharded = merge(BackendKind::Sharded { shards: 6 });
+        assert_eq!(sequential, sharded);
+        assert_eq!(sequential, vec![0, 1, 2, 3, 4, 5, 6]);
     }
 }

@@ -71,7 +71,7 @@
 //! | [`distsim`] | synchronous LOCAL-model simulator and the gathering protocol |
 //! | [`algorithms`] | safe algorithm, local averaging, baselines, comparisons |
 //! | [`instances`] | generators: sensor / ISP / grid / random / lower-bound construction |
-//! | [`parallel`] | the small scoped-thread parallel-map executor |
+//! | [`parallel`] | the pluggable sharded solve backend and the scoped-thread parallel-map executor |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -123,9 +123,11 @@ pub use mmlp_lp::solve_maxmin;
 pub mod prelude {
     pub use crate::algorithms::{
         apply_rule_direct, compare_algorithms, local_averaging, local_averaging_activity_from_view,
-        run_local_rule, safe_activity_from_view, safe_algorithm, solve_local_lps, uniform_baseline,
-        views_direct, AlgorithmComparison, LocalAveragingOptions, LocalAveragingResult,
-        LocalLpBatch, LocalLpOptions, LocalRun, SolveMode, SolveStats, SAFE_HORIZON,
+        run_local_rule, safe_activity_from_view, safe_algorithm, solve_local_lps,
+        solve_local_lps_on, solve_local_lps_reusing, uniform_baseline, views_direct,
+        AlgorithmComparison, ClassBasisCache, LocalAveragingOptions, LocalAveragingResult,
+        LocalLpBatch, LocalLpOptions, LocalRun, SolveMode, SolveStats, WarmStartPolicy,
+        SAFE_HORIZON,
     };
     pub use crate::core::{
         bounds, canonical_form, canonical_key, AgentId, CanonicalForm, CanonicalKey, DegreeBounds,
@@ -142,10 +144,13 @@ pub mod prelude {
         RandomInstanceConfig, SensorNetworkConfig, SensorNetworkInstance,
     };
     pub use crate::lp::{
-        solve_maxmin, solve_maxmin_warm, solve_maxmin_with, LpProblem, LpStatus, SimplexOptions,
-        WarmStart,
+        solve_maxmin, solve_maxmin_seeded, solve_maxmin_warm, solve_maxmin_with, LpProblem,
+        LpStatus, SeededSolveReport, SimplexOptions, WarmStart,
     };
-    pub use crate::parallel::{par_map, par_map_with, ParallelConfig};
+    pub use crate::parallel::{
+        backend_map, par_map, par_map_with, BackendKind, ParallelConfig, ScopedThreads, Sequential,
+        Shard, ShardStats, Sharded, SolveBackend, StageStats,
+    };
 }
 
 #[cfg(test)]

@@ -122,6 +122,103 @@ fn local_averaging_paths_are_bit_identical() {
     }
 }
 
+/// The full execution matrix of the engine: batched (the reference), naive
+/// per-agent, every backend at ≥2 shard counts, intra-run warm-start
+/// chaining, and cross-run basis-cache reuse — all bit-identical on every
+/// generator, seed and radius.
+#[test]
+fn backends_shard_counts_and_warm_starts_are_bit_identical() {
+    for seed in 0..5u64 {
+        for (name, inst) in generator_instances(seed) {
+            for radius in [1usize, 2] {
+                let reference = solve_local_lps(&inst, &LocalLpOptions::new(radius)).unwrap();
+
+                let naive = solve_local_lps(
+                    &inst,
+                    &LocalLpOptions {
+                        mode: SolveMode::NaivePerAgent,
+                        ..LocalLpOptions::new(radius)
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    reference.local_x, naive.local_x,
+                    "batched vs naive on {name}, seed {seed}, R={radius}"
+                );
+
+                for backend in [
+                    BackendKind::Sequential,
+                    BackendKind::Sharded { shards: 2 },
+                    BackendKind::Sharded { shards: 5 },
+                ] {
+                    let sharded =
+                        solve_local_lps(&inst, &LocalLpOptions::new(radius).with_backend(backend))
+                            .unwrap();
+                    assert_eq!(
+                        reference.local_x, sharded.local_x,
+                        "{backend:?} on {name}, seed {seed}, R={radius}"
+                    );
+                    assert_eq!(reference.class_of_ball, sharded.class_of_ball);
+                    assert_eq!(reference.class_keys, sharded.class_keys);
+                }
+
+                let warm =
+                    solve_local_lps(&inst, &LocalLpOptions::new(radius).with_warm_start()).unwrap();
+                assert_eq!(
+                    reference.local_x, warm.local_x,
+                    "warm-start chaining on {name}, seed {seed}, R={radius}"
+                );
+
+                let reused = solve_local_lps_reusing(
+                    &inst,
+                    &LocalLpOptions::new(radius).with_backend(BackendKind::Sharded { shards: 2 }),
+                    &reference.basis_cache(),
+                )
+                .unwrap();
+                assert_eq!(
+                    reference.local_x, reused.local_x,
+                    "basis-cache reuse on {name}, seed {seed}, R={radius}"
+                );
+                // An accepted seeded solve may terminate at a different (but
+                // equivalent) optimal basis — the certificate pins the
+                // activity vector, not the basis — so only the shape of the
+                // recorded bases is compared.
+                assert_eq!(reference.class_bases.len(), reused.class_bases.len());
+            }
+        }
+    }
+}
+
+/// The acceptance criterion for warm-start reuse: on the 50×50 workload the
+/// cross-run basis cache must cut total pivots *strictly* — in fact an
+/// unchanged instance re-solves without a single simplex iteration, every
+/// class accepted from its own recorded basis.  (Intra-run chaining carries
+/// no such bound: a rejected seed can add iterations; only bit-identity is
+/// guaranteed for it, asserted by the matrix test above.)
+#[test]
+fn grid_50x50_warm_start_reuse_strictly_reduces_pivots() {
+    let inst = grid_instance(
+        &GridConfig { side_lengths: vec![50, 50], torus: false, random_weights: false },
+        &mut StdRng::seed_from_u64(0),
+    );
+    let options = LocalLpOptions::new(2);
+    let cold = solve_local_lps(&inst, &options).unwrap();
+    let chained = solve_local_lps(&inst, &options.with_warm_start()).unwrap();
+    let reused = solve_local_lps_reusing(&inst, &options, &cold.basis_cache()).unwrap();
+
+    assert_eq!(cold.local_x, chained.local_x);
+    assert_eq!(cold.local_x, reused.local_x);
+    assert!(
+        reused.stats.total_pivots < cold.stats.total_pivots,
+        "cache reuse must strictly reduce simplex iterations ({} vs {})",
+        reused.stats.total_pivots,
+        cold.stats.total_pivots
+    );
+    assert_eq!(reused.stats.total_pivots, 0, "an unchanged instance re-solves pivot-free");
+    assert_eq!(reused.stats.warm_accepted, reused.stats.warm_attempts);
+    assert_eq!(reused.stats.warm_attempts, reused.stats.unique_classes);
+}
+
 /// The acceptance target of the batched engine: on a 50×50 grid at `R = 2`
 /// the dedup stage must cut the number of simplex solves by at least 10×
 /// relative to the number of agents (it actually achieves ~100×: every
