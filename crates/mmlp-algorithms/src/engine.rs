@@ -11,7 +11,7 @@
 //!
 //! 1. **Present** — each shard enumerates the radius-`R` balls of its agent
 //!    range in one sweep over a shared
-//!    [`NeighborCache`](mmlp_hypergraph::NeighborCache), builds each ball's
+//!    [`NeighborCache`], builds each ball's
 //!    local LP (9), and deduplicates the LPs by an exact *presentation key*
 //!    into a shard-local table.  A sequential merge then combines the
 //!    per-shard tables into the global presentation table (first-occurrence
@@ -62,16 +62,56 @@
 //! warm-start attempts and acceptances, wall-clock per stage and per-shard
 //! execution statistics.
 
+use crate::transport::{
+    engine_registry, CanonWireStage, PresentWireStage, ScatterWireStage, SolveWireStage,
+};
 use mmlp_core::canonical::{canonical_form, CanonicalForm, CanonicalKey, SEP_PARTY, SEP_RESOURCE};
 use mmlp_core::{AgentId, InstanceBuilder, MaxMinInstance, PartyId, ResourceId};
-use mmlp_hypergraph::{communication_hypergraph, BallEnumerator};
+use mmlp_hypergraph::{communication_hypergraph, BallEnumerator, NeighborCache};
 use mmlp_lp::{solve_maxmin_resumed, solve_maxmin_seeded, LpError, SimplexOptions, WarmStart};
 use mmlp_parallel::{
-    BackendKind, ParallelConfig, ScopedThreads, Sequential, Shard, Sharded, SolveBackend,
-    StageStats,
+    BackendKind, LoopbackBackend, ParallelConfig, ScopedThreads, Sequential, Sharded, SolveBackend,
+    StageStats, SubprocessBackend, TransportError,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use std::ops::Range;
+use std::sync::{Arc, Mutex as StdMutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Errors of the batched engine: a simplex failure on some local LP, or a
+/// transport failure when the pipeline ran on an out-of-process backend.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A local LP solve failed.
+    Lp(LpError),
+    /// The execution backend's transport failed (typed: frame corruption,
+    /// worker death past the retry budget, worker-side handler errors, …).
+    Transport(TransportError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Lp(e) => write!(f, "local LP solve failed: {e}"),
+            EngineError::Transport(e) => write!(f, "solve backend transport failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<LpError> for EngineError {
+    fn from(e: LpError) -> Self {
+        EngineError::Lp(e)
+    }
+}
+
+impl From<TransportError> for EngineError {
+    fn from(e: TransportError) -> Self {
+        EngineError::Transport(e)
+    }
+}
 
 /// How the engine distributes the per-ball LP solves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -302,7 +342,7 @@ impl ClassBasisCache {
 pub fn solve_local_lps(
     instance: &MaxMinInstance,
     options: &LocalLpOptions,
-) -> Result<LocalLpBatch, LpError> {
+) -> Result<LocalLpBatch, EngineError> {
     dispatch_backend(instance, options, None)
 }
 
@@ -322,7 +362,7 @@ pub fn solve_local_lps_reusing(
     instance: &MaxMinInstance,
     options: &LocalLpOptions,
     reuse: &ClassBasisCache,
-) -> Result<LocalLpBatch, LpError> {
+) -> Result<LocalLpBatch, EngineError> {
     dispatch_backend(instance, options, Some(reuse))
 }
 
@@ -330,7 +370,7 @@ fn dispatch_backend(
     instance: &MaxMinInstance,
     options: &LocalLpOptions,
     reuse: Option<&ClassBasisCache>,
-) -> Result<LocalLpBatch, LpError> {
+) -> Result<LocalLpBatch, EngineError> {
     match options.backend {
         BackendKind::Sequential => run_pipeline(instance, options, &Sequential, reuse),
         BackendKind::ScopedThreads => {
@@ -339,7 +379,36 @@ fn dispatch_backend(
         BackendKind::Sharded { shards } => {
             run_pipeline(instance, options, &Sharded::new(shards, options.parallel), reuse)
         }
+        BackendKind::Loopback { shards } => {
+            run_pipeline(instance, options, &LoopbackBackend::new(engine_registry(), shards), reuse)
+        }
+        BackendKind::Subprocess { workers, overlapped } => {
+            run_pipeline(instance, options, &*subprocess_backend(workers, overlapped), reuse)
+        }
     }
+}
+
+/// The process-wide pool of subprocess backends, keyed by configuration.
+///
+/// `BackendKind` is a `Copy` selector, so callers going through the options
+/// structs cannot hold a backend themselves — without pooling, every
+/// `solve_local_lps` call would spawn (and on drop kill) its whole worker
+/// pool and lose all worker-side context caching.  Pooled workers persist
+/// for the life of the process; each backend's internal lock serialises
+/// concurrent stages, which matches the one-pipeline-at-a-time use of the
+/// options path.  Callers that want explicit lifecycle control construct a
+/// [`SubprocessBackend`] themselves and use [`solve_local_lps_on`].
+fn subprocess_backend(workers: usize, overlapped: bool) -> Arc<SubprocessBackend> {
+    type BackendPool = StdMutex<HashMap<(usize, bool), Arc<SubprocessBackend>>>;
+    static POOL: OnceLock<BackendPool> = OnceLock::new();
+    let pool = POOL.get_or_init(|| StdMutex::new(HashMap::new()));
+    let mut pool = pool.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    pool.entry((workers.max(1), overlapped))
+        .or_insert_with(|| {
+            let backend = SubprocessBackend::new(workers, engine_registry());
+            Arc::new(if overlapped { backend } else { backend.lockstep() })
+        })
+        .clone()
 }
 
 /// Runs the engine pipeline — present, canonicalise, solve, scatter — on an
@@ -357,17 +426,25 @@ pub fn solve_local_lps_on<B: SolveBackend>(
     instance: &MaxMinInstance,
     options: &LocalLpOptions,
     backend: &B,
-) -> Result<LocalLpBatch, LpError> {
+) -> Result<LocalLpBatch, EngineError> {
     run_pipeline(instance, options, backend, None)
 }
 
 /// The engine pipeline proper, with an optional cross-run donor cache.
+///
+/// Every stage is submitted as a [`WireStage`](mmlp_parallel::WireStage):
+/// local backends execute the stage function in-process (through the
+/// default [`SolveBackend::execute_stage`]), transport backends serialise
+/// the same inputs, ship them to workers that run the very same stage
+/// functions on decoded copies, and deserialise the outputs — which is why
+/// the conformance matrix can assert bit-identity across the process
+/// boundary.
 fn run_pipeline<B: SolveBackend>(
     instance: &MaxMinInstance,
     options: &LocalLpOptions,
     backend: &B,
     reuse: Option<&ClassBasisCache>,
-) -> Result<LocalLpBatch, LpError> {
+) -> Result<LocalLpBatch, EngineError> {
     let n = instance.num_agents();
     if n == 0 {
         return Ok(LocalLpBatch {
@@ -387,47 +464,8 @@ fn run_pipeline<B: SolveBackend>(
     let stage = Instant::now();
     let (h, _) = communication_hypergraph(instance);
     let cache = h.neighbor_cache();
-    let run = backend.execute("present", n, |shard: &Shard| {
-        let mut enumerator = BallEnumerator::new(&cache);
-        let presented: Vec<(Vec<usize>, PresentedLp)> = shard
-            .range()
-            .map(|u| {
-                let ball = enumerator.ball(u, options.radius);
-                let lp = present_ball_lp(instance, &ball);
-                (ball, lp)
-            })
-            .collect();
-        // Shard-local presentation table, in first-occurrence order.
-        let mut by_key: HashMap<&[u64], usize> = HashMap::new();
-        let mut rep_indices: Vec<usize> = Vec::new();
-        let mut pres_of_ball = Vec::with_capacity(presented.len());
-        for (idx, (_, lp)) in presented.iter().enumerate() {
-            let id = match by_key.get(lp.key.as_slice()) {
-                Some(&id) => id,
-                None => {
-                    let id = rep_indices.len();
-                    by_key.insert(&lp.key, id);
-                    rep_indices.push(idx);
-                    id
-                }
-            };
-            pres_of_ball.push(id);
-        }
-        drop(by_key);
-        let mut is_rep = vec![false; presented.len()];
-        for &idx in &rep_indices {
-            is_rep[idx] = true;
-        }
-        let mut balls = Vec::with_capacity(presented.len());
-        let mut reps = Vec::with_capacity(rep_indices.len());
-        for (idx, (ball, lp)) in presented.into_iter().enumerate() {
-            balls.push(ball);
-            if is_rep[idx] {
-                reps.push(lp);
-            }
-        }
-        ShardPresentation { balls, pres_of_ball, reps }
-    });
+    let run = backend
+        .execute_stage(n, &PresentWireStage { instance, cache: &cache, radius: options.radius })?;
     // Merge phase 2: per-shard presentation tables → global table, in shard
     // order (= agent order), so the numbering matches a sequential sweep.
     let mut balls: Vec<Vec<usize>> = Vec::with_capacity(n);
@@ -459,27 +497,10 @@ fn run_pipeline<B: SolveBackend>(
     // ---- Stage 2: canonicalise the unique presentations; each shard also
     // returns its local canonical-class table (phase 1 of the class dedup).
     let stage = Instant::now();
-    let run = backend.execute("canonicalise", reps.len(), |shard: &Shard| {
-        let forms: Vec<CanonicalForm> =
-            shard.range().map(|p| canonical_form(&reps[p].instance)).collect();
-        // Shard-local class table: indices into `forms`, first occurrence.
-        let mut by_key: HashMap<&CanonicalKey, usize> = HashMap::new();
-        let mut class_reps: Vec<usize> = Vec::new();
-        let mut class_of: Vec<usize> = Vec::with_capacity(forms.len());
-        for (idx, form) in forms.iter().enumerate() {
-            let id = match by_key.get(&form.key) {
-                Some(&id) => id,
-                None => {
-                    let id = class_reps.len();
-                    by_key.insert(&form.key, id);
-                    class_reps.push(idx);
-                    id
-                }
-            };
-            class_of.push(id);
-        }
-        ShardClasses { forms, class_reps, class_of }
-    });
+    let run = backend.execute_stage(
+        reps.len(),
+        &CanonWireStage { instances: reps.iter().map(|r| &r.instance).collect() },
+    )?;
     // Flatten the forms (shard order = presentation order), then merge the
     // per-shard class tables (phase 2).
     let mut forms: Vec<CanonicalForm> = Vec::with_capacity(reps.len());
@@ -539,22 +560,21 @@ fn run_pipeline<B: SolveBackend>(
                     order
                 }
             };
-            let run = backend.execute("solve", num_classes, |shard: &Shard| {
-                let mut donors: HashMap<(usize, usize, usize), WarmStart> = HashMap::new();
-                let mut out = Vec::with_capacity(shard.len());
-                for k in shard.range() {
-                    let class = order[k];
+            let solve_jobs: Vec<(&MaxMinInstance, Option<&WarmStart>)> = order
+                .iter()
+                .map(|&class| {
                     let form = &forms[class_reps[class]];
-                    out.push(solve_class_job(
-                        &form.instance,
-                        reuse.and_then(|cache| cache.get(&form.key)),
-                        &options.simplex,
-                        options.warm_start,
-                        &mut donors,
-                    ));
-                }
-                out
-            });
+                    (&form.instance, reuse.and_then(|cache| cache.get(&form.key)))
+                })
+                .collect();
+            let run = backend.execute_stage(
+                num_classes,
+                &SolveWireStage {
+                    jobs: solve_jobs,
+                    simplex: options.simplex,
+                    policy: options.warm_start,
+                },
+            )?;
             let mut jobs: Vec<Option<SolvedLp>> = (0..num_classes).map(|_| None).collect();
             let mut k = 0usize;
             stage_shards.push(run.stats);
@@ -578,21 +598,16 @@ fn run_pipeline<B: SolveBackend>(
             (jobs, bases)
         }
         SolveMode::NaivePerAgent => {
-            let run = backend.execute("solve", n, |shard: &Shard| {
-                let mut out = Vec::with_capacity(shard.len());
-                for u in shard.range() {
-                    let lp = &forms[pres_of_ball[u]].instance;
-                    let mut donors = HashMap::new();
-                    out.push(solve_class_job(
-                        lp,
-                        None,
-                        &options.simplex,
-                        WarmStartPolicy::Off,
-                        &mut donors,
-                    ));
-                }
-                out
-            });
+            let solve_jobs: Vec<(&MaxMinInstance, Option<&WarmStart>)> =
+                (0..n).map(|u| (&forms[pres_of_ball[u]].instance, None)).collect();
+            let run = backend.execute_stage(
+                n,
+                &SolveWireStage {
+                    jobs: solve_jobs,
+                    simplex: options.simplex,
+                    policy: WarmStartPolicy::Off,
+                },
+            )?;
             let mut jobs = Vec::with_capacity(n);
             stage_shards.push(run.stats);
             for shard_out in run.outputs {
@@ -619,21 +634,23 @@ fn run_pipeline<B: SolveBackend>(
     };
     timings.solve = stage.elapsed();
 
-    // ---- Stage 4: scatter canonical solutions back onto the balls. ----
+    // ---- Stage 4: scatter canonical solutions back onto the balls.  The
+    // deduplicated solutions travel once (in the stage context); each ball
+    // carries only its labelling and a solution index, so the payload does
+    // not grow with the dedup ratio. ----
     let stage = Instant::now();
-    let run = backend.execute("scatter", n, |shard: &Shard| {
-        shard
-            .range()
-            .map(|u| {
-                let form = &forms[pres_of_ball[u]];
-                let job = match options.mode {
-                    SolveMode::Batched => &jobs[class_of_ball[u]],
-                    SolveMode::NaivePerAgent => &jobs[u],
-                };
-                form.unpermute(&job.x)
-            })
-            .collect::<Vec<_>>()
-    });
+    let solutions: Vec<&[f64]> = jobs.iter().map(|j| j.x.as_slice()).collect();
+    let scatter_items: Vec<(&[usize], usize)> = (0..n)
+        .map(|u| {
+            let form = &forms[pres_of_ball[u]];
+            let solution = match options.mode {
+                SolveMode::Batched => class_of_ball[u],
+                SolveMode::NaivePerAgent => u,
+            };
+            (form.labelling.as_slice(), solution)
+        })
+        .collect();
+    let run = backend.execute_stage(n, &ScatterWireStage { items: scatter_items, solutions })?;
     let mut local_x: Vec<Vec<f64>> = Vec::with_capacity(n);
     for shard_out in run.outputs {
         local_x.extend(shard_out);
@@ -664,33 +681,135 @@ fn run_pipeline<B: SolveBackend>(
 
 /// The output of one *present* shard: its agents' balls, their shard-local
 /// presentation ids, and the shard's presentation table.
-struct ShardPresentation {
-    balls: Vec<Vec<usize>>,
-    pres_of_ball: Vec<usize>,
-    reps: Vec<PresentedLp>,
+pub(crate) struct ShardPresentation {
+    pub(crate) balls: Vec<Vec<usize>>,
+    pub(crate) pres_of_ball: Vec<usize>,
+    pub(crate) reps: Vec<PresentedLp>,
 }
 
 /// The output of one *canonicalise* shard: the canonical forms of its
 /// presentation range and the shard-local class table.
-struct ShardClasses {
-    forms: Vec<CanonicalForm>,
+pub(crate) struct ShardClasses {
+    pub(crate) forms: Vec<CanonicalForm>,
     /// Indices into `forms` of the shard's class representatives.
-    class_reps: Vec<usize>,
+    pub(crate) class_reps: Vec<usize>,
     /// Shard-local class id of each form.
-    class_of: Vec<usize>,
+    pub(crate) class_of: Vec<usize>,
 }
 
 /// One solved LP job.
-#[derive(Debug, Clone)]
-struct SolvedLp {
-    x: Vec<f64>,
-    pivots: u64,
-    installs: u64,
-    basis: Vec<usize>,
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SolvedLp {
+    pub(crate) x: Vec<f64>,
+    pub(crate) pivots: u64,
+    pub(crate) installs: u64,
+    pub(crate) basis: Vec<usize>,
     /// Whether the simplex actually ran (false for party-less shortcuts).
-    solved: bool,
-    warm_attempted: bool,
-    warm_accepted: bool,
+    pub(crate) solved: bool,
+    pub(crate) warm_attempted: bool,
+    pub(crate) warm_accepted: bool,
+}
+
+// ---------------------------------------------------------------------------
+// The per-shard stage functions.
+//
+// These are the single implementations of the four pipeline stages: the
+// in-process path calls them on borrowed data (through the `WireStage`
+// `run_local` hooks in `crate::transport`), and the worker handlers call the
+// very same functions on decoded copies — which is what makes results across
+// the byte boundary bit-identical by construction.
+// ---------------------------------------------------------------------------
+
+/// Stage 1 body: enumerate the balls of an agent range, build their local
+/// LPs and deduplicate them by presentation key into a shard-local table.
+pub(crate) fn present_shard(
+    instance: &MaxMinInstance,
+    cache: &NeighborCache,
+    radius: usize,
+    range: Range<usize>,
+) -> ShardPresentation {
+    let mut enumerator = BallEnumerator::new(cache);
+    let presented: Vec<(Vec<usize>, PresentedLp)> = range
+        .map(|u| {
+            let ball = enumerator.ball(u, radius);
+            let lp = present_ball_lp(instance, &ball);
+            (ball, lp)
+        })
+        .collect();
+    // Shard-local presentation table, in first-occurrence order.
+    let mut by_key: HashMap<&[u64], usize> = HashMap::new();
+    let mut rep_indices: Vec<usize> = Vec::new();
+    let mut pres_of_ball = Vec::with_capacity(presented.len());
+    for (idx, (_, lp)) in presented.iter().enumerate() {
+        let id = match by_key.get(lp.key.as_slice()) {
+            Some(&id) => id,
+            None => {
+                let id = rep_indices.len();
+                by_key.insert(&lp.key, id);
+                rep_indices.push(idx);
+                id
+            }
+        };
+        pres_of_ball.push(id);
+    }
+    drop(by_key);
+    let mut is_rep = vec![false; presented.len()];
+    for &idx in &rep_indices {
+        is_rep[idx] = true;
+    }
+    let mut balls = Vec::with_capacity(presented.len());
+    let mut reps = Vec::with_capacity(rep_indices.len());
+    for (idx, (ball, lp)) in presented.into_iter().enumerate() {
+        balls.push(ball);
+        if is_rep[idx] {
+            reps.push(lp);
+        }
+    }
+    ShardPresentation { balls, pres_of_ball, reps }
+}
+
+/// Stage 2 body: canonicalise a shard's presentations and build the
+/// shard-local class table (first-occurrence order).
+pub(crate) fn canonicalise_shard(instances: &[&MaxMinInstance]) -> ShardClasses {
+    let forms: Vec<CanonicalForm> = instances.iter().map(|lp| canonical_form(lp)).collect();
+    let mut by_key: HashMap<&CanonicalKey, usize> = HashMap::new();
+    let mut class_reps: Vec<usize> = Vec::new();
+    let mut class_of: Vec<usize> = Vec::with_capacity(forms.len());
+    for (idx, form) in forms.iter().enumerate() {
+        let id = match by_key.get(&form.key) {
+            Some(&id) => id,
+            None => {
+                let id = class_reps.len();
+                by_key.insert(&form.key, id);
+                class_reps.push(idx);
+                id
+            }
+        };
+        class_of.push(id);
+    }
+    drop(by_key);
+    ShardClasses { forms, class_reps, class_of }
+}
+
+/// Stage 3 body: solve a shard's job sequence in order, chaining warm-start
+/// donors within the shard (the donor table starts empty per shard, exactly
+/// like the sharded in-process path).
+pub(crate) fn solve_shard(
+    jobs: &[(&MaxMinInstance, Option<&WarmStart>)],
+    simplex: &SimplexOptions,
+    policy: WarmStartPolicy,
+) -> Vec<Result<SolvedLp, LpError>> {
+    let mut donors: HashMap<(usize, usize, usize), WarmStart> = HashMap::new();
+    jobs.iter()
+        .map(|(lp, cached)| solve_class_job(lp, *cached, simplex, policy, &mut donors))
+        .collect()
+}
+
+/// Stage 4 body: map one canonical solution back through a ball's canonical
+/// labelling (the loop form of [`CanonicalForm::unpermute`]).
+pub(crate) fn unpermute_values(labelling: &[usize], canonical_values: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(labelling.len(), canonical_values.len());
+    labelling.iter().map(|&c| canonical_values[c]).collect()
 }
 
 /// Solves one class LP, seeding from the cross-run cache entry when one is
@@ -765,15 +884,15 @@ fn similarity_key(lp: &MaxMinInstance) -> Vec<u64> {
 }
 
 /// A ball's local LP together with its presentation key.
-struct PresentedLp {
+pub(crate) struct PresentedLp {
     /// The LP (9) of the ball: resources clipped to the ball, parties kept
     /// only when their support lies entirely inside; agents are the ball
     /// members in sorted order.
-    instance: MaxMinInstance,
+    pub(crate) instance: MaxMinInstance,
     /// Exact flat encoding of the LP as presented.  Equal keys mean the two
     /// ball LPs are bit-identical as labelled objects, hence share their
     /// canonical form *and* canonical labelling.
-    key: Vec<u64>,
+    pub(crate) key: Vec<u64>,
 }
 
 /// Builds the local LP of one ball in `O(|ball| · Δ)` — without scanning the
@@ -1004,7 +1123,10 @@ mod tests {
         )
         .unwrap();
         let stages: Vec<&str> = batch.stats.stage_shards.iter().map(|s| s.stage).collect();
-        assert_eq!(stages, vec!["present", "canonicalise", "solve", "scatter"]);
+        assert_eq!(
+            stages,
+            vec!["mmlp/present@1", "mmlp/canonicalise@1", "mmlp/solve@1", "mmlp/scatter@1"]
+        );
         assert_eq!(batch.stats.stage_shards[0].items(), inst.num_agents());
         assert_eq!(batch.stats.stage_shards[3].items(), inst.num_agents());
         assert_eq!(batch.stats.stage_shards[1].items(), batch.stats.distinct_presentations);

@@ -14,6 +14,12 @@
 //!   optionally warm-started from similar classes — and scatters the
 //!   results (with a naive per-agent reference mode that provably produces
 //!   bit-identical solutions);
+//! * [`transport`] — the engine's wire bindings: payload codecs, the
+//!   worker-side stage registry and the worker entry points that let the
+//!   pipeline stages run in out-of-process workers
+//!   ([`SubprocessBackend`](mmlp_parallel::SubprocessBackend)) or through
+//!   the fault-injectable in-memory loopback, with results proven
+//!   bit-identical by the conformance suite;
 //! * [`runner`] — the bridge to `mmlp-distsim`: run any view-based local rule
 //!   through the synchronous simulator and account for rounds and messages;
 //! * [`analysis`] — the centralised optimum baseline, the trivial uniform
@@ -32,11 +38,12 @@ pub mod engine;
 pub mod local_averaging;
 pub mod runner;
 pub mod safe;
+pub mod transport;
 
 pub use analysis::{compare_algorithms, uniform_baseline, AlgorithmComparison, ComparisonEntry};
 pub use engine::{
-    solve_local_lps, solve_local_lps_on, solve_local_lps_reusing, ClassBasisCache, LocalLpBatch,
-    LocalLpOptions, SolveMode, SolveStats, StageTimings, WarmStartPolicy,
+    solve_local_lps, solve_local_lps_on, solve_local_lps_reusing, ClassBasisCache, EngineError,
+    LocalLpBatch, LocalLpOptions, SolveMode, SolveStats, StageTimings, WarmStartPolicy,
 };
 pub use local_averaging::{
     local_averaging, local_averaging_activity_from_view, LocalAveragingOptions,
@@ -44,3 +51,4 @@ pub use local_averaging::{
 };
 pub use runner::{apply_rule_direct, run_local_rule, views_direct, LocalRun};
 pub use safe::{safe_activity_from_view, safe_algorithm, SAFE_HORIZON};
+pub use transport::{engine_registry, serve_engine_worker_if_requested, serve_engine_worker_stdio};

@@ -29,11 +29,13 @@
 //! all produce bit-identical solutions; the engine's [`SolveStats`] are
 //! surfaced in [`LocalAveragingResult::stats`].
 
-use crate::engine::{solve_local_lps, LocalLpOptions, SolveMode, SolveStats, WarmStartPolicy};
+use crate::engine::{
+    solve_local_lps, EngineError, LocalLpOptions, SolveMode, SolveStats, WarmStartPolicy,
+};
 use mmlp_core::canonical::canonical_form;
 use mmlp_core::{AgentId, InstanceBuilder, MaxMinInstance, PartyId, ResourceId, Solution};
 use mmlp_distsim::LocalView;
-use mmlp_lp::{solve_maxmin_with, LpError, SimplexOptions};
+use mmlp_lp::{solve_maxmin_with, SimplexOptions};
 use mmlp_parallel::{BackendKind, ParallelConfig};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -125,11 +127,12 @@ pub struct LocalAveragingResult {
 /// # Errors
 ///
 /// Propagates simplex failures from the local LPs (which do not occur for
-/// validated instances under default options).
+/// validated instances under default options) and transport failures when
+/// the configured backend crosses a process boundary.
 pub fn local_averaging(
     instance: &MaxMinInstance,
     options: &LocalAveragingOptions,
-) -> Result<LocalAveragingResult, LpError> {
+) -> Result<LocalAveragingResult, EngineError> {
     assert!(options.radius >= 1, "local averaging requires R ≥ 1");
     let n = instance.num_agents();
     if n == 0 {

@@ -59,6 +59,18 @@ impl CanonicalKey {
     pub fn as_words(&self) -> &[u64] {
         &self.0
     }
+
+    /// Rebuilds a key from raw encoding words, as produced by
+    /// [`as_words`](CanonicalKey::as_words).
+    ///
+    /// This exists for transport layers that ship canonical forms across a
+    /// byte boundary and must reconstruct the exact key.  Words that did not
+    /// come from a real canonical form make a key that matches no instance —
+    /// harmless for lookups, but do not fabricate keys expecting the
+    /// "equal iff isomorphic" guarantee to hold for them.
+    pub fn from_words(words: Vec<u64>) -> Self {
+        CanonicalKey(words)
+    }
 }
 
 /// The canonical form of an instance: its key, the relabelling that produced

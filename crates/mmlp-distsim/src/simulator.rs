@@ -132,6 +132,25 @@ impl Simulator {
                 program,
                 &mmlp_parallel::Sharded::new(shards, self.config.parallel),
             ),
+            // Node programs are arbitrary closures over arbitrary state and
+            // cannot be serialised, so the transport kinds run their rounds
+            // in-process on the plan-equivalent fixed-shard backend — the
+            // same thing the transport backends themselves do for every
+            // non-serialisable stage.  Results are bit-identical by the
+            // backend contract; only LP batches actually cross the wire.
+            BackendKind::Loopback { shards } => self.run_on(
+                network,
+                program,
+                &mmlp_parallel::Sharded::new(shards, self.config.parallel),
+            ),
+            BackendKind::Subprocess { workers, .. } => self.run_on(
+                network,
+                program,
+                &mmlp_parallel::Sharded::new(
+                    workers * mmlp_parallel::SUBPROCESS_SHARDS_PER_WORKER,
+                    self.config.parallel,
+                ),
+            ),
         }
     }
 
@@ -472,6 +491,12 @@ mod tests {
             BackendKind::ScopedThreads,
             BackendKind::Sharded { shards: 2 },
             BackendKind::Sharded { shards: 7 },
+            // Node programs cannot be serialised, so the transport kinds
+            // run rounds in-process on the plan-equivalent split — they
+            // must still be selectable and bit-identical.
+            BackendKind::Loopback { shards: 3 },
+            BackendKind::Subprocess { workers: 2, overlapped: true },
+            BackendKind::Subprocess { workers: 2, overlapped: false },
         ] {
             let run =
                 Simulator::with_config(SimulatorConfig { backend, ..SimulatorConfig::default() })
@@ -481,7 +506,9 @@ mod tests {
             assert_eq!(run.messages, reference.messages, "{backend:?}");
             assert_eq!(run.rounds, reference.rounds, "{backend:?}");
         }
-        // The generic entry point accepts any backend implementation.
+        // The generic entry point accepts any backend implementation —
+        // including a transport backend, whose closure path serves the
+        // simulated rounds in-process.
         let via_trait = Simulator::new()
             .run_on(
                 &net,
@@ -490,6 +517,14 @@ mod tests {
             )
             .unwrap();
         assert_eq!(via_trait.outputs, reference.outputs);
+        let loopback = mmlp_parallel::LoopbackBackend::new(
+            std::sync::Arc::new(mmlp_parallel::StageRegistry::new()),
+            3,
+        );
+        let via_transport =
+            Simulator::new().run_on(&net, &FloodSum { rounds: 4 }, &loopback).unwrap();
+        assert_eq!(via_transport.outputs, reference.outputs);
+        assert_eq!(via_transport.messages, reference.messages);
     }
 
     #[test]

@@ -1,0 +1,617 @@
+//! The shard driver: dispatches encoded stage jobs to worker links and
+//! merges replies back into deterministic shard order.
+//!
+//! Two dispatch disciplines:
+//!
+//! * [`DriverMode::Lockstep`] — one job in flight globally; the next shard
+//!   is sent only after the previous reply was merged.  The no-pipelining
+//!   baseline the benchmarks compare against.
+//! * [`DriverMode::Overlapped`] — every worker's whole job queue is
+//!   dispatched eagerly, so all workers compute concurrently and later
+//!   shards execute while earlier replies are still being merged.  Replies
+//!   arriving out of shard order (the protocol permits reordering and
+//!   duplicate delivery) are **buffered by sequence number** and merged in
+//!   shard order, so pipelining can never change a result: the conformance
+//!   suite asserts bit-identity against the sequential backend.
+//!
+//! Fault handling is uniform across transports: a dead worker
+//! ([`TransportError::WorkerDied`]) is respawned up to
+//! [`ShardDriver::max_retries`] times per worker, with the stage context and
+//! every unacknowledged job of that worker resent (jobs are idempotent pure
+//! functions, and the by-sequence merge drops any duplicate that still
+//! arrives).  Anything else — truncated or corrupted frames, worker-side
+//! handler failures, protocol violations — aborts the stage with a typed
+//! [`TransportError`]; no failure path hangs or panics.
+
+use crate::transport::{TransportError, WorkerLink};
+use crate::wire::{put_str, ByteReader, Frame, FrameKind};
+use crate::{Shard, ShardStats, StageRun, StageStats};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Dispatch discipline of the [`ShardDriver`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DriverMode {
+    /// One job in flight at a time (the no-pipelining baseline).
+    Lockstep,
+    /// Dispatch eagerly, merge replies as they arrive (buffered to preserve
+    /// the deterministic shard order).
+    #[default]
+    Overlapped,
+}
+
+/// A pipeline stage whose per-shard inputs and outputs can cross a byte
+/// boundary.
+///
+/// This is the serialisation seam between a [`SolveBackend`] caller and the
+/// transport: `encode_context`/`encode_job` produce what ships,
+/// `decode_reply` parses what returns, and `run_local` is the same
+/// computation executed in-process — the reference every remote execution
+/// must reproduce bit for bit (the worker-side handler registered for
+/// [`stage_id`](WireStage::stage_id) decodes the payloads and calls the very
+/// same function).
+///
+/// [`SolveBackend`]: crate::SolveBackend
+pub trait WireStage: Sync {
+    /// The per-shard output type.
+    type Output: Send;
+
+    /// Stable stage identifier with a payload-version suffix (e.g.
+    /// `mmlp/present@1`), dispatched by the worker's registry.
+    fn stage_id(&self) -> &'static str;
+
+    /// Encodes the stage-shared context (sent once per worker per stage).
+    fn encode_context(&self, out: &mut Vec<u8>);
+
+    /// Encodes one shard's job payload.
+    fn encode_job(&self, shard: &Shard, out: &mut Vec<u8>);
+
+    /// Decodes one shard's reply payload.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`TransportError`] when the payload is malformed.
+    fn decode_reply(&self, shard: &Shard, payload: &[u8]) -> Result<Self::Output, TransportError>;
+
+    /// Runs the stage in-process (the loopback-free reference path used by
+    /// the local backends).
+    fn run_local(&self, shard: &Shard) -> Self::Output;
+}
+
+/// Dispatches the shards of one stage across a pool of worker links.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardDriver {
+    /// Number of concurrent workers (clamped to the number of shards).
+    pub workers: usize,
+    /// Dispatch discipline.
+    pub mode: DriverMode,
+    /// How many times a dead worker is respawned before the stage fails
+    /// with [`TransportError::RetriesExhausted`].
+    pub max_retries: usize,
+}
+
+/// Pool of reusable worker links, indexed by driver-side worker number.
+///
+/// Links persist across stages (a worker process serves a whole pipeline),
+/// so the pool lives with the backend and is lent to the driver per stage.
+/// The pool also allocates the globally unique job sequence numbers: every
+/// stage run claims a fresh contiguous range, so a stale reply from an
+/// earlier stage (possible under duplicate-delivery faults) can never be
+/// mistaken for a current one — the driver recognises and drops it.
+#[derive(Default)]
+pub struct LinkPool {
+    pub(crate) links: Vec<Option<Box<dyn WorkerLink>>>,
+    next_seq: u64,
+}
+
+impl std::fmt::Debug for LinkPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LinkPool")
+            .field("links", &self.links.iter().map(Option::is_some).collect::<Vec<_>>())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+impl LinkPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Claims a contiguous range of `count` job sequence numbers.
+    fn claim_seq_range(&mut self, count: u64) -> u64 {
+        let base = self.next_seq;
+        self.next_seq += count;
+        base
+    }
+}
+
+/// Spawner callback: produces a fresh link for a worker index, both at
+/// start-up and when the driver replaces a dead worker.
+pub type LinkSpawner<'a> = dyn FnMut(usize) -> Result<Box<dyn WorkerLink>, TransportError> + 'a;
+
+struct WorkerState {
+    /// Jobs assigned but not yet sent (lockstep keeps them here).
+    unsent: VecDeque<u64>,
+    /// Jobs sent and not yet merged — resent verbatim after a respawn.
+    inflight: VecDeque<u64>,
+    /// Spawn attempts consumed (the first spawn is free).
+    respawns: usize,
+    /// Whether the current link received this stage's context frame.
+    ctx_sent: bool,
+}
+
+impl ShardDriver {
+    /// Runs `stage` over `plan`, returning outputs in shard order.
+    ///
+    /// `pool` holds the persistent links (grown on demand); `spawn` makes a
+    /// new link for a worker index.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`TransportError`]s for every transport failure; results are
+    /// only returned when every shard's reply was received and decoded.
+    pub fn run<S: WireStage>(
+        &self,
+        backend_name: &'static str,
+        stage: &S,
+        plan: &[Shard],
+        pool: &mut LinkPool,
+        spawn: &mut LinkSpawner<'_>,
+    ) -> Result<StageRun<S::Output>, TransportError> {
+        let n = plan.len();
+        if n == 0 {
+            return Ok(StageRun {
+                outputs: Vec::new(),
+                stats: StageStats {
+                    stage: stage.stage_id(),
+                    backend: backend_name,
+                    shards: vec![],
+                },
+            });
+        }
+        let workers = self.workers.clamp(1, n);
+        if pool.links.len() < workers {
+            pool.links.resize_with(workers, || None);
+        }
+        let base = pool.claim_seq_range(n as u64);
+
+        let mut context = Vec::new();
+        put_str(&mut context, stage.stage_id());
+        stage.encode_context(&mut context);
+        let context = Frame { kind: FrameKind::Context, seq: 0, payload: context };
+
+        let mut states: Vec<WorkerState> = (0..workers)
+            .map(|_| WorkerState {
+                unsent: VecDeque::new(),
+                inflight: VecDeque::new(),
+                respawns: 0,
+                ctx_sent: false,
+            })
+            .collect();
+        for shard in plan {
+            states[shard.index % workers].unsent.push_back(base + shard.index as u64);
+        }
+
+        let mut results: Vec<Option<(S::Output, ShardStats)>> = (0..n).map(|_| None).collect();
+
+        // In overlapped mode the whole queue of every worker ships up front;
+        // workers compute concurrently while the driver merges in order.
+        if self.mode == DriverMode::Overlapped {
+            for w in 0..workers {
+                self.flush_unsent(w, base, stage, plan, pool, spawn, &mut states, &context)?;
+            }
+        }
+
+        for next in 0..n {
+            if results[next].is_some() {
+                continue;
+            }
+            let w = next % workers;
+            if self.mode == DriverMode::Lockstep {
+                // Shards are assigned round-robin and merged in order, so
+                // the worker's next unsent job is exactly `next` (unless a
+                // revival already re-dispatched it, making this a no-op).
+                self.flush_one(w, base, stage, plan, pool, spawn, &mut states, &context)?;
+            }
+            // Collect until shard `next` is merged; out-of-order replies are
+            // buffered into `results`, duplicates of merged shards ignored.
+            loop {
+                let frame = match pool.links[w].as_mut().expect("link ensured").recv() {
+                    Ok(frame) => frame,
+                    Err(TransportError::WorkerDied { message, .. }) => {
+                        self.revive(
+                            w,
+                            base,
+                            message,
+                            stage,
+                            plan,
+                            pool,
+                            spawn,
+                            &mut states,
+                            &context,
+                        )?;
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                };
+                match frame.kind {
+                    FrameKind::Reply => {
+                        let seq = frame.seq;
+                        if seq < base {
+                            // Stale duplicate from an earlier stage run on
+                            // this pooled link: drop it.
+                            continue;
+                        }
+                        let idx = usize::try_from(seq - base)
+                            .ok()
+                            .filter(|&i| i < n)
+                            .ok_or(TransportError::UnexpectedReply { seq })?;
+                        if results[idx].is_some() {
+                            // Duplicate delivery of a merged shard: the
+                            // by-sequence merge makes redelivery idempotent.
+                            continue;
+                        }
+                        if !states[w].inflight.contains(&seq) {
+                            return Err(TransportError::UnexpectedReply { seq });
+                        }
+                        states[w].inflight.retain(|&s| s != seq);
+                        let mut reader = ByteReader::new(&frame.payload);
+                        let wall = Duration::from_nanos(reader.u64("reply wall-clock")?);
+                        let output = stage.decode_reply(&plan[idx], reader.rest())?;
+                        results[idx] =
+                            Some((output, ShardStats { shard: idx, items: plan[idx].len(), wall }));
+                        if idx == next {
+                            break;
+                        }
+                    }
+                    FrameKind::WorkerError => {
+                        if frame.seq < base {
+                            // Stale failure report from a stage run that
+                            // already aborted: drop it like a stale reply,
+                            // it must not poison this healthy stage.
+                            continue;
+                        }
+                        return Err(TransportError::Worker {
+                            seq: frame.seq,
+                            message: String::from_utf8_lossy(&frame.payload).into_owned(),
+                        });
+                    }
+                    FrameKind::Hello => continue, // stray handshake echo
+                    FrameKind::Context | FrameKind::Job | FrameKind::Shutdown => {
+                        return Err(TransportError::UnexpectedFrame { kind: "control" });
+                    }
+                }
+            }
+        }
+
+        let mut outputs = Vec::with_capacity(n);
+        let mut shards = Vec::with_capacity(n);
+        for slot in results {
+            let (output, stats) = slot.expect("loop above merged every shard");
+            outputs.push(output);
+            shards.push(stats);
+        }
+        Ok(StageRun {
+            outputs,
+            stats: StageStats { stage: stage.stage_id(), backend: backend_name, shards },
+        })
+    }
+
+    /// Makes sure worker `w` has a live link that received this stage's
+    /// context.
+    #[allow(clippy::too_many_arguments)]
+    fn ensure_link(
+        &self,
+        w: usize,
+        pool: &mut LinkPool,
+        spawn: &mut LinkSpawner<'_>,
+        states: &mut [WorkerState],
+        context: &Frame,
+    ) -> Result<(), TransportError> {
+        if pool.links[w].is_none() {
+            pool.links[w] = Some(spawn(w)?);
+            states[w].ctx_sent = false;
+        }
+        if !states[w].ctx_sent {
+            pool.links[w].as_mut().expect("just ensured").send(context)?;
+            states[w].ctx_sent = true;
+        }
+        Ok(())
+    }
+
+    /// Sends every queued job of worker `w` (overlapped dispatch).
+    #[allow(clippy::too_many_arguments)]
+    fn flush_unsent<S: WireStage>(
+        &self,
+        w: usize,
+        base: u64,
+        stage: &S,
+        plan: &[Shard],
+        pool: &mut LinkPool,
+        spawn: &mut LinkSpawner<'_>,
+        states: &mut [WorkerState],
+        context: &Frame,
+    ) -> Result<(), TransportError> {
+        self.ensure_link(w, pool, spawn, states, context)?;
+        while !states[w].unsent.is_empty() {
+            self.flush_one(w, base, stage, plan, pool, spawn, states, context)?;
+        }
+        Ok(())
+    }
+
+    /// Sends the next queued job of worker `w`, reviving it on a dead pipe.
+    #[allow(clippy::too_many_arguments)]
+    fn flush_one<S: WireStage>(
+        &self,
+        w: usize,
+        base: u64,
+        stage: &S,
+        plan: &[Shard],
+        pool: &mut LinkPool,
+        spawn: &mut LinkSpawner<'_>,
+        states: &mut [WorkerState],
+        context: &Frame,
+    ) -> Result<(), TransportError> {
+        loop {
+            self.ensure_link(w, pool, spawn, states, context)?;
+            let Some(&seq) = states[w].unsent.front() else { return Ok(()) };
+            let shard = &plan[usize::try_from(seq - base).expect("shard index fits usize")];
+            let mut payload = Vec::new();
+            put_str(&mut payload, stage.stage_id());
+            stage.encode_job(shard, &mut payload);
+            let frame = Frame { kind: FrameKind::Job, seq, payload };
+            match pool.links[w].as_mut().expect("link ensured").send(&frame) {
+                Ok(()) => {
+                    states[w].unsent.pop_front();
+                    states[w].inflight.push_back(seq);
+                    return Ok(());
+                }
+                Err(TransportError::WorkerDied { message, .. }) => {
+                    self.revive(w, base, message, stage, plan, pool, spawn, states, context)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Replaces a dead worker: respawn (within the retry budget), resend the
+    /// context, and re-dispatch every job the dead link had in flight.
+    #[allow(clippy::too_many_arguments)]
+    fn revive<S: WireStage>(
+        &self,
+        w: usize,
+        base: u64,
+        cause: String,
+        stage: &S,
+        plan: &[Shard],
+        pool: &mut LinkPool,
+        spawn: &mut LinkSpawner<'_>,
+        states: &mut [WorkerState],
+        context: &Frame,
+    ) -> Result<(), TransportError> {
+        states[w].respawns += 1;
+        if states[w].respawns > self.max_retries {
+            return Err(TransportError::RetriesExhausted {
+                worker: w,
+                attempts: states[w].respawns,
+                last: cause,
+            });
+        }
+        pool.links[w] = None;
+        states[w].ctx_sent = false;
+        // Everything the dead link had in flight is lost; queue it again in
+        // front of the untouched jobs (order within a worker is free — the
+        // merge is by sequence number) and re-dispatch the whole queue.
+        // Re-dispatching also in lockstep mode keeps the recovery path
+        // uniform; jobs are idempotent and the ordered merge ignores any
+        // duplicate, so early dispatch can never change a result.
+        let inflight: Vec<u64> = states[w].inflight.drain(..).collect();
+        for seq in inflight.into_iter().rev() {
+            states[w].unsent.push_front(seq);
+        }
+        self.flush_unsent(w, base, stage, plan, pool, spawn, states, context)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balanced_plan;
+    use crate::transport::{FaultPlan, LoopbackLink, StageCache, StageRegistry};
+    use crate::wire::{put_u64, put_usize};
+    use std::sync::Arc;
+
+    /// The test stage: output[i] = input_base + item index, per shard.
+    struct OffsetStage {
+        base: u64,
+    }
+
+    fn offset_handler(ctx: &[u8], job: &[u8], _cache: &mut StageCache) -> Result<Vec<u8>, String> {
+        let mut r = ByteReader::new(ctx);
+        let base = r.u64("base").map_err(|e| e.to_string())?;
+        let mut r = ByteReader::new(job);
+        let start = r.u64("start").map_err(|e| e.to_string())?;
+        let end = r.u64("end").map_err(|e| e.to_string())?;
+        let mut out = Vec::new();
+        put_usize(&mut out, (end - start) as usize);
+        for i in start..end {
+            put_u64(&mut out, base + i);
+        }
+        Ok(out)
+    }
+
+    impl WireStage for OffsetStage {
+        type Output = Vec<u64>;
+
+        fn stage_id(&self) -> &'static str {
+            "test/offset@1"
+        }
+
+        fn encode_context(&self, out: &mut Vec<u8>) {
+            put_u64(out, self.base);
+        }
+
+        fn encode_job(&self, shard: &Shard, out: &mut Vec<u8>) {
+            put_u64(out, shard.start as u64);
+            put_u64(out, shard.end as u64);
+        }
+
+        fn decode_reply(&self, _shard: &Shard, payload: &[u8]) -> Result<Vec<u64>, TransportError> {
+            let mut r = ByteReader::new(payload);
+            Ok(r.u64s("offsets")?)
+        }
+
+        fn run_local(&self, shard: &Shard) -> Vec<u64> {
+            shard.range().map(|i| self.base + i as u64).collect()
+        }
+    }
+
+    fn registry() -> Arc<StageRegistry> {
+        let mut reg = StageRegistry::new();
+        reg.register("test/offset@1", offset_handler);
+        Arc::new(reg)
+    }
+
+    fn run_with_faults(
+        driver: &ShardDriver,
+        items: usize,
+        shards: usize,
+        faults_first_spawn: FaultPlan,
+    ) -> Result<Vec<Vec<u64>>, TransportError> {
+        let reg = registry();
+        let stage = OffsetStage { base: 1000 };
+        let plan = balanced_plan(items, shards);
+        let mut pool = LinkPool::new();
+        let mut spawned = vec![0usize; driver.workers.max(1)];
+        let mut spawn = |w: usize| -> Result<Box<dyn WorkerLink>, TransportError> {
+            spawned[w] += 1;
+            let faults =
+                if spawned[w] == 1 { faults_first_spawn.clone() } else { FaultPlan::none() };
+            Ok(Box::new(LoopbackLink::with_faults(reg.clone(), w, faults)) as Box<dyn WorkerLink>)
+        };
+        driver
+            .run("test", &stage, &plan, &mut pool, &mut spawn)
+            .map(|run| run.outputs)
+    }
+
+    fn reference(items: usize, shards: usize) -> Vec<Vec<u64>> {
+        let stage = OffsetStage { base: 1000 };
+        balanced_plan(items, shards).iter().map(|s| stage.run_local(s)).collect()
+    }
+
+    #[test]
+    fn lockstep_and_overlapped_match_the_local_reference() {
+        for mode in [DriverMode::Lockstep, DriverMode::Overlapped] {
+            for (items, shards, workers) in [(1, 1, 1), (10, 4, 2), (100, 16, 3), (7, 7, 7)] {
+                let driver = ShardDriver { workers, mode, max_retries: 0 };
+                let outputs = run_with_faults(&driver, items, shards, FaultPlan::none()).unwrap();
+                assert_eq!(outputs, reference(items, shards), "{mode:?} {items}/{shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn stale_frames_from_an_aborted_stage_do_not_poison_the_next_one() {
+        // A failing stage aborts on its first WorkerError, leaving the rest
+        // of the in-flight jobs' WorkerError frames queued on the pooled
+        // links.  A later healthy stage on the same pool must drop those
+        // stale frames (they carry pre-claim sequence numbers) and succeed.
+        fn always_fail(
+            _ctx: &[u8],
+            _job: &[u8],
+            _cache: &mut StageCache,
+        ) -> Result<Vec<u8>, String> {
+            Err("scripted failure".to_string())
+        }
+        struct FailingStage;
+        impl WireStage for FailingStage {
+            type Output = ();
+            fn stage_id(&self) -> &'static str {
+                "test/fail@1"
+            }
+            fn encode_context(&self, _out: &mut Vec<u8>) {}
+            fn encode_job(&self, _shard: &Shard, _out: &mut Vec<u8>) {}
+            fn decode_reply(&self, _shard: &Shard, _p: &[u8]) -> Result<(), TransportError> {
+                Ok(())
+            }
+            fn run_local(&self, _shard: &Shard) {}
+        }
+
+        let mut reg = StageRegistry::new();
+        reg.register("test/offset@1", offset_handler);
+        reg.register("test/fail@1", always_fail);
+        let reg = Arc::new(reg);
+        let driver = ShardDriver { workers: 2, mode: DriverMode::Overlapped, max_retries: 0 };
+        let mut pool = LinkPool::new();
+        let mut spawn = |w: usize| -> Result<Box<dyn WorkerLink>, TransportError> {
+            Ok(Box::new(LoopbackLink::new(reg.clone(), w)) as Box<dyn WorkerLink>)
+        };
+
+        let plan = balanced_plan(12, 6);
+        match driver.run("test", &FailingStage, &plan, &mut pool, &mut spawn) {
+            Err(TransportError::Worker { .. }) => {}
+            other => panic!("expected the scripted worker failure, got {other:?}"),
+        }
+
+        let stage = OffsetStage { base: 1000 };
+        let outputs = driver.run("test", &stage, &plan, &mut pool, &mut spawn).unwrap().outputs;
+        assert_eq!(outputs, reference(12, 6));
+    }
+
+    #[test]
+    fn empty_plan_is_a_noop() {
+        let driver = ShardDriver { workers: 4, mode: DriverMode::Overlapped, max_retries: 0 };
+        let outputs = run_with_faults(&driver, 0, 4, FaultPlan::none()).unwrap();
+        assert!(outputs.is_empty());
+    }
+
+    #[test]
+    fn reordered_replies_are_buffered_back_into_shard_order() {
+        for seed in [1u64, 7, 2024] {
+            let driver = ShardDriver { workers: 2, mode: DriverMode::Overlapped, max_retries: 0 };
+            let faults = FaultPlan { reorder_seed: Some(seed), ..FaultPlan::none() };
+            let outputs = run_with_faults(&driver, 60, 12, faults).unwrap();
+            assert_eq!(outputs, reference(60, 12), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn duplicated_replies_are_merged_idempotently() {
+        let driver = ShardDriver { workers: 2, mode: DriverMode::Overlapped, max_retries: 0 };
+        let faults = FaultPlan { duplicate_replies: vec![0, 3, 5], ..FaultPlan::none() };
+        let outputs = run_with_faults(&driver, 30, 6, faults).unwrap();
+        assert_eq!(outputs, reference(30, 6));
+    }
+
+    #[test]
+    fn truncated_reply_aborts_with_a_typed_error() {
+        let driver = ShardDriver { workers: 2, mode: DriverMode::Overlapped, max_retries: 3 };
+        let faults = FaultPlan { truncate_replies: vec![2], ..FaultPlan::none() };
+        match run_with_faults(&driver, 30, 6, faults) {
+            Err(TransportError::Wire(crate::wire::WireError::Truncated { .. })) => {}
+            other => panic!("expected truncation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_worker_is_respawned_and_the_result_is_identical() {
+        for mode in [DriverMode::Lockstep, DriverMode::Overlapped] {
+            let driver = ShardDriver { workers: 2, mode, max_retries: 1 };
+            let faults = FaultPlan { die_after_replies: Some(2), ..FaultPlan::none() };
+            let outputs = run_with_faults(&driver, 40, 8, faults).unwrap();
+            assert_eq!(outputs, reference(40, 8), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_a_typed_error() {
+        let driver = ShardDriver { workers: 1, mode: DriverMode::Overlapped, max_retries: 0 };
+        let faults = FaultPlan { die_after_replies: Some(1), ..FaultPlan::none() };
+        match run_with_faults(&driver, 20, 4, faults) {
+            Err(TransportError::RetriesExhausted { worker: 0, .. }) => {}
+            other => panic!("expected exhausted retries, got {other:?}"),
+        }
+    }
+}

@@ -16,6 +16,12 @@
 //!   per-shard work split, and an explicit fixed shard count that models a
 //!   multi-machine split (each shard sees only its own range, so a remote
 //!   backend is a drop-in replacement later).
+//! * [`LoopbackBackend`], [`SubprocessBackend`] — the transport-backed
+//!   backends: stages whose inputs and outputs can be serialised (the
+//!   [`WireStage`] seam) cross a real byte boundary — in memory with
+//!   deterministic fault injection, or into worker processes speaking the
+//!   [`wire`] protocol over stdio — dispatched by the lockstep/overlapped
+//!   [`ShardDriver`].
 //! * [`BackendKind`] — a `Copy` selector carried inside option structs,
 //!   resolved to one of the built-in backends at the call site.
 //! * [`par_map`] / [`par_map_with`] — parallel map over a slice with dynamic
@@ -34,8 +40,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod driver;
+pub mod transport;
+pub mod wire;
+
+pub use driver::{DriverMode, LinkPool, ShardDriver, WireStage};
+pub use transport::{
+    probe_worker, run_worker_if_requested, serve, serve_stdio, spawn_worker, worker_mode_requested,
+    FaultPlan, LoopbackLink, StageCache, StageHandler, StageRegistry, SubprocessLink,
+    TransportError, WorkerCommand, WorkerLink, WORKER_BIN_ENV, WORKER_FLAG,
+};
+pub use wire::{Frame, FrameKind, WireError, WIRE_VERSION};
+
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Thread-count configuration for the parallel helpers.
@@ -299,6 +318,26 @@ pub trait SolveBackend: Sync {
     where
         R: Send,
         F: Fn(&Shard) -> R + Sync;
+
+    /// Runs a *serialisable* stage ([`WireStage`]): inputs and outputs can
+    /// cross a byte boundary, so transport backends override this to ship
+    /// shards to worker processes.  The default executes the stage's
+    /// in-process reference path ([`WireStage::run_local`]) through
+    /// [`execute`](SolveBackend::execute) — for the local backends the seam
+    /// costs nothing and changes nothing.
+    ///
+    /// # Errors
+    ///
+    /// Transport backends return typed [`TransportError`]s for every
+    /// failure of the boundary (frame corruption, worker death past the
+    /// retry budget, handler failures); the local default never fails.
+    fn execute_stage<S: WireStage>(
+        &self,
+        items: usize,
+        stage: &S,
+    ) -> Result<StageRun<S::Output>, TransportError> {
+        Ok(self.execute(stage.stage_id(), items, |shard| stage.run_local(shard)))
+    }
 }
 
 /// Splits `items` into (at most) `shards` contiguous ranges of near-equal
@@ -463,6 +502,307 @@ impl SolveBackend for Sharded {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The transport-backed backends.
+// ---------------------------------------------------------------------------
+
+/// The in-memory transport backend: serialisable stages cross the full wire
+/// format (encode → decode on both directions) without a process boundary.
+///
+/// This is the deterministic test double of [`SubprocessBackend`] — same
+/// driver, same frames, same worker dispatch — plus seedable fault
+/// injection: the configured [`FaultPlan`] is applied to each worker's
+/// *first* link, and every link a retry respawns is faultless, so recovery
+/// paths terminate deterministically.
+///
+/// Closure stages (plain [`SolveBackend::execute`]) cannot be serialised
+/// and run in-process on the same plan; only [`execute_stage`] crosses the
+/// byte boundary.
+///
+/// [`execute_stage`]: SolveBackend::execute_stage
+pub struct LoopbackBackend {
+    registry: Arc<StageRegistry>,
+    shards: usize,
+    driver: ShardDriver,
+    faults: FaultPlan,
+    pool: Mutex<(LinkPool, Vec<usize>)>,
+}
+
+impl std::fmt::Debug for LoopbackBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoopbackBackend")
+            .field("shards", &self.shards)
+            .field("driver", &self.driver)
+            .field("faults", &self.faults)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LoopbackBackend {
+    /// A faultless loopback backend with `shards` shards, one loopback
+    /// worker per shard, overlapped dispatch.
+    pub fn new(registry: Arc<StageRegistry>, shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            registry,
+            shards,
+            driver: ShardDriver { workers: shards, mode: DriverMode::Overlapped, max_retries: 1 },
+            faults: FaultPlan::none(),
+            pool: Mutex::new((LinkPool::new(), Vec::new())),
+        }
+    }
+
+    /// The same backend with an explicit worker count (fewer workers than
+    /// shards pipelines several shards per worker).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.driver.workers = workers.max(1);
+        self
+    }
+
+    /// The same backend with a different dispatch discipline.
+    pub fn with_mode(mut self, mode: DriverMode) -> Self {
+        self.driver.mode = mode;
+        self
+    }
+
+    /// The same backend with a fault plan injected into each worker's first
+    /// link (respawned links are faultless).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The same backend with an explicit respawn budget per worker.
+    pub fn with_max_retries(mut self, max_retries: usize) -> Self {
+        self.driver.max_retries = max_retries;
+        self
+    }
+}
+
+impl SolveBackend for LoopbackBackend {
+    fn name(&self) -> &'static str {
+        "loopback"
+    }
+
+    fn plan(&self, items: usize) -> Vec<Shard> {
+        balanced_plan(items, self.shards)
+    }
+
+    fn execute<R, F>(&self, stage: &'static str, items: usize, f: F) -> StageRun<R>
+    where
+        R: Send,
+        F: Fn(&Shard) -> R + Sync,
+    {
+        // Closures cannot cross a byte boundary; run them in-process on the
+        // same shard plan (sequentially — loopback models one machine).
+        run_plan(self.name(), stage, &ParallelConfig::sequential(), self.plan(items), f)
+    }
+
+    fn execute_stage<S: WireStage>(
+        &self,
+        items: usize,
+        stage: &S,
+    ) -> Result<StageRun<S::Output>, TransportError> {
+        let plan = self.plan(items);
+        let mut guard = self.pool.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let (pool, spawn_counts) = &mut *guard;
+        if spawn_counts.len() < self.driver.workers {
+            spawn_counts.resize(self.driver.workers, 0);
+        }
+        let registry = self.registry.clone();
+        let faults = self.faults.clone();
+        let mut spawn = |w: usize| -> Result<Box<dyn WorkerLink>, TransportError> {
+            spawn_counts[w] += 1;
+            let plan = if spawn_counts[w] == 1 { faults.clone() } else { FaultPlan::none() };
+            Ok(Box::new(LoopbackLink::with_faults(registry.clone(), w, plan)))
+        };
+        self.driver.run(self.name(), stage, &plan, pool, &mut spawn)
+    }
+}
+
+/// How many shards each subprocess worker gets by default: a little
+/// pipelining depth so the overlapped driver has out-of-order replies to
+/// buffer, without fragmenting the dedup tables.  Public so every
+/// plan-equivalent fallback (closure stages, simulator rounds) shards the
+/// same way the real backend does.
+pub const SUBPROCESS_SHARDS_PER_WORKER: usize = 2;
+
+/// The out-of-process backend: serialisable stages run in worker processes
+/// that speak the [`wire`] protocol over stdio.
+///
+/// Workers are spawned from [`WorkerCommand`] (an explicit binary or a
+/// re-exec of the current one in `--mmlp-worker` mode), pooled across
+/// stages, respawned on death with their unacknowledged jobs resent, and
+/// shut down when the backend is dropped.
+///
+/// **Capability probe.**  The first [`execute_stage`] call probes whether
+/// this environment can spawn a protocol-speaking worker at all.  Sandboxes
+/// without fork/exec (or missing worker binaries) log a one-line skip and
+/// fall back to the in-memory [`LoopbackBackend`] transport — same wire
+/// format, same driver, no process — so callers never have to care.
+///
+/// Closure stages (plain [`SolveBackend::execute`]) cannot be serialised
+/// and run in-process on the same plan.
+///
+/// [`execute_stage`]: SolveBackend::execute_stage
+pub struct SubprocessBackend {
+    command: WorkerCommand,
+    workers: usize,
+    shards: usize,
+    driver: ShardDriver,
+    registry: Arc<StageRegistry>,
+    availability: OnceLock<bool>,
+    pool: Mutex<LinkPool>,
+    fallback: Mutex<Option<LoopbackBackend>>,
+}
+
+impl std::fmt::Debug for SubprocessBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubprocessBackend")
+            .field("command", &self.command)
+            .field("workers", &self.workers)
+            .field("shards", &self.shards)
+            .field("driver", &self.driver)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SubprocessBackend {
+    /// A subprocess backend with `workers` worker processes (spawned via
+    /// [`WorkerCommand::auto`]), two shards per worker, overlapped dispatch
+    /// and one respawn retry per worker.  `registry` is only used by the
+    /// loopback fallback when the capability probe fails.
+    pub fn new(workers: usize, registry: Arc<StageRegistry>) -> Self {
+        let workers = workers.max(1);
+        Self {
+            command: WorkerCommand::auto(),
+            workers,
+            shards: workers * SUBPROCESS_SHARDS_PER_WORKER,
+            driver: ShardDriver { workers, mode: DriverMode::Overlapped, max_retries: 1 },
+            registry,
+            availability: OnceLock::new(),
+            pool: Mutex::new(LinkPool::new()),
+            fallback: Mutex::new(None),
+        }
+    }
+
+    /// The same backend spawning workers with an explicit command.
+    pub fn with_command(mut self, command: WorkerCommand) -> Self {
+        self.command = command;
+        self
+    }
+
+    /// The same backend with an explicit shard count per stage.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// The same backend with a different dispatch discipline.
+    pub fn with_mode(mut self, mode: DriverMode) -> Self {
+        self.driver.mode = mode;
+        self
+    }
+
+    /// The same backend with lockstep dispatch (the no-pipelining baseline).
+    pub fn lockstep(self) -> Self {
+        self.with_mode(DriverMode::Lockstep)
+    }
+
+    /// Whether this environment can actually spawn worker processes
+    /// (`false` means [`execute_stage`](SolveBackend::execute_stage) serves
+    /// through the loopback fallback).
+    ///
+    /// The probe spawns a throwaway worker, so its verdict is cached
+    /// **process-wide per worker command** — constructing a fresh backend
+    /// per solve (as `BackendKind::Subprocess` dispatch does) costs one
+    /// probe per process, not one per call, and the fallback notice is
+    /// logged once.  A worker binary that appears later in the process's
+    /// lifetime is not re-probed.
+    pub fn subprocess_available(&self) -> bool {
+        *self.availability.get_or_init(|| {
+            static VERDICTS: OnceLock<Mutex<std::collections::HashMap<String, bool>>> =
+                OnceLock::new();
+            let verdicts = VERDICTS.get_or_init(|| Mutex::new(std::collections::HashMap::new()));
+            let mut verdicts = verdicts.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let key = self.command.describe();
+            if let Some(&known) = verdicts.get(&key) {
+                return known;
+            }
+            let available = match probe_worker(&self.command) {
+                Ok(()) => true,
+                Err(e) => {
+                    eprintln!(
+                        "mmlp: subprocess transport unavailable ({e}); \
+                         falling back to the in-memory loopback transport"
+                    );
+                    false
+                }
+            };
+            verdicts.insert(key, available);
+            available
+        })
+    }
+}
+
+impl SolveBackend for SubprocessBackend {
+    fn name(&self) -> &'static str {
+        match self.driver.mode {
+            DriverMode::Lockstep => "subprocess-lockstep",
+            DriverMode::Overlapped => "subprocess",
+        }
+    }
+
+    fn plan(&self, items: usize) -> Vec<Shard> {
+        balanced_plan(items, self.shards)
+    }
+
+    fn execute<R, F>(&self, stage: &'static str, items: usize, f: F) -> StageRun<R>
+    where
+        R: Send,
+        F: Fn(&Shard) -> R + Sync,
+    {
+        // Closures cannot cross the process boundary; run them in-process on
+        // the same shard plan so simulators and ad-hoc maps keep working.
+        run_plan(self.name(), stage, &ParallelConfig::default(), self.plan(items), f)
+    }
+
+    fn execute_stage<S: WireStage>(
+        &self,
+        items: usize,
+        stage: &S,
+    ) -> Result<StageRun<S::Output>, TransportError> {
+        if !self.subprocess_available() {
+            let mut guard = self.fallback.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let fallback = guard.get_or_insert_with(|| {
+                LoopbackBackend::new(self.registry.clone(), self.shards)
+                    .with_workers(self.driver.workers)
+                    .with_mode(self.driver.mode)
+            });
+            return fallback.execute_stage(items, stage);
+        }
+        let plan = self.plan(items);
+        let mut pool = self.pool.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let command = &self.command;
+        let mut spawn = |w: usize| -> Result<Box<dyn WorkerLink>, TransportError> {
+            Ok(Box::new(spawn_worker(command, w)?))
+        };
+        self.driver.run(self.name(), stage, &plan, &mut pool, &mut spawn)
+    }
+}
+
+impl Drop for SubprocessBackend {
+    fn drop(&mut self) {
+        // Ask pooled workers to exit cleanly; dropping the links closes the
+        // pipes (and reaps) regardless.
+        let mut pool = self.pool.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        for link in pool.links.iter_mut().flatten() {
+            let _ = link.send(&Frame::control(FrameKind::Shutdown));
+        }
+        pool.links.clear();
+    }
+}
+
 /// A `Copy` selector for the built-in backends, carried inside option
 /// structs (engine options, simulator config) and resolved at the call site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -477,6 +817,21 @@ pub enum BackendKind {
     Sharded {
         /// Number of shards per stage (clamped to ≥ 1).
         shards: usize,
+    },
+    /// The in-memory transport: serialisable stages cross the full wire
+    /// format without a process boundary ([`LoopbackBackend`]).
+    Loopback {
+        /// Number of shards per stage (clamped to ≥ 1).
+        shards: usize,
+    },
+    /// The out-of-process transport: serialisable stages run in worker
+    /// processes over stdio ([`SubprocessBackend`]), falling back to the
+    /// loopback when the environment cannot spawn processes.
+    Subprocess {
+        /// Number of worker processes (clamped to ≥ 1).
+        workers: usize,
+        /// Overlapped (pipelined) or lockstep dispatch.
+        overlapped: bool,
     },
 }
 
@@ -503,6 +858,18 @@ impl BackendKind {
             BackendKind::Sharded { shards } => {
                 backend_map(&Sharded::new(*shards, *parallel), stage, items, f)
             }
+            // Closures cannot be serialised, so the transport kinds map them
+            // on the plan-equivalent local backend (exactly what the
+            // transport backends' own closure path does).
+            BackendKind::Loopback { shards } => {
+                backend_map(&Sharded::new(*shards, *parallel), stage, items, f)
+            }
+            BackendKind::Subprocess { workers, .. } => backend_map(
+                &Sharded::new(workers * SUBPROCESS_SHARDS_PER_WORKER, *parallel),
+                stage,
+                items,
+                f,
+            ),
         }
     }
 }

@@ -122,12 +122,12 @@ pub use mmlp_lp::solve_maxmin;
 /// Everything most programs need, in one import.
 pub mod prelude {
     pub use crate::algorithms::{
-        apply_rule_direct, compare_algorithms, local_averaging, local_averaging_activity_from_view,
-        run_local_rule, safe_activity_from_view, safe_algorithm, solve_local_lps,
-        solve_local_lps_on, solve_local_lps_reusing, uniform_baseline, views_direct,
-        AlgorithmComparison, ClassBasisCache, LocalAveragingOptions, LocalAveragingResult,
-        LocalLpBatch, LocalLpOptions, LocalRun, SolveMode, SolveStats, WarmStartPolicy,
-        SAFE_HORIZON,
+        apply_rule_direct, compare_algorithms, engine_registry, local_averaging,
+        local_averaging_activity_from_view, run_local_rule, safe_activity_from_view,
+        safe_algorithm, serve_engine_worker_if_requested, solve_local_lps, solve_local_lps_on,
+        solve_local_lps_reusing, uniform_baseline, views_direct, AlgorithmComparison,
+        ClassBasisCache, EngineError, LocalAveragingOptions, LocalAveragingResult, LocalLpBatch,
+        LocalLpOptions, LocalRun, SolveMode, SolveStats, WarmStartPolicy, SAFE_HORIZON,
     };
     pub use crate::core::{
         bounds, canonical_form, canonical_key, AgentId, CanonicalForm, CanonicalKey, DegreeBounds,
@@ -148,8 +148,10 @@ pub mod prelude {
         LpStatus, SeededSolveReport, SimplexOptions, WarmStart,
     };
     pub use crate::parallel::{
-        backend_map, par_map, par_map_with, BackendKind, ParallelConfig, ScopedThreads, Sequential,
-        Shard, ShardStats, Sharded, SolveBackend, StageStats,
+        backend_map, par_map, par_map_with, probe_worker, BackendKind, DriverMode, FaultPlan,
+        LoopbackBackend, ParallelConfig, ScopedThreads, Sequential, Shard, ShardStats, Sharded,
+        SolveBackend, StageRegistry, StageStats, SubprocessBackend, TransportError, WireError,
+        WorkerCommand,
     };
 }
 

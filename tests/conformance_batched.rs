@@ -123,11 +123,19 @@ fn local_averaging_paths_are_bit_identical() {
 }
 
 /// The full execution matrix of the engine: batched (the reference), naive
-/// per-agent, every backend at ≥2 shard counts, intra-run warm-start
-/// chaining, and cross-run basis-cache reuse — all bit-identical on every
-/// generator, seed and radius.
+/// per-agent, every backend at ≥2 shard counts — including the loopback
+/// transport (full wire format in memory), the subprocess backend (real
+/// worker processes) and the overlapped driver — intra-run warm-start
+/// chaining, and cross-run basis-cache reuse: all bit-identical, with
+/// identical class and dedup counts, on every generator, seed and radius.
 #[test]
 fn backends_shard_counts_and_warm_starts_are_bit_identical() {
+    // One pooled subprocess backend per dispatch mode for the whole matrix
+    // (workers persist across runs).  Where the sandbox cannot spawn
+    // processes, the capability probe falls back to the loopback transport
+    // with a logged skip — the bit-identity assertions hold either way.
+    let subprocess_lockstep = SubprocessBackend::new(2, engine_registry()).lockstep();
+    let subprocess_overlapped = SubprocessBackend::new(2, engine_registry());
     for seed in 0..5u64 {
         for (name, inst) in generator_instances(seed) {
             for radius in [1usize, 2] {
@@ -148,8 +156,11 @@ fn backends_shard_counts_and_warm_starts_are_bit_identical() {
 
                 for backend in [
                     BackendKind::Sequential,
+                    BackendKind::ScopedThreads,
                     BackendKind::Sharded { shards: 2 },
                     BackendKind::Sharded { shards: 5 },
+                    BackendKind::Loopback { shards: 2 },
+                    BackendKind::Loopback { shards: 5 },
                 ] {
                     let sharded =
                         solve_local_lps(&inst, &LocalLpOptions::new(radius).with_backend(backend))
@@ -158,8 +169,37 @@ fn backends_shard_counts_and_warm_starts_are_bit_identical() {
                         reference.local_x, sharded.local_x,
                         "{backend:?} on {name}, seed {seed}, R={radius}"
                     );
+                    assert_eq!(reference.balls, sharded.balls);
                     assert_eq!(reference.class_of_ball, sharded.class_of_ball);
                     assert_eq!(reference.class_keys, sharded.class_keys);
+                    assert_eq!(
+                        reference.stats.distinct_presentations,
+                        sharded.stats.distinct_presentations
+                    );
+                    assert_eq!(reference.stats.unique_classes, sharded.stats.unique_classes);
+                    assert_eq!(reference.stats.cache_hits, sharded.stats.cache_hits);
+                }
+
+                for (label, backend) in [
+                    ("subprocess-lockstep", &subprocess_lockstep),
+                    ("subprocess-overlapped", &subprocess_overlapped),
+                ] {
+                    let remote =
+                        solve_local_lps_on(&inst, &LocalLpOptions::new(radius), backend).unwrap();
+                    assert_eq!(
+                        reference.local_x, remote.local_x,
+                        "{label} on {name}, seed {seed}, R={radius}"
+                    );
+                    assert_eq!(reference.balls, remote.balls);
+                    assert_eq!(reference.class_of_ball, remote.class_of_ball);
+                    assert_eq!(reference.class_keys, remote.class_keys);
+                    assert_eq!(reference.class_bases, remote.class_bases);
+                    assert_eq!(
+                        reference.stats.distinct_presentations,
+                        remote.stats.distinct_presentations
+                    );
+                    assert_eq!(reference.stats.unique_classes, remote.stats.unique_classes);
+                    assert_eq!(reference.stats.cache_hits, remote.stats.cache_hits);
                 }
 
                 let warm =

@@ -126,6 +126,80 @@ fn local_averaging_is_feasible_and_within_the_gamma_product() {
     }
 }
 
+/// The paper's guarantees hold *across the process boundary*: local
+/// averaging at `R = 3` computed through the subprocess backend (real
+/// worker processes speaking the wire protocol; the capability probe falls
+/// back to the in-memory loopback transport where the sandbox cannot spawn,
+/// with the same wire format exercised either way) still satisfies
+///
+/// * `ω* ≤ γ(R−1) · γ(R) · ω_avg` (Theorem 3, via the a-posteriori bound),
+/// * `ω* ≤ Δ_I^V · ω_safe` (the safe algorithm's Section 4 bound, checked
+///   on the same instances for the same optimum).
+#[test]
+fn guarantees_hold_through_the_subprocess_backend_at_radius_3() {
+    let radius = 3usize;
+    for (name, inst) in [
+        (
+            "grid-4x4-torus",
+            grid_instance(
+                &GridConfig { side_lengths: vec![4, 4], torus: true, random_weights: false },
+                &mut StdRng::seed_from_u64(2008),
+            ),
+        ),
+        ("hypertree-2-2-3", hypertree_instance(2, 2, 3)),
+    ] {
+        let optimum = solve_maxmin_with(&inst, &SimplexOptions::default()).unwrap();
+        let (h, _) = communication_hypergraph(&inst);
+
+        let result = local_averaging(
+            &inst,
+            &LocalAveragingOptions::new(radius)
+                .with_backend(BackendKind::Subprocess { workers: 2, overlapped: true }),
+        )
+        .unwrap();
+        assert!(
+            inst.is_feasible(&result.solution, TOL),
+            "subprocess-averaged solution infeasible on {name}"
+        );
+        let achieved = inst.objective(&result.solution).unwrap();
+        assert!(achieved > 0.0, "{name}: subprocess averaging achieved 0 at R={radius}");
+
+        let measured = optimum.objective / achieved;
+        let profile = growth_profile(&h, radius);
+        let gamma_bound = theorem3_ratio(profile.gamma[radius - 1], profile.gamma[radius]);
+        assert!(
+            result.guaranteed_ratio <= gamma_bound + 1e-9,
+            "{name}: a-posteriori {} exceeds γ(R−1)γ(R) = {gamma_bound}",
+            result.guaranteed_ratio
+        );
+        assert!(
+            measured <= gamma_bound + 1e-6,
+            "{name}: measured ratio {measured} exceeds the Theorem 3 bound {gamma_bound}"
+        );
+
+        // And the same exact optimum respects the safe algorithm's Δ_I^V
+        // bound — both paper guarantees asserted across the boundary.
+        let safe = safe_algorithm(&inst);
+        let safe_achieved = inst.objective(&safe).unwrap();
+        let delta = safe_upper_bound(inst.degree_bounds().max_resource_support);
+        assert!(
+            optimum.objective <= delta * safe_achieved + TOL,
+            "{name}: ω* = {} exceeds Δ_I^V · ω_safe = {delta} · {safe_achieved}",
+            optimum.objective
+        );
+
+        // The exact same run on the sequential backend is bit-identical —
+        // the transport provably did not move the numbers.
+        let local = local_averaging(
+            &inst,
+            &LocalAveragingOptions::new(radius).with_backend(BackendKind::Sequential),
+        )
+        .unwrap();
+        assert_eq!(result.solution, local.solution, "{name}: transport changed the solution");
+        assert_eq!(result.guaranteed_ratio, local.guaranteed_ratio);
+    }
+}
+
 #[test]
 fn exact_optimum_dominates_every_algorithm() {
     for (name, inst) in small_instances() {

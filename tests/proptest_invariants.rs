@@ -12,13 +12,22 @@
 //! * solution scaling preserves feasibility;
 //! * the batched local-LP engine's canonical keys are invariant under
 //!   agent-ID permutation, dedup never changes the solution (let alone the
-//!   objective), and its statistics are internally consistent.
+//!   objective), and its statistics are internally consistent;
+//! * the transport wire format: encode→decode is the identity for arbitrary
+//!   frames and engine payloads, single-byte corruption of a frame is
+//!   always detected (CRC-32), and decoding arbitrary byte noise returns a
+//!   typed error — no panic, no hang, no silently wrong frame.
 
+use maxmin_local_lp::algorithms::transport::{
+    put_canonical_form, put_instance, put_warm_start, read_canonical_form, read_instance,
+    read_warm_start,
+};
+use maxmin_local_lp::parallel::wire::{decode_frame, encode_frame, ByteReader, Frame, FrameKind};
 use maxmin_local_lp::prelude::*;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// A strategy producing small random-instance configurations.
 fn instance_config() -> impl Strategy<Value = (RandomInstanceConfig, u64)> {
@@ -162,6 +171,127 @@ proptest! {
             prop_assert!(batch.class_of_ball[u] < stats.unique_classes);
             prop_assert_eq!(batch.local_x[u].len(), ball.len());
         }
+    }
+}
+
+/// An arbitrary frame derived from a seed (kind, sequence number, payload).
+fn arbitrary_frame(seed: u64, payload_len: usize) -> Frame {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let kind = match rng.gen_range(0usize..6) {
+        0 => FrameKind::Hello,
+        1 => FrameKind::Context,
+        2 => FrameKind::Job,
+        3 => FrameKind::Reply,
+        4 => FrameKind::WorkerError,
+        _ => FrameKind::Shutdown,
+    };
+    let payload: Vec<u8> = (0..payload_len).map(|_| rng.gen_range(0u64..256) as u8).collect();
+    Frame { kind, seq: rng.gen(), payload }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn frame_encode_decode_is_identity(seed in any::<u64>(), len in 0usize..300) {
+        let frame = arbitrary_frame(seed, len);
+        let bytes = encode_frame(&frame);
+        let (decoded, consumed) = decode_frame(&bytes).expect("own encoding must decode");
+        prop_assert_eq!(decoded, frame);
+        prop_assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn decoding_byte_noise_errors_without_panicking(seed in any::<u64>(), len in 0usize..300) {
+        // Arbitrary bytes are rejected with a typed error: the magic,
+        // version, bounded length and CRC-32 all have to hold at once.
+        // (If noise ever *did* pass every check, it would have to be a real
+        // frame — asserted by re-encoding.)
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6e015e);
+        let noise: Vec<u8> = (0..len).map(|_| rng.gen_range(0u64..256) as u8).collect();
+        match decode_frame(&noise) {
+            Err(_) => {}
+            Ok((frame, consumed)) => {
+                let reencoded = encode_frame(&frame);
+                prop_assert_eq!(reencoded.as_slice(), &noise[..consumed]);
+            }
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_is_always_detected(
+        seed in any::<u64>(),
+        len in 0usize..200,
+        flip in any::<u64>(),
+        xor in 1u64..256,
+    ) {
+        let frame = arbitrary_frame(seed, len);
+        let mut bytes = encode_frame(&frame);
+        let idx = (flip % bytes.len() as u64) as usize;
+        bytes[idx] ^= xor as u8;
+        // CRC-32 detects every burst error of at most 32 bits, so a single
+        // corrupted byte can never yield Ok with the original content.
+        match decode_frame(&bytes) {
+            Err(_) => {}
+            Ok((decoded, _)) => prop_assert!(
+                false,
+                "flip at byte {} went undetected (decoded {:?})",
+                idx,
+                decoded.kind
+            ),
+        }
+    }
+
+    #[test]
+    fn instance_wire_codec_is_identity((cfg, seed) in instance_config()) {
+        let inst = random_instance(&cfg, &mut StdRng::seed_from_u64(seed));
+        let mut bytes = Vec::new();
+        put_instance(&mut bytes, &inst);
+        let mut reader = ByteReader::new(&bytes);
+        let decoded = read_instance(&mut reader).expect("own encoding must decode");
+        prop_assert!(reader.is_empty());
+        // Bit-identical reconstruction — the property the cross-process
+        // conformance guarantee rests on.
+        prop_assert_eq!(decoded, inst);
+    }
+
+    #[test]
+    fn canonical_form_wire_codec_is_identity((cfg, seed) in instance_config()) {
+        let inst = random_instance(&cfg, &mut StdRng::seed_from_u64(seed));
+        let form = canonical_form(&inst);
+        let mut bytes = Vec::new();
+        put_canonical_form(&mut bytes, &form);
+        let decoded = read_canonical_form(&mut ByteReader::new(&bytes))
+            .expect("own encoding must decode");
+        prop_assert_eq!(&decoded.key, &form.key);
+        prop_assert_eq!(&decoded.labelling, &form.labelling);
+        prop_assert_eq!(&decoded.instance, &form.instance);
+    }
+
+    #[test]
+    fn warm_start_wire_codec_is_identity(seed in any::<u64>(), len in 0usize..20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let basis: Vec<usize> = (0..len).map(|_| rng.gen_range(0usize..1000)).collect();
+        let seed_opt = if len % 2 == 0 { Some(WarmStart { basis }) } else { None };
+        let mut bytes = Vec::new();
+        put_warm_start(&mut bytes, seed_opt.as_ref());
+        let decoded = read_warm_start(&mut ByteReader::new(&bytes)).unwrap();
+        prop_assert_eq!(decoded, seed_opt);
+    }
+
+    #[test]
+    fn payload_decoders_never_panic_on_noise(seed in any::<u64>(), len in 0usize..400) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdec0de);
+        let noise: Vec<u8> = (0..len).map(|_| rng.gen_range(0u64..256) as u8).collect();
+        // Any outcome but a panic is acceptable; a (vanishingly unlikely)
+        // successful decode must at least be internally consistent.
+        if let Ok(inst) = read_instance(&mut ByteReader::new(&noise)) {
+            let mut reencoded = Vec::new();
+            put_instance(&mut reencoded, &inst);
+            prop_assert!(reencoded.len() <= noise.len());
+        }
+        let _ = read_canonical_form(&mut ByteReader::new(&noise));
+        let _ = read_warm_start(&mut ByteReader::new(&noise));
     }
 }
 

@@ -1,0 +1,245 @@
+//! Fault-injection suite for the transport backends.
+//!
+//! Every fault is *scripted* into a deterministic [`FaultPlan`] — no sleeps,
+//! no timing assertions, no flakiness — and each must resolve one of two
+//! ways, never a hang, panic or silently changed solution:
+//!
+//! * **absorbed** (reordered replies, duplicate delivery, a killed worker
+//!   within the retry budget): the engine returns a solution bit-identical
+//!   to the sequential reference;
+//! * **typed error** (truncated frames, corrupted frames, deaths past the
+//!   retry budget, worker-side handler failures): the engine returns the
+//!   matching [`TransportError`] variant wrapped in
+//!   [`EngineError::Transport`].
+//!
+//! The subprocess tests at the bottom exercise the real process boundary
+//! (spawn failures, handshake failures with a non-protocol binary, and
+//! end-to-end bit-identity); they skip with a log line where the sandbox
+//! cannot fork/exec.
+
+use maxmin_local_lp::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn workload() -> MaxMinInstance {
+    grid_instance(
+        &GridConfig { side_lengths: vec![5, 6], torus: false, random_weights: true },
+        &mut StdRng::seed_from_u64(17),
+    )
+}
+
+fn reference(inst: &MaxMinInstance) -> LocalLpBatch {
+    solve_local_lps(inst, &LocalLpOptions::new(1).with_backend(BackendKind::Sequential)).unwrap()
+}
+
+fn loopback(faults: FaultPlan) -> LoopbackBackend {
+    // 6 shards over 2 workers: enough pipelining depth that reordering and
+    // duplication have something to scramble.
+    LoopbackBackend::new(engine_registry(), 6)
+        .with_workers(2)
+        .with_faults(faults)
+}
+
+#[test]
+fn faultless_loopback_is_bit_identical() {
+    let inst = workload();
+    let reference = reference(&inst);
+    for mode in [DriverMode::Lockstep, DriverMode::Overlapped] {
+        let backend = loopback(FaultPlan::none()).with_mode(mode);
+        let batch = solve_local_lps_on(&inst, &LocalLpOptions::new(1), &backend).unwrap();
+        assert_eq!(batch.local_x, reference.local_x, "{mode:?}");
+        assert_eq!(batch.class_of_ball, reference.class_of_ball, "{mode:?}");
+        assert_eq!(batch.class_keys, reference.class_keys, "{mode:?}");
+    }
+}
+
+#[test]
+fn reordered_replies_never_change_the_solution() {
+    let inst = workload();
+    let reference = reference(&inst);
+    for seed in [1u64, 42, 2008] {
+        let backend = loopback(FaultPlan { reorder_seed: Some(seed), ..FaultPlan::none() });
+        let batch = solve_local_lps_on(&inst, &LocalLpOptions::new(1), &backend).unwrap();
+        assert_eq!(batch.local_x, reference.local_x, "seed {seed}");
+        assert_eq!(batch.class_of_ball, reference.class_of_ball, "seed {seed}");
+        assert_eq!(batch.stats.unique_classes, reference.stats.unique_classes, "seed {seed}");
+    }
+}
+
+#[test]
+fn duplicated_replies_never_change_the_solution() {
+    let inst = workload();
+    let reference = reference(&inst);
+    // Job sequence numbers are global across the pipeline's stage runs, so
+    // this plan duplicates replies in several different stages.
+    let backend = loopback(FaultPlan {
+        duplicate_replies: (0..24).collect(),
+        reorder_seed: Some(5),
+        ..FaultPlan::none()
+    });
+    let batch = solve_local_lps_on(&inst, &LocalLpOptions::new(1), &backend).unwrap();
+    assert_eq!(batch.local_x, reference.local_x);
+    assert_eq!(batch.class_of_ball, reference.class_of_ball);
+}
+
+#[test]
+fn killed_worker_is_retried_to_an_identical_result() {
+    let inst = workload();
+    let reference = reference(&inst);
+    let backend =
+        loopback(FaultPlan { die_after_replies: Some(2), ..FaultPlan::none() }).with_max_retries(1);
+    let batch = solve_local_lps_on(&inst, &LocalLpOptions::new(1), &backend).unwrap();
+    assert_eq!(batch.local_x, reference.local_x);
+    assert_eq!(batch.class_keys, reference.class_keys);
+}
+
+#[test]
+fn death_past_the_retry_budget_is_a_typed_error() {
+    let inst = workload();
+    let backend =
+        loopback(FaultPlan { die_after_replies: Some(1), ..FaultPlan::none() }).with_max_retries(0);
+    match solve_local_lps_on(&inst, &LocalLpOptions::new(1), &backend) {
+        Err(EngineError::Transport(TransportError::RetriesExhausted { .. })) => {}
+        other => panic!("expected exhausted retries, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_reply_is_a_typed_error() {
+    let inst = workload();
+    let backend = loopback(FaultPlan { truncate_replies: vec![1], ..FaultPlan::none() });
+    match solve_local_lps_on(&inst, &LocalLpOptions::new(1), &backend) {
+        Err(EngineError::Transport(TransportError::Wire(WireError::Truncated { .. }))) => {}
+        other => panic!("expected a truncation error, got {other:?}"),
+    }
+}
+
+#[test]
+fn corrupted_reply_is_a_typed_checksum_error() {
+    let inst = workload();
+    let backend = loopback(FaultPlan { corrupt_replies: vec![2], ..FaultPlan::none() });
+    match solve_local_lps_on(&inst, &LocalLpOptions::new(1), &backend) {
+        Err(EngineError::Transport(TransportError::Wire(WireError::ChecksumMismatch {
+            ..
+        }))) => {}
+        other => panic!("expected a checksum error, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_stage_is_a_typed_worker_error() {
+    // A worker whose registry lacks the engine stages reports every job as
+    // failed; the driver surfaces it as a typed error instead of hanging.
+    use maxmin_local_lp::prelude::StageRegistry;
+    let inst = workload();
+    let empty = std::sync::Arc::new(StageRegistry::new());
+    let backend = LoopbackBackend::new(empty, 2);
+    match solve_local_lps_on(&inst, &LocalLpOptions::new(1), &backend) {
+        Err(EngineError::Transport(TransportError::Worker { message, .. })) => {
+            assert!(message.contains("mmlp/present@1"), "unexpected message: {message}");
+        }
+        other => panic!("expected a worker error, got {other:?}"),
+    }
+}
+
+#[test]
+fn an_aborted_run_leaves_the_same_pooled_backend_usable() {
+    // A fault aborts one run mid-stage, leaving unconsumed (and duplicated)
+    // replies queued on the pooled links.  The *same* backend must serve
+    // the next run correctly: job sequence numbers are globally unique per
+    // pool, so the stale frames are recognised and dropped instead of
+    // being mistaken for the new stage's replies.
+    let inst = workload();
+    let reference = reference(&inst);
+    let backend = loopback(FaultPlan {
+        truncate_replies: vec![1],
+        duplicate_replies: vec![0, 2, 3],
+        ..FaultPlan::none()
+    });
+    match solve_local_lps_on(&inst, &LocalLpOptions::new(1), &backend) {
+        Err(EngineError::Transport(TransportError::Wire(WireError::Truncated { .. }))) => {}
+        other => panic!("expected the truncation abort, got {other:?}"),
+    }
+    let batch = solve_local_lps_on(&inst, &LocalLpOptions::new(1), &backend).unwrap();
+    assert_eq!(batch.local_x, reference.local_x);
+    assert_eq!(batch.class_of_ball, reference.class_of_ball);
+}
+
+// ---------------------------------------------------------------------------
+// The real process boundary.
+// ---------------------------------------------------------------------------
+
+/// Whether this environment can spawn the worker binary at all; tests that
+/// need the real boundary skip (with a log line) where it cannot.
+fn subprocess_available() -> bool {
+    match probe_worker(&WorkerCommand::auto()) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("skipping subprocess assertions: {e}");
+            false
+        }
+    }
+}
+
+#[test]
+fn subprocess_backend_is_bit_identical_end_to_end() {
+    if !subprocess_available() {
+        return;
+    }
+    let inst = workload();
+    let reference = reference(&inst);
+    for overlapped in [false, true] {
+        let batch = solve_local_lps(
+            &inst,
+            &LocalLpOptions::new(1)
+                .with_backend(BackendKind::Subprocess { workers: 2, overlapped }),
+        )
+        .unwrap();
+        assert_eq!(batch.local_x, reference.local_x, "overlapped={overlapped}");
+        assert_eq!(batch.class_of_ball, reference.class_of_ball);
+        assert_eq!(batch.class_keys, reference.class_keys);
+        assert_eq!(batch.class_bases, reference.class_bases);
+    }
+}
+
+#[test]
+fn spawning_a_missing_worker_binary_is_a_typed_error() {
+    match probe_worker(&WorkerCommand::Path("/nonexistent/mmlp-worker-binary".into())) {
+        Err(TransportError::SpawnFailed { .. }) => {}
+        other => panic!("expected spawn failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn a_non_protocol_binary_fails_the_handshake() {
+    if !subprocess_available() {
+        return;
+    }
+    // (`/bin/cat` would echo the Hello frame back verbatim and pass, which
+    // is fair — it *does* speak the protocol's handshake.  `true` exits
+    // immediately instead: the handshake must observe the death, not hang.)
+    for candidate in ["/bin/true", "/usr/bin/true"] {
+        if !std::path::Path::new(candidate).is_file() {
+            continue;
+        }
+        match probe_worker(&WorkerCommand::Path(candidate.into())) {
+            Err(TransportError::HandshakeFailed { .. }) => return,
+            other => panic!("expected handshake failure from {candidate}, got {other:?}"),
+        }
+    }
+    eprintln!("skipping: no `true` binary found");
+}
+
+#[test]
+fn unavailable_subprocess_falls_back_to_loopback_with_identical_results() {
+    // A backend whose worker command cannot spawn must log a skip and serve
+    // through the loopback transport — correct results, no error.
+    let inst = workload();
+    let reference = reference(&inst);
+    let backend = SubprocessBackend::new(2, engine_registry())
+        .with_command(WorkerCommand::Path("/nonexistent/mmlp-worker-binary".into()));
+    assert!(!backend.subprocess_available());
+    let batch = solve_local_lps_on(&inst, &LocalLpOptions::new(1), &backend).unwrap();
+    assert_eq!(batch.local_x, reference.local_x);
+    assert_eq!(batch.class_of_ball, reference.class_of_ball);
+}
