@@ -70,13 +70,13 @@ use mmlp_core::{AgentId, InstanceBuilder, MaxMinInstance, PartyId, ResourceId};
 use mmlp_hypergraph::{communication_hypergraph, BallEnumerator, NeighborCache};
 use mmlp_lp::{solve_maxmin_resumed, solve_maxmin_seeded, LpError, SimplexOptions, WarmStart};
 use mmlp_parallel::{
-    BackendKind, LoopbackBackend, ParallelConfig, ScopedThreads, Sequential, Sharded, SolveBackend,
-    StageStats, SubprocessBackend, TransportError,
+    pooled_subprocess_backend, BackendKind, LoopbackBackend, ParallelConfig, ScopedThreads,
+    Sequential, Sharded, SolveBackend, StageStats, SubprocessBackend, TransportError,
 };
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fmt;
 use std::ops::Range;
-use std::sync::{Arc, Mutex as StdMutex, OnceLock};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Errors of the batched engine: a simplex failure on some local LP, or a
@@ -289,15 +289,19 @@ impl LocalLpBatch {
     /// its own recorded optimal basis — zero simplex iterations, one
     /// installation elimination per row.
     pub fn basis_cache(&self) -> ClassBasisCache {
-        let mut bases = HashMap::with_capacity(self.class_keys.len());
-        for (key, basis) in self.class_keys.iter().zip(&self.class_bases) {
-            if !basis.is_empty() {
-                bases.insert(key.clone(), WarmStart { basis: basis.clone() });
-            }
-        }
-        ClassBasisCache { bases }
+        let mut cache = ClassBasisCache::default();
+        cache.absorb(self);
+        cache
     }
 }
+
+/// Default capacity of a [`ClassBasisCache`], in recorded class bases.
+///
+/// Generous for every workload in the repository (the 50×50 grid at `R = 2`
+/// records ~21 classes) while bounding what a long-lived serving process
+/// can accumulate across instances: a basis is a `Vec<usize>` per class, so
+/// 4096 entries cap the cache at a few megabytes.
+pub const DEFAULT_CLASS_BASIS_CAPACITY: usize = 4096;
 
 /// A donor table of previously optimal class bases, keyed by canonical key —
 /// the warm-start carrier between engine runs.
@@ -305,18 +309,59 @@ impl LocalLpBatch {
 /// Looked up before the intra-run [`WarmStartPolicy`] donor table: a class
 /// whose exact canonical LP was solved before is seeded from its own optimal
 /// basis, which installs in one elimination per row and pivots zero times.
-/// Entries are keyed by the class's *exact* canonical encoding and the cache
-/// can only be built from a real batch, so a hit always seeds an LP with its
-/// own deterministic cold basis; the zero-pivot exactness gate of
+/// Entries are keyed by the class's *exact* canonical encoding and a basis
+/// can only be recorded from a real batch, so a hit always seeds an LP with
+/// its own deterministic cold basis; the zero-pivot exactness gate of
 /// [`solve_maxmin_resumed`] verifies that at solve time, and anything else
 /// (a stale or truncated basis) falls back to the cold path — a wrong cache
 /// can cost work but never change a result.
-#[derive(Debug, Clone, Default)]
+///
+/// **Bounded.**  A long-lived serving process re-solves many instances, and
+/// every new class used to stay resident forever.  The cache now holds at
+/// most `capacity` bases and evicts the **least recently installed** entry
+/// — a deterministic FIFO over installations, where re-absorbing a class
+/// that is already resident refreshes its position.  Eviction can only cost
+/// pivots on a future re-solve, never correctness, so a small capacity is
+/// always safe.
+#[derive(Debug, Clone)]
 pub struct ClassBasisCache {
-    bases: HashMap<CanonicalKey, WarmStart>,
+    /// Key → (recorded basis, stamp of its most recent installation).
+    bases: HashMap<CanonicalKey, (WarmStart, u64)>,
+    /// Installation log `(stamp, key)`, oldest first.  A refresh appends a
+    /// new entry instead of rescanning the log, leaving the old one
+    /// *stale* (its stamp no longer matches the map's); eviction skips
+    /// stale entries lazily, and the log is compacted when stale entries
+    /// outnumber live ones — so a refresh is O(1) amortised instead of
+    /// O(capacity).
+    installed: VecDeque<(u64, CanonicalKey)>,
+    next_stamp: u64,
+    capacity: usize,
+}
+
+impl Default for ClassBasisCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CLASS_BASIS_CAPACITY)
+    }
 }
 
 impl ClassBasisCache {
+    /// An empty cache with the default capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty cache holding at most `capacity` class bases (clamped to
+    /// ≥ 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self { bases: HashMap::new(), installed: VecDeque::new(), next_stamp: 0, capacity }
+    }
+
+    /// The maximum number of class bases the cache retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Number of class bases in the cache.
     pub fn len(&self) -> usize {
         self.bases.len()
@@ -329,7 +374,47 @@ impl ClassBasisCache {
 
     /// The recorded basis for a canonical key, if any.
     pub fn get(&self, key: &CanonicalKey) -> Option<&WarmStart> {
-        self.bases.get(key)
+        self.bases.get(key).map(|(seed, _)| seed)
+    }
+
+    /// Installs (or refreshes) one class basis, evicting the least recently
+    /// installed entry when the capacity is exceeded.  Empty bases
+    /// (party-less classes) are ignored — they could never seed a solve.
+    pub fn install(&mut self, key: CanonicalKey, seed: WarmStart) {
+        if seed.basis.is_empty() {
+            return;
+        }
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.bases.insert(key.clone(), (seed, stamp));
+        self.installed.push_back((stamp, key));
+        while self.bases.len() > self.capacity {
+            let (stamp, key) =
+                self.installed.pop_front().expect("every resident key has a log entry");
+            // Only evict through the key's *current* log entry; older ones
+            // are leftovers of refreshes.
+            if self.bases.get(&key).is_some_and(|(_, s)| *s == stamp) {
+                self.bases.remove(&key);
+            }
+        }
+        // Compact once stale log entries outnumber live ones, keeping the
+        // log O(capacity) without rescanning it on every refresh.
+        if self.installed.len() > self.bases.len().saturating_mul(2).max(16) {
+            let bases = &self.bases;
+            self.installed
+                .retain(|(stamp, key)| bases.get(key).is_some_and(|(_, s)| s == stamp));
+        }
+    }
+
+    /// Absorbs every recorded class basis of a batch, in class order — the
+    /// cross-run accumulation path for serving workloads that re-solve a
+    /// stream of instances through one cache.
+    pub fn absorb(&mut self, batch: &LocalLpBatch) {
+        for (key, basis) in batch.class_keys.iter().zip(&batch.class_bases) {
+            if !basis.is_empty() {
+                self.install(key.clone(), WarmStart { basis: basis.clone() });
+            }
+        }
     }
 }
 
@@ -388,27 +473,16 @@ fn dispatch_backend(
     }
 }
 
-/// The process-wide pool of subprocess backends, keyed by configuration.
-///
-/// `BackendKind` is a `Copy` selector, so callers going through the options
-/// structs cannot hold a backend themselves — without pooling, every
-/// `solve_local_lps` call would spawn (and on drop kill) its whole worker
-/// pool and lose all worker-side context caching.  Pooled workers persist
-/// for the life of the process; each backend's internal lock serialises
-/// concurrent stages, which matches the one-pipeline-at-a-time use of the
-/// options path.  Callers that want explicit lifecycle control construct a
-/// [`SubprocessBackend`] themselves and use [`solve_local_lps_on`].
+/// The engine's subprocess backends come from the process-wide pool shared
+/// with the distributed simulator
+/// ([`mmlp_parallel::pooled_subprocess_backend`], keyed by worker count,
+/// dispatch mode and registry fingerprint): one set of resident workers
+/// serves batched solves and simulator rounds alike, keeping worker-side
+/// context caches warm across both.  Callers that want explicit lifecycle
+/// control construct a [`SubprocessBackend`] themselves and use
+/// [`solve_local_lps_on`].
 fn subprocess_backend(workers: usize, overlapped: bool) -> Arc<SubprocessBackend> {
-    type BackendPool = StdMutex<HashMap<(usize, bool), Arc<SubprocessBackend>>>;
-    static POOL: OnceLock<BackendPool> = OnceLock::new();
-    let pool = POOL.get_or_init(|| StdMutex::new(HashMap::new()));
-    let mut pool = pool.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-    pool.entry((workers.max(1), overlapped))
-        .or_insert_with(|| {
-            let backend = SubprocessBackend::new(workers, engine_registry());
-            Arc::new(if overlapped { backend } else { backend.lockstep() })
-        })
-        .clone()
+    pooled_subprocess_backend(workers, overlapped, &engine_registry())
 }
 
 /// Runs the engine pipeline — present, canonicalise, solve, scatter — on an
@@ -1101,6 +1175,65 @@ mod tests {
         let warm = solve_local_lps_reusing(&inst, &LocalLpOptions::new(1), &foreign).unwrap();
         assert_eq!(cold.local_x, warm.local_x);
         assert_eq!(cold.class_of_ball, warm.class_of_ball);
+    }
+
+    #[test]
+    fn basis_cache_capacity_evicts_least_recently_installed() {
+        use mmlp_core::canonical::canonical_key;
+        // Three structurally different instances give three distinct keys.
+        let keys: Vec<CanonicalKey> = [grid(2, false), grid(3, false), grid(4, false)]
+            .iter()
+            .map(canonical_key)
+            .collect();
+        let seed = |i: usize| WarmStart { basis: vec![i] };
+
+        let mut cache = ClassBasisCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        cache.install(keys[0].clone(), seed(0));
+        cache.install(keys[1].clone(), seed(1));
+        cache.install(keys[2].clone(), seed(2));
+        // Deterministic least-recently-installed eviction: keys[0] is gone.
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&keys[0]).is_none());
+        assert_eq!(cache.get(&keys[1]), Some(&seed(1)));
+        assert_eq!(cache.get(&keys[2]), Some(&seed(2)));
+
+        // Re-installing refreshes the position: keys[1] survives the next
+        // eviction, keys[2] does not.
+        cache.install(keys[1].clone(), seed(9));
+        cache.install(keys[0].clone(), seed(0));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&keys[2]).is_none());
+        assert_eq!(cache.get(&keys[1]), Some(&seed(9)));
+        assert_eq!(cache.get(&keys[0]), Some(&seed(0)));
+
+        // Empty bases are never installed and never evict anything.
+        cache.install(keys[2].clone(), WarmStart { basis: vec![] });
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&keys[2]).is_none());
+
+        // Capacity 0 clamps to 1 instead of becoming a cache that can never
+        // hold the entry it just evicted everything for.
+        assert_eq!(ClassBasisCache::with_capacity(0).capacity(), 1);
+    }
+
+    #[test]
+    fn basis_cache_stays_bounded_across_re_solves() {
+        // The regression this satellite fixes: absorbing a stream of
+        // different instances into one long-lived cache must not grow it
+        // without bound.
+        let mut cache = ClassBasisCache::with_capacity(3);
+        for side in 2..8usize {
+            let batch = solve_local_lps(&grid(side, false), &LocalLpOptions::new(1)).unwrap();
+            cache.absorb(&batch);
+            assert!(cache.len() <= 3, "cache grew to {} entries", cache.len());
+        }
+        // A bounded (even cold) cache still never changes results.
+        let inst = grid(6, false);
+        let cold = solve_local_lps(&inst, &LocalLpOptions::new(1)).unwrap();
+        let reused = solve_local_lps_reusing(&inst, &LocalLpOptions::new(1), &cache).unwrap();
+        assert_eq!(cold.local_x, reused.local_x);
+        assert_eq!(cold.class_of_ball, reused.class_of_ball);
     }
 
     #[test]

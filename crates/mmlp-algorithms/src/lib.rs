@@ -44,11 +44,15 @@ pub use analysis::{compare_algorithms, uniform_baseline, AlgorithmComparison, Co
 pub use engine::{
     solve_local_lps, solve_local_lps_on, solve_local_lps_reusing, ClassBasisCache, EngineError,
     LocalLpBatch, LocalLpOptions, SolveMode, SolveStats, StageTimings, WarmStartPolicy,
+    DEFAULT_CLASS_BASIS_CAPACITY,
 };
 pub use local_averaging::{
     local_averaging, local_averaging_activity_from_view, LocalAveragingOptions,
     LocalAveragingResult,
 };
-pub use runner::{apply_rule_direct, run_local_rule, views_direct, LocalRun};
+pub use runner::{
+    apply_rule_direct, run_local_rule, run_wire_rule, views_direct, LocalRuleProgram, LocalRun,
+    WireRule, LOCAL_RULE_PROGRAM_ID,
+};
 pub use safe::{safe_activity_from_view, safe_algorithm, SAFE_HORIZON};
 pub use transport::{engine_registry, serve_engine_worker_if_requested, serve_engine_worker_stdio};

@@ -9,11 +9,24 @@
 //! * [`run_local_rule`] gathers the views by running the flooding protocol in
 //!   the synchronous simulator and reports the true communication cost;
 //! * [`views_direct`] constructs the same views centrally (provably identical
-//!   — see the `mmlp-distsim` tests), which is faster for large experiments.
+//!   — see the `mmlp-distsim` tests), which is faster for large experiments;
+//! * [`LocalRuleProgram`] is the typed-message form: the same
+//!   gather-then-decide protocol as a
+//!   [`WireProgram`], so [`run_wire_rule`] executes
+//!   the paper's algorithms with every simulator round crossing the
+//!   transport boundary — on worker processes when the simulator selects
+//!   the subprocess backend.
 
+use crate::safe::{safe_activity_from_view, SAFE_HORIZON};
+use crate::transport::engine_registry;
 use mmlp_core::{AgentId, MaxMinInstance, Solution};
-use mmlp_distsim::{gather_views, LocalView, SimError, Simulator};
+use mmlp_distsim::{
+    gather_views, Action, GatherMessage, GatherProgram, GatherState, LocalView, Network,
+    NodeProgram, SimError, Simulator, WireProgram,
+};
 use mmlp_hypergraph::communication_hypergraph;
+use mmlp_lp::SimplexOptions;
+use mmlp_parallel::wire::{put_f64, put_u8, put_usize, ByteReader, WireError};
 use mmlp_parallel::{par_map_with, ParallelConfig};
 
 /// The outcome of executing a local rule through the simulator.
@@ -82,6 +95,214 @@ pub fn views_direct(
     let (h, _) = communication_hypergraph(instance);
     let agents: Vec<AgentId> = instance.agent_ids().collect();
     par_map_with(parallel, &agents, |&v| LocalView::from_instance(instance, &h, v, radius))
+}
+
+/// Program identifier of the gather-then-decide rule program on the wire
+/// (`@1` is the payload version of its config codec).
+pub const LOCAL_RULE_PROGRAM_ID: &str = "mmlp/prog/local-rule@1";
+
+/// Which of the paper's view-based rules a [`LocalRuleProgram`] applies once
+/// its local horizon is gathered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireRule {
+    /// The safe algorithm (horizon 1).
+    Safe,
+    /// The local averaging rule of Theorem 3 at ball radius `R ≥ 1`
+    /// (horizon `2R + 1`).
+    LocalAveraging {
+        /// The ball radius `R`.
+        radius: usize,
+    },
+}
+
+impl WireRule {
+    /// The local horizon the rule needs — the number of gathering rounds a
+    /// node runs before deciding.
+    pub fn horizon(&self) -> usize {
+        match self {
+            WireRule::Safe => SAFE_HORIZON,
+            WireRule::LocalAveraging { radius } => 2 * radius + 1,
+        }
+    }
+}
+
+/// The paper's algorithms as one typed-message node program: gather the
+/// rule's local horizon with the flooding protocol, then halt with the
+/// centre agent's activity.
+///
+/// This is the honest distributed form of [`run_local_rule`] made
+/// serialisable: state and messages are the gathering protocol's (with its
+/// exact-bit codecs), the configuration adds the rule selector and simplex
+/// options, so the whole algorithm runs through the `mmlp/sim-round@1`
+/// stage on any backend — including real worker processes.
+#[derive(Debug, Clone)]
+pub struct LocalRuleProgram {
+    rule: WireRule,
+    simplex: SimplexOptions,
+    gather: GatherProgram,
+}
+
+impl LocalRuleProgram {
+    /// Creates the program for an instance, rule and simplex options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rule is [`WireRule::LocalAveraging`] with radius 0.
+    pub fn new(instance: &MaxMinInstance, rule: WireRule, simplex: SimplexOptions) -> Self {
+        if let WireRule::LocalAveraging { radius } = rule {
+            assert!(radius >= 1, "local averaging requires R ≥ 1");
+        }
+        Self { rule, simplex, gather: GatherProgram::new(instance, rule.horizon()) }
+    }
+
+    /// The rule this program applies.
+    pub fn rule(&self) -> WireRule {
+        self.rule
+    }
+
+    fn apply(&self, view: &LocalView) -> f64 {
+        match self.rule {
+            WireRule::Safe => safe_activity_from_view(view),
+            WireRule::LocalAveraging { radius } => {
+                crate::local_averaging::local_averaging_activity_from_view(
+                    view,
+                    radius,
+                    &self.simplex,
+                )
+            }
+        }
+    }
+}
+
+impl NodeProgram for LocalRuleProgram {
+    type State = GatherState;
+    type Message = GatherMessage;
+    type Output = f64;
+
+    fn init(&self, node: usize, network: &Network) -> GatherState {
+        self.gather.init(node, network)
+    }
+
+    fn step(
+        &self,
+        node: usize,
+        state: &mut GatherState,
+        inbox: &[(usize, GatherMessage)],
+        round: usize,
+        network: &Network,
+    ) -> Action<GatherMessage, f64> {
+        match self.gather.step(node, state, inbox, round, network) {
+            Action::Halt(view) => Action::Halt(self.apply(&view)),
+            Action::Broadcast(message) => Action::Broadcast(message),
+            Action::Send(list) => Action::Send(list),
+            Action::Idle => Action::Idle,
+        }
+    }
+}
+
+const RULE_TAG_SAFE: u8 = 0;
+const RULE_TAG_AVERAGING: u8 = 1;
+
+impl WireProgram for LocalRuleProgram {
+    fn program_id(&self) -> &'static str {
+        LOCAL_RULE_PROGRAM_ID
+    }
+
+    fn encode_config(&self, out: &mut Vec<u8>) {
+        match self.rule {
+            WireRule::Safe => put_u8(out, RULE_TAG_SAFE),
+            WireRule::LocalAveraging { radius } => {
+                put_u8(out, RULE_TAG_AVERAGING);
+                put_usize(out, radius);
+            }
+        }
+        put_f64(out, self.simplex.tolerance);
+        put_usize(out, self.simplex.max_pivots);
+        put_usize(out, self.simplex.bland_after);
+        self.gather.encode_config(out);
+    }
+
+    fn decode_config(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        const CTX: &str = "local-rule config";
+        let rule = match r.u8(CTX)? {
+            RULE_TAG_SAFE => WireRule::Safe,
+            RULE_TAG_AVERAGING => {
+                let radius = r.usize(CTX)?;
+                if radius == 0 {
+                    return Err(WireError::Decode { context: CTX });
+                }
+                WireRule::LocalAveraging { radius }
+            }
+            _ => return Err(WireError::Decode { context: CTX }),
+        };
+        let simplex = SimplexOptions {
+            tolerance: r.f64(CTX)?,
+            max_pivots: r.usize(CTX)?,
+            bland_after: r.usize(CTX)?,
+        };
+        let gather = GatherProgram::decode_config(r)?;
+        if gather.radius() != rule.horizon() {
+            return Err(WireError::Decode { context: CTX });
+        }
+        Ok(Self { rule, simplex, gather })
+    }
+
+    fn encode_state(&self, state: &GatherState, out: &mut Vec<u8>) {
+        self.gather.encode_state(state, out);
+    }
+
+    fn decode_state(&self, r: &mut ByteReader<'_>) -> Result<GatherState, WireError> {
+        self.gather.decode_state(r)
+    }
+
+    fn encode_message(&self, message: &GatherMessage, out: &mut Vec<u8>) {
+        self.gather.encode_message(message, out);
+    }
+
+    fn decode_message(&self, r: &mut ByteReader<'_>) -> Result<GatherMessage, WireError> {
+        self.gather.decode_message(r)
+    }
+
+    fn encode_output(&self, output: &f64, out: &mut Vec<u8>) {
+        put_f64(out, *output);
+    }
+
+    fn decode_output(&self, r: &mut ByteReader<'_>) -> Result<f64, WireError> {
+        r.f64("local-rule output")
+    }
+}
+
+/// Runs one of the paper's view-based rules fully distributed through the
+/// typed-message tier: every simulator round is shipped through the
+/// simulator's configured backend as a `mmlp/sim-round@1` wire stage
+/// (resolved against the engine registry, which serves this program), and
+/// the per-agent activities come back as the nodes' final outputs.
+///
+/// Bit-identical to [`run_local_rule`] with the matching rule closure — the
+/// conformance suite asserts it across every backend, shard count and
+/// driver mode.
+///
+/// # Errors
+///
+/// [`SimError`] when the round limit is exceeded or the backend's transport
+/// fails.
+pub fn run_wire_rule(
+    instance: &MaxMinInstance,
+    rule: WireRule,
+    simplex: &SimplexOptions,
+    simulator: &Simulator,
+) -> Result<LocalRun, SimError> {
+    let (h, _) = communication_hypergraph(instance);
+    let network = Network::from_hypergraph(&h);
+    let program = LocalRuleProgram::new(instance, rule, *simplex);
+    let run = simulator.run_typed(&network, &program, &engine_registry())?;
+    Ok(LocalRun {
+        solution: Solution::new(run.outputs),
+        radius: rule.horizon(),
+        rounds: run.rounds,
+        messages: run.messages,
+        message_units: run.message_units,
+    })
 }
 
 /// Applies a local rule to directly-constructed views — the fast centralised
@@ -172,6 +393,56 @@ mod tests {
         // Per-agent cost may differ slightly because of boundary effects, but
         // must not grow with the instance (4× more agents here).
         assert!(large.messages_per_agent() <= small.messages_per_agent() * 1.5);
+    }
+
+    #[test]
+    fn wire_rule_crosses_the_loopback_boundary_bit_identically() {
+        use mmlp_distsim::SimulatorConfig;
+        use mmlp_lp::SimplexOptions;
+        use mmlp_parallel::BackendKind;
+        let inst = grid(5);
+        let central = safe_algorithm(&inst);
+        let sim = Simulator::with_config(SimulatorConfig {
+            backend: BackendKind::Loopback { shards: 3 },
+            ..SimulatorConfig::default()
+        });
+        let run = run_wire_rule(&inst, WireRule::Safe, &SimplexOptions::default(), &sim).unwrap();
+        assert_eq!(run.solution, central);
+        // Message accounting matches the closure-tier reference run.
+        let reference = run_local_rule(
+            &inst,
+            SAFE_HORIZON,
+            &Simulator::sequential(),
+            &ParallelConfig::sequential(),
+            safe_activity_from_view,
+        )
+        .unwrap();
+        assert_eq!(run.messages, reference.messages);
+        assert_eq!(run.rounds, reference.rounds);
+        assert_eq!(run.message_units, reference.message_units);
+    }
+
+    #[test]
+    fn wire_rule_local_averaging_matches_the_central_algorithm() {
+        use crate::local_averaging::{local_averaging, LocalAveragingOptions};
+        use mmlp_distsim::SimulatorConfig;
+        use mmlp_lp::SimplexOptions;
+        use mmlp_parallel::BackendKind;
+        let inst = grid(4);
+        let central = local_averaging(&inst, &LocalAveragingOptions::sequential(1)).unwrap();
+        let sim = Simulator::with_config(SimulatorConfig {
+            backend: BackendKind::Loopback { shards: 2 },
+            ..SimulatorConfig::default()
+        });
+        let run = run_wire_rule(
+            &inst,
+            WireRule::LocalAveraging { radius: 1 },
+            &SimplexOptions::default(),
+            &sim,
+        )
+        .unwrap();
+        assert_eq!(run.solution, central.solution);
+        assert_eq!(run.radius, 3);
     }
 
     #[test]

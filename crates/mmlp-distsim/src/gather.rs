@@ -16,11 +16,14 @@
 //! communication cost of the algorithm.
 
 use crate::network::Network;
-use crate::program::{Action, MessageSize, NodeProgram};
+use crate::program::{Action, MessageSize, NodeProgram, WireProgram};
 use crate::simulator::{SimError, SimulationResult, Simulator};
 use crate::view::LocalView;
+use crate::wire_round::distsim_registry;
 use mmlp_core::{AgentId, MaxMinInstance, PartyId, ResourceId};
 use mmlp_hypergraph::communication_hypergraph;
+use mmlp_parallel::wire::{put_f64, put_usize, ByteReader, WireError};
+use mmlp_parallel::BackendKind;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -145,12 +148,186 @@ impl NodeProgram for GatherProgram {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The typed-message tier: exact-bit codecs for the protocol's knowledge
+// records, state, messages and views, making the gathering protocol a
+// `WireProgram` the simulator can run across the transport boundary.
+// ---------------------------------------------------------------------------
+
+/// Program identifier of the gathering protocol on the wire (`@1` is the
+/// payload version of its config/state/message/output codecs).
+pub const GATHER_PROGRAM_ID: &str = "mmlp/prog/gather@1";
+
+fn put_id_f64_pairs<I: Into<usize> + Copy>(out: &mut Vec<u8>, pairs: &[(I, f64)]) {
+    put_usize(out, pairs.len());
+    for (id, x) in pairs {
+        put_usize(out, (*id).into());
+        put_f64(out, *x);
+    }
+}
+
+fn read_id_f64_pairs<I: From<usize>>(
+    r: &mut ByteReader<'_>,
+    context: &'static str,
+) -> Result<Vec<(I, f64)>, WireError> {
+    let len = r.seq_len(16, context)?;
+    (0..len)
+        .map(|_| {
+            let id = read_u32_index(r, context)?;
+            Ok((I::from(id), r.f64(context)?))
+        })
+        .collect()
+}
+
+/// Reads a dense index that must fit the `u32` id space.
+fn read_u32_index(r: &mut ByteReader<'_>, context: &'static str) -> Result<usize, WireError> {
+    let id = r.usize(context)?;
+    if id > u32::MAX as usize {
+        return Err(WireError::Decode { context });
+    }
+    Ok(id)
+}
+
+/// Encodes one agent's native knowledge record.
+pub fn put_knowledge(out: &mut Vec<u8>, k: &LocalKnowledge) {
+    put_usize(out, k.agent.index());
+    put_id_f64_pairs(out, &k.resources);
+    put_id_f64_pairs(out, &k.parties);
+}
+
+/// Decodes one agent's native knowledge record.
+///
+/// # Errors
+///
+/// Typed [`WireError`]s on malformed input (truncation, ids outside the
+/// `u32` id space) — byte noise errors out, it never panics.
+pub fn read_knowledge(r: &mut ByteReader<'_>) -> Result<LocalKnowledge, WireError> {
+    const CTX: &str = "local knowledge";
+    let agent = AgentId::new(read_u32_index(r, CTX)?);
+    let resources = read_id_f64_pairs::<ResourceId>(r, CTX)?;
+    let parties = read_id_f64_pairs::<PartyId>(r, CTX)?;
+    Ok(LocalKnowledge { agent, resources, parties })
+}
+
+/// Encodes a [`LocalView`] (the gathering protocol's output type).
+pub fn put_local_view(out: &mut Vec<u8>, view: &LocalView) {
+    put_usize(out, view.center.index());
+    put_usize(out, view.radius);
+    put_usize(out, view.len());
+    for agent in view.known_agents() {
+        put_usize(out, view.distance(agent).expect("known agent has a distance"));
+        put_knowledge(out, view.knowledge(agent).expect("known agent has knowledge"));
+    }
+}
+
+/// Decodes a [`LocalView`].
+///
+/// # Errors
+///
+/// Typed [`WireError`]s on malformed input.
+pub fn read_local_view(r: &mut ByteReader<'_>) -> Result<LocalView, WireError> {
+    const CTX: &str = "local view";
+    let center = AgentId::new(read_u32_index(r, CTX)?);
+    let radius = r.usize(CTX)?;
+    // Every record occupies at least its distance and the knowledge record's
+    // agent id and two list lengths (4 × 8 bytes).
+    let len = r.seq_len(32, CTX)?;
+    let records = (0..len)
+        .map(|_| {
+            let distance = r.usize(CTX)?;
+            let knowledge = read_knowledge(r)?;
+            Ok((knowledge.agent, distance, knowledge))
+        })
+        .collect::<Result<Vec<_>, WireError>>()?;
+    Ok(LocalView::from_records(center, radius, records))
+}
+
+fn put_records(out: &mut Vec<u8>, records: &[LocalKnowledge]) {
+    put_usize(out, records.len());
+    for record in records {
+        put_knowledge(out, record);
+    }
+}
+
+fn read_records(
+    r: &mut ByteReader<'_>,
+    context: &'static str,
+) -> Result<Vec<LocalKnowledge>, WireError> {
+    // Every record occupies at least its agent id and two list lengths.
+    let len = r.seq_len(24, context)?;
+    (0..len).map(|_| read_knowledge(r)).collect()
+}
+
+impl WireProgram for GatherProgram {
+    fn program_id(&self) -> &'static str {
+        GATHER_PROGRAM_ID
+    }
+
+    fn encode_config(&self, out: &mut Vec<u8>) {
+        put_usize(out, self.radius);
+        put_records(out, &self.knowledge);
+    }
+
+    fn decode_config(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        let radius = r.usize("gather config")?;
+        let knowledge = read_records(r, "gather config")?;
+        Ok(Self { radius, knowledge })
+    }
+
+    fn encode_state(&self, state: &GatherState, out: &mut Vec<u8>) {
+        // The map key is always the record's own agent id, so only the
+        // `(distance, record)` pairs travel; iteration order (sorted by
+        // agent id) makes the encoding canonical.
+        put_usize(out, state.known.len());
+        for (distance, record) in state.known.values() {
+            put_usize(out, *distance);
+            put_knowledge(out, record);
+        }
+        put_records(out, &state.fresh);
+    }
+
+    fn decode_state(&self, r: &mut ByteReader<'_>) -> Result<GatherState, WireError> {
+        const CTX: &str = "gather state";
+        let len = r.seq_len(32, CTX)?;
+        let mut known = BTreeMap::new();
+        for _ in 0..len {
+            let distance = r.usize(CTX)?;
+            let record = read_knowledge(r)?;
+            known.insert(record.agent.0, (distance, record));
+        }
+        let fresh = read_records(r, CTX)?;
+        Ok(GatherState { known, fresh })
+    }
+
+    fn encode_message(&self, message: &GatherMessage, out: &mut Vec<u8>) {
+        put_records(out, &message.records);
+    }
+
+    fn decode_message(&self, r: &mut ByteReader<'_>) -> Result<GatherMessage, WireError> {
+        Ok(GatherMessage { records: read_records(r, "gather message")? })
+    }
+
+    fn encode_output(&self, output: &LocalView, out: &mut Vec<u8>) {
+        put_local_view(out, output);
+    }
+
+    fn decode_output(&self, r: &mut ByteReader<'_>) -> Result<LocalView, WireError> {
+        read_local_view(r)
+    }
+}
+
 /// Runs the gathering protocol for `instance` with information radius
 /// `radius` and returns every agent's [`LocalView`] (plus the simulation
 /// statistics).
 ///
 /// The communication topology is the full communication hypergraph of the
 /// instance (resource and party hyperedges).
+///
+/// The transport backend kinds run the protocol through the typed-message
+/// tier ([`Simulator::run_typed`] with the
+/// [`distsim_registry`]) — every round genuinely
+/// crosses the byte (or process) boundary; the in-process kinds use the
+/// closure tier.  Both tiers are bit-identical.
 pub fn gather_views(
     instance: &MaxMinInstance,
     radius: usize,
@@ -159,7 +336,12 @@ pub fn gather_views(
     let (h, _) = communication_hypergraph(instance);
     let network = Network::from_hypergraph(&h);
     let program = GatherProgram::new(instance, radius);
-    simulator.run(&network, &program)
+    match simulator.config().backend {
+        BackendKind::Loopback { .. } | BackendKind::Subprocess { .. } => {
+            simulator.run_typed(&network, &program, &distsim_registry())
+        }
+        _ => simulator.run(&network, &program),
+    }
 }
 
 #[cfg(test)]
@@ -249,6 +431,165 @@ mod tests {
         let result = gather_views(&inst, 3, &Simulator::sequential()).unwrap();
         assert_eq!(result.outputs.len(), 1);
         assert_eq!(result.outputs[0].len(), 1);
+    }
+
+    /// A path of `n` connected agents plus `isolated` agents that share no
+    /// hyperedge with anyone (no resources, no parties — permitted with
+    /// `allow_unconstrained_agents`): their network nodes have no
+    /// neighbours, so their inbox is empty in every round.
+    fn path_with_isolated(n: usize, isolated: usize) -> MaxMinInstance {
+        let mut b = InstanceBuilder::new();
+        b.allow_unconstrained_agents();
+        let v = b.add_agents(n + isolated);
+        for w in v[..n].windows(2) {
+            let i = b.add_resource();
+            b.set_consumption(i, w[0], 1.0);
+            b.set_consumption(i, w[1], 1.0);
+        }
+        for &vv in &v[..n] {
+            let k = b.add_party();
+            b.set_benefit(k, vv, 1.0);
+        }
+        b.build().unwrap()
+    }
+
+    /// Runs one gather across the closure tier, the wire tier on every
+    /// local shard count and the loopback transport, asserting all are
+    /// bit-identical to the sequential closure reference.
+    fn assert_gather_identical_everywhere(inst: &MaxMinInstance, radius: usize) {
+        use crate::wire_round::distsim_registry;
+        use mmlp_parallel::{LoopbackBackend, ParallelConfig, Sharded};
+        let (h, _) = communication_hypergraph(inst);
+        let network = Network::from_hypergraph(&h);
+        let program = GatherProgram::new(inst, radius);
+        let simulator = Simulator::sequential();
+        let reference = simulator.run(&network, &program).unwrap();
+        for shards in [1usize, 2, 5] {
+            let backend = Sharded::new(shards, ParallelConfig::sequential());
+            let wired = simulator.run_wire_on(&network, &program, &backend).unwrap();
+            assert_eq!(wired, reference, "sharded-{shards}, radius {radius}");
+        }
+        let loopback = LoopbackBackend::new(distsim_registry(), 3).with_workers(2);
+        let wired = simulator.run_wire_on(&network, &program, &loopback).unwrap();
+        assert_eq!(wired, reference, "loopback, radius {radius}");
+    }
+
+    #[test]
+    fn isolated_nodes_gather_only_themselves_on_every_tier() {
+        // Isolated nodes receive an empty inbox every round; they must halt
+        // at the horizon knowing exactly themselves, identically across the
+        // closure tier, every shard count and the byte boundary.
+        let inst = path_with_isolated(5, 3);
+        for radius in 0..3 {
+            assert_gather_identical_everywhere(&inst, radius);
+        }
+        let result = gather_views(&inst, 2, &Simulator::sequential()).unwrap();
+        for idx in 5..8 {
+            assert_eq!(result.outputs[idx].len(), 1, "isolated agent {idx}");
+            assert!(result.outputs[idx].contains(AgentId::new(idx)));
+            assert_eq!(result.halting_round[idx], 2);
+        }
+        // Isolated nodes contribute no messages in any round.
+        let connected_only =
+            gather_views(&path_with_isolated(5, 0), 2, &Simulator::sequential()).unwrap();
+        assert_eq!(result.messages, connected_only.messages);
+    }
+
+    #[test]
+    fn radius_zero_views_are_identical_on_every_tier() {
+        // Radius 0 halts in round 0 without a single message — the wire
+        // tier must reproduce that shape exactly (one round, zero messages).
+        let inst = path_instance(6);
+        assert_gather_identical_everywhere(&inst, 0);
+        let result = gather_views(&inst, 0, &Simulator::sequential()).unwrap();
+        assert_eq!(result.messages, 0);
+        assert_eq!(result.rounds, 1);
+        assert!(result.outputs.iter().all(|v| v.len() == 1));
+    }
+
+    #[test]
+    fn ball_in_one_shard_vs_split_across_shards_is_bit_identical() {
+        use mmlp_parallel::{ParallelConfig, Sharded};
+        // Radius-2 balls on a 9-path span up to 5 consecutive nodes.  With
+        // one shard every ball is computed inside a single shard; with 5
+        // shards every ball straddles shard boundaries, so its records
+        // arrive exclusively through the driver's inter-shard message
+        // exchange.  Both must produce the same views, messages and rounds.
+        let inst = path_instance(9);
+        let (h, _) = communication_hypergraph(&inst);
+        let network = Network::from_hypergraph(&h);
+        let program = GatherProgram::new(&inst, 2);
+        let simulator = Simulator::sequential();
+        let one_shard = simulator
+            .run_wire_on(&network, &program, &Sharded::new(1, ParallelConfig::sequential()))
+            .unwrap();
+        let split = simulator
+            .run_wire_on(&network, &program, &Sharded::new(5, ParallelConfig::sequential()))
+            .unwrap();
+        assert_eq!(one_shard, split);
+        // And both match the direct view construction, per agent.
+        for v in inst.agent_ids() {
+            let direct = LocalView::from_instance(&inst, &h, v, 2);
+            assert_eq!(one_shard.outputs[v.index()], direct, "agent {v}");
+        }
+    }
+
+    #[test]
+    fn gathering_through_the_loopback_transport_is_bit_identical() {
+        use crate::simulator::SimulatorConfig;
+        let inst = path_instance(9);
+        let reference = gather_views(&inst, 2, &Simulator::sequential()).unwrap();
+        for shards in [1usize, 2, 5] {
+            let sim = Simulator::with_config(SimulatorConfig {
+                backend: BackendKind::Loopback { shards },
+                ..SimulatorConfig::default()
+            });
+            let wired = gather_views(&inst, 2, &sim).unwrap();
+            assert_eq!(wired.outputs, reference.outputs, "{shards} shards");
+            assert_eq!(wired.messages, reference.messages, "{shards} shards");
+            assert_eq!(wired.rounds, reference.rounds, "{shards} shards");
+            assert_eq!(wired.message_units, reference.message_units, "{shards} shards");
+            assert_eq!(wired.messages_per_round, reference.messages_per_round);
+            assert_eq!(wired.halting_round, reference.halting_round);
+        }
+    }
+
+    #[test]
+    fn gather_codecs_roundtrip_config_state_message_and_view() {
+        use mmlp_parallel::wire::ByteReader;
+        let inst = path_instance(5);
+        let program = GatherProgram::new(&inst, 2);
+
+        let mut bytes = Vec::new();
+        program.encode_config(&mut bytes);
+        let mut r = ByteReader::new(&bytes);
+        let decoded = GatherProgram::decode_config(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(decoded.radius(), 2);
+        assert_eq!(decoded.knowledge, program.knowledge);
+
+        let (h, _) = communication_hypergraph(&inst);
+        let network = Network::from_hypergraph(&h);
+        let state = program.init(3, &network);
+        let mut bytes = Vec::new();
+        program.encode_state(&state, &mut bytes);
+        let mut r = ByteReader::new(&bytes);
+        let decoded = program.decode_state(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(decoded.known, state.known);
+        assert_eq!(decoded.fresh, state.fresh);
+
+        let message = GatherMessage { records: program.knowledge.clone() };
+        let mut bytes = Vec::new();
+        program.encode_message(&message, &mut bytes);
+        let decoded = program.decode_message(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(decoded, message);
+
+        let view = LocalView::from_instance(&inst, &h, AgentId::new(2), 2);
+        let mut bytes = Vec::new();
+        program.encode_output(&view, &mut bytes);
+        let decoded = program.decode_output(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(decoded, view);
     }
 
     #[test]

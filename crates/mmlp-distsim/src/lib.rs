@@ -16,7 +16,12 @@
 //! * [`gather`] — the generic *neighbourhood-gathering* protocol: after `r`
 //!   rounds every agent holds exactly the information available in
 //!   `B_H(v, r)`, packaged as a [`LocalView`];
-//! * [`view`] — the [`LocalView`] type that local algorithms consume.
+//! * [`view`] — the [`LocalView`] type that local algorithms consume;
+//! * [`wire_round`] — the typed-message execution tier: a [`WireProgram`]
+//!   declares exact-bit codecs for its state, messages and outputs, and a
+//!   simulator round becomes the `mmlp/sim-round@1` wire stage, executable
+//!   by every [`SolveBackend`](mmlp_parallel::SolveBackend) — including the
+//!   transport backends, where rounds genuinely cross the process boundary.
 //!
 //! The simulator is exact rather than approximate: a deterministic local
 //! algorithm executed through it produces precisely the same outputs it would
@@ -31,9 +36,15 @@ pub mod network;
 pub mod program;
 pub mod simulator;
 pub mod view;
+pub mod wire_round;
 
-pub use gather::{gather_views, GatherMessage, GatherProgram, LocalKnowledge};
-pub use network::Network;
-pub use program::{Action, MessageSize, NodeProgram};
+pub use gather::{
+    gather_views, GatherMessage, GatherProgram, GatherState, LocalKnowledge, GATHER_PROGRAM_ID,
+};
+pub use network::{put_network, read_network, Network};
+pub use program::{Action, MessageSize, NodeProgram, WireProgram};
 pub use simulator::{SimError, SimulationResult, Simulator, SimulatorConfig};
 pub use view::LocalView;
+pub use wire_round::{
+    distsim_registry, handle_sim_round, peek_program_id, NodeStep, SimRoundStage, STAGE_SIM_ROUND,
+};

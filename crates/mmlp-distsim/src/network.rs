@@ -1,6 +1,7 @@
 //! The communication topology used by the simulator.
 
 use mmlp_hypergraph::Hypergraph;
+use mmlp_parallel::wire::{put_usize, put_usizes, ByteReader, WireError};
 use serde::{Deserialize, Serialize};
 
 /// An undirected communication network on nodes `0..num_nodes`.
@@ -23,32 +24,44 @@ impl Network {
     ///
     /// Panics if adjacency is not symmetric or mentions unknown nodes.
     pub fn from_adjacency(adjacency: Vec<Vec<usize>>) -> Self {
+        Self::try_from_adjacency(adjacency).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a network with explicit adjacency lists, reporting invalid
+    /// input as an error instead of panicking — the constructor the wire
+    /// decoder goes through, so a corrupted network payload can never bring
+    /// a worker down.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first unknown neighbour or asymmetric pair.
+    pub fn try_from_adjacency(adjacency: Vec<Vec<usize>>) -> Result<Self, String> {
         let n = adjacency.len();
-        let mut neighbors: Vec<Vec<usize>> = adjacency
-            .into_iter()
-            .enumerate()
-            .map(|(v, mut list)| {
-                list.retain(|&u| u != v);
-                list.sort_unstable();
-                list.dedup();
-                for &u in &list {
-                    assert!(u < n, "node {v} lists unknown neighbour {u}");
+        let mut neighbors: Vec<Vec<usize>> = Vec::with_capacity(n);
+        for (v, mut list) in adjacency.into_iter().enumerate() {
+            list.retain(|&u| u != v);
+            list.sort_unstable();
+            list.dedup();
+            for &u in &list {
+                if u >= n {
+                    return Err(format!("node {v} lists unknown neighbour {u}"));
                 }
-                list
-            })
-            .collect();
+            }
+            neighbors.push(list);
+        }
         // Verify symmetry.
         for v in 0..n {
             for idx in 0..neighbors[v].len() {
                 let u = neighbors[v][idx];
-                assert!(
-                    neighbors[u].binary_search(&v).is_ok(),
-                    "adjacency is not symmetric: {v} lists {u} but not vice versa"
-                );
+                if neighbors[u].binary_search(&v).is_err() {
+                    return Err(format!(
+                        "adjacency is not symmetric: {v} lists {u} but not vice versa"
+                    ));
+                }
             }
         }
         neighbors.shrink_to_fit();
-        Self { neighbors }
+        Ok(Self { neighbors })
     }
 
     /// Builds the network induced by a communication hypergraph: nodes are the
@@ -83,6 +96,31 @@ impl Network {
     pub fn max_degree(&self) -> usize {
         self.neighbors.iter().map(|l| l.len()).max().unwrap_or(0)
     }
+}
+
+/// Encodes a network as its adjacency lists (node count, then one
+/// length-prefixed neighbour list per node).
+pub fn put_network(out: &mut Vec<u8>, network: &Network) {
+    put_usize(out, network.num_nodes());
+    for v in 0..network.num_nodes() {
+        put_usizes(out, network.neighbors(v));
+    }
+}
+
+/// Decodes a network, validating through [`Network::try_from_adjacency`].
+///
+/// # Errors
+///
+/// Typed [`WireError`]s for truncated input, out-of-range neighbour indices
+/// and asymmetric adjacency — arbitrary byte noise errors out, it never
+/// panics.
+pub fn read_network(r: &mut ByteReader<'_>) -> Result<Network, WireError> {
+    const CTX: &str = "network";
+    // Every node's list occupies at least its 8-byte length prefix, so the
+    // node count is bounded by the remaining payload.
+    let n = r.seq_len(8, CTX)?;
+    let adjacency = (0..n).map(|_| r.usizes(CTX)).collect::<Result<Vec<_>, _>>()?;
+    Network::try_from_adjacency(adjacency).map_err(|_| WireError::Decode { context: CTX })
 }
 
 #[cfg(test)]

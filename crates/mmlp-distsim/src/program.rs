@@ -1,6 +1,18 @@
-//! The node-program abstraction executed by the simulator.
+//! The node-program abstractions executed by the simulator.
+//!
+//! Two tiers:
+//!
+//! * [`NodeProgram`] — the closure tier: state, messages and outputs are
+//!   arbitrary Rust values, so the program can only run in-process (the
+//!   simulator's shared-memory reference path).
+//! * [`WireProgram`] — the typed-message tier: the program additionally
+//!   declares exact-bit codecs for its state, message and output types plus
+//!   a versioned program identifier, which is what lets a simulator round
+//!   ship across the transport boundary as the `mmlp/sim-round@1` wire
+//!   stage (see [`crate::wire_round`]) and run on worker processes.
 
 use crate::network::Network;
+use mmlp_parallel::wire::{ByteReader, WireError};
 
 /// Size accounting for messages, in abstract "units" (the experiments report
 /// communication volume in these units; for the gathering protocol one unit
@@ -76,6 +88,89 @@ pub trait NodeProgram: Sync {
         round: usize,
         network: &Network,
     ) -> Action<Self::Message, Self::Output>;
+}
+
+/// A [`NodeProgram`] whose state, messages and outputs can cross a byte
+/// boundary — the LOCAL model made literal: a node computes from the bytes
+/// it received, never from shared memory.
+///
+/// A wire program declares
+///
+/// * a **versioned program identifier** (`mmlp/prog/<name>@<n>`): the
+///   worker-side dispatcher refuses programs it does not know, and a payload
+///   layout change bumps the `@<n>` suffix so an old worker reports an
+///   unknown program instead of misreading bytes (the same versioning rule
+///   as the engine's stage ids — see [`mmlp_parallel::wire`]);
+/// * **exact-bit codecs** for its configuration (the program value itself),
+///   per-node state, messages and final outputs.  Floats must travel as
+///   IEEE-754 bit patterns; every decoder must return a typed
+///   [`WireError`] on malformed input rather than panicking.
+///
+/// With those in hand a simulator round becomes a pure function of bytes —
+/// `round(state, inbox) -> (state, outbox)` — executable by every
+/// [`SolveBackend`](mmlp_parallel::SolveBackend) through the
+/// `mmlp/sim-round@1` wire stage: the in-process backends step a cloned
+/// state directly, the transport backends ship state and inbox to a worker
+/// and decode the returned state and outbox.  Because the codecs are exact,
+/// both paths are bit-identical.
+///
+/// The `Self::State: Clone + Sync` bound is what lets the in-process
+/// reference path ([`mmlp_parallel::driver::WireStage::run_local`]) execute
+/// the same pure step on borrowed state from worker threads without
+/// consuming the caller's authoritative copy.
+pub trait WireProgram: NodeProgram
+where
+    Self::State: Clone + Sync,
+{
+    /// Stable program identifier with a payload-version suffix (e.g.
+    /// `mmlp/prog/gather@1`), dispatched by the worker-side sim-round
+    /// handler.
+    fn program_id(&self) -> &'static str;
+
+    /// Encodes the program's configuration (everything [`decode_config`]
+    /// needs to reconstruct an equivalent program on the worker).
+    ///
+    /// [`decode_config`]: WireProgram::decode_config
+    fn encode_config(&self, out: &mut Vec<u8>);
+
+    /// Decodes a program from its configuration bytes.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`WireError`] when the payload is malformed.
+    fn decode_config(r: &mut ByteReader<'_>) -> Result<Self, WireError>
+    where
+        Self: Sized;
+
+    /// Encodes one node's state.
+    fn encode_state(&self, state: &Self::State, out: &mut Vec<u8>);
+
+    /// Decodes one node's state.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`WireError`] when the payload is malformed.
+    fn decode_state(&self, r: &mut ByteReader<'_>) -> Result<Self::State, WireError>;
+
+    /// Encodes one message.
+    fn encode_message(&self, message: &Self::Message, out: &mut Vec<u8>);
+
+    /// Decodes one message.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`WireError`] when the payload is malformed.
+    fn decode_message(&self, r: &mut ByteReader<'_>) -> Result<Self::Message, WireError>;
+
+    /// Encodes one node's final output.
+    fn encode_output(&self, output: &Self::Output, out: &mut Vec<u8>);
+
+    /// Decodes one node's final output.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`WireError`] when the payload is malformed.
+    fn decode_output(&self, r: &mut ByteReader<'_>) -> Result<Self::Output, WireError>;
 }
 
 #[cfg(test)]

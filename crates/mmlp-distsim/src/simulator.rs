@@ -5,12 +5,29 @@
 //! local-LP engine uses, so the simulator and the engine share one executor
 //! and one [`ParallelConfig`]: a simulated message round is a pipeline stage
 //! over node-range shards, exactly like a batch of local-LP solves.
+//!
+//! Two execution tiers mirror the two program tiers:
+//!
+//! * [`Simulator::run`] / [`Simulator::run_on`] execute closure-shaped
+//!   [`NodeProgram`]s in-process (shared-memory state) — the reference path;
+//! * [`Simulator::run_typed`] / [`Simulator::run_wire_on`] execute
+//!   [`WireProgram`]s through the `mmlp/sim-round@1` wire stage, so the
+//!   transport backends genuinely ship every round's `(state, inbox)` across
+//!   the byte (or process) boundary and exchange inter-shard message batches
+//!   through the [`ShardDriver`](mmlp_parallel::ShardDriver)'s deterministic
+//!   by-`(round, shard, seq)` merge.  The conformance suite asserts both
+//!   tiers are bit-identical, message count for message count.
 
 use crate::network::Network;
-use crate::program::{Action, MessageSize, NodeProgram};
-use mmlp_parallel::{backend_map, BackendKind, ParallelConfig, SolveBackend};
+use crate::program::{Action, MessageSize, NodeProgram, WireProgram};
+use crate::wire_round::SimRoundStage;
+use mmlp_parallel::{
+    backend_map, pooled_subprocess_backend, BackendKind, LoopbackBackend, ParallelConfig,
+    SolveBackend, StageRegistry, TransportError,
+};
 use parking_lot::Mutex;
 use std::fmt;
+use std::sync::Arc;
 
 /// Configuration of the [`Simulator`].
 #[derive(Debug, Clone, Copy)]
@@ -43,6 +60,10 @@ pub enum SimError {
         /// How many nodes had not halted.
         still_running: usize,
     },
+    /// The execution backend's transport failed while shipping a round
+    /// (typed: frame corruption, worker death past the retry budget, …).
+    /// Only the [`WireProgram`] paths can produce this.
+    Transport(TransportError),
 }
 
 impl fmt::Display for SimError {
@@ -51,11 +72,18 @@ impl fmt::Display for SimError {
             SimError::RoundLimitExceeded { limit, still_running } => {
                 write!(f, "{still_running} nodes still running after the round limit of {limit}")
             }
+            SimError::Transport(e) => write!(f, "simulator round transport failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+impl From<TransportError> for SimError {
+    fn from(e: TransportError) -> Self {
+        SimError::Transport(e)
+    }
+}
 
 /// The result of a completed simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,6 +131,11 @@ impl Simulator {
         Self { config }
     }
 
+    /// The simulator's configuration.
+    pub fn config(&self) -> &SimulatorConfig {
+        &self.config
+    }
+
     /// Simulator that executes each round sequentially (fully deterministic
     /// timing, useful in tests and when the caller is already parallel).
     pub fn sequential() -> Self {
@@ -132,12 +165,13 @@ impl Simulator {
                 program,
                 &mmlp_parallel::Sharded::new(shards, self.config.parallel),
             ),
-            // Node programs are arbitrary closures over arbitrary state and
-            // cannot be serialised, so the transport kinds run their rounds
-            // in-process on the plan-equivalent fixed-shard backend — the
-            // same thing the transport backends themselves do for every
-            // non-serialisable stage.  Results are bit-identical by the
-            // backend contract; only LP batches actually cross the wire.
+            // Closure-shaped node programs carry arbitrary state and cannot
+            // be serialised, so for *this* entry point the transport kinds
+            // run their rounds in-process on the plan-equivalent fixed-shard
+            // backend (results are bit-identical by the backend contract).
+            // Typed-message programs go through [`Simulator::run_typed`] /
+            // [`Simulator::run_wire_on`] instead, where rounds genuinely
+            // cross the byte and process boundary.
             BackendKind::Loopback { shards } => self.run_on(
                 network,
                 program,
@@ -201,46 +235,21 @@ impl Simulator {
                 inboxes[node].clear();
             }
 
-            // Deliver messages and record halts.
-            let mut round_messages = 0u64;
-            let mut outgoing: Vec<(usize, usize, P::Message)> = Vec::new();
-            let mut still_running = Vec::with_capacity(running.len());
-            for (&node, action) in running.iter().zip(actions) {
-                match action {
-                    Action::Broadcast(msg) => {
-                        for &to in network.neighbors(node) {
-                            outgoing.push((node, to, msg.clone()));
-                        }
-                        still_running.push(node);
-                    }
-                    Action::Send(list) => {
-                        for (to, msg) in list {
-                            assert!(
-                                network.neighbors(node).contains(&to),
-                                "node {node} attempted to message non-neighbour {to}"
-                            );
-                            outgoing.push((node, to, msg));
-                        }
-                        still_running.push(node);
-                    }
-                    Action::Idle => still_running.push(node),
-                    Action::Halt(output) => {
-                        outputs[node] = Some(output);
-                        halting_round[node] = round;
-                        *states[node].lock() = None;
-                    }
+            let (still_running, round_messages) = deliver_round(
+                network,
+                round,
+                &running,
+                actions,
+                &mut inboxes,
+                &mut outputs,
+                &mut halting_round,
+                &mut message_units,
+            );
+            // Halted nodes drop their state.
+            for &node in &running {
+                if outputs[node].is_some() {
+                    *states[node].lock() = None;
                 }
-            }
-            for (from, to, msg) in outgoing {
-                // Halted nodes no longer receive messages.
-                if outputs[to].is_none() {
-                    round_messages += 1;
-                    message_units += msg.size_units();
-                    inboxes[to].push((from, msg));
-                }
-            }
-            for inbox in inboxes.iter_mut() {
-                inbox.sort_by_key(|(from, _)| *from);
             }
             messages += round_messages;
             messages_per_round.push(round_messages);
@@ -260,6 +269,225 @@ impl Simulator {
             messages_per_round,
         })
     }
+
+    /// Runs a [`WireProgram`] on the backend selected in the configuration,
+    /// resolving the transport kinds against `registry` (which must serve
+    /// [`STAGE_SIM_ROUND`](crate::wire_round::STAGE_SIM_ROUND) for this
+    /// program — e.g. [`distsim_registry`](crate::wire_round::distsim_registry)
+    /// for the programs this crate defines, or the engine registry of
+    /// `mmlp-algorithms` for its algorithm programs).
+    ///
+    /// Unlike [`Simulator::run`], the transport kinds here genuinely cross
+    /// the boundary: every round's states and inboxes are encoded, shipped
+    /// (in memory under fault injection for `Loopback`, over real worker
+    /// stdio for `Subprocess`) and the returned states and message batches
+    /// decoded and merged deterministically.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::RoundLimitExceeded`] as for [`Simulator::run`], plus
+    /// [`SimError::Transport`] when the backend's transport fails.
+    pub fn run_typed<P: WireProgram>(
+        &self,
+        network: &Network,
+        program: &P,
+        registry: &Arc<StageRegistry>,
+    ) -> Result<SimulationResult<P::Output>, SimError>
+    where
+        P::State: Clone + Sync,
+    {
+        match self.config.backend {
+            BackendKind::Sequential => {
+                self.run_wire_on(network, program, &mmlp_parallel::Sequential)
+            }
+            BackendKind::ScopedThreads => self.run_wire_on(
+                network,
+                program,
+                &mmlp_parallel::ScopedThreads::new(self.config.parallel),
+            ),
+            BackendKind::Sharded { shards } => self.run_wire_on(
+                network,
+                program,
+                &mmlp_parallel::Sharded::new(shards, self.config.parallel),
+            ),
+            BackendKind::Loopback { shards } => {
+                self.run_wire_on(network, program, &LoopbackBackend::new(registry.clone(), shards))
+            }
+            BackendKind::Subprocess { workers, overlapped } => {
+                let backend = pooled_subprocess_backend(workers, overlapped, registry);
+                self.run_wire_on(network, program, &*backend)
+            }
+        }
+    }
+
+    /// Runs a [`WireProgram`] with every round submitted as the
+    /// `mmlp/sim-round@1` [`WireStage`](mmlp_parallel::WireStage) on an
+    /// explicit [`SolveBackend`].
+    ///
+    /// The host keeps the authoritative per-node states; each round it plans
+    /// node-range shards over the running set, ships every node's
+    /// `(state, inbox)` through the backend and merges the returned
+    /// `(state, outbox)` steps in shard order (the driver's by-sequence
+    /// ordered merge makes that order deterministic even under reordered or
+    /// duplicated replies).  Cross-shard messages therefore flow through the
+    /// driver between rounds instead of shared memory — and because every
+    /// codec is exact-bit, the results are bit-identical to
+    /// [`Simulator::run_on`], message count for message count.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::RoundLimitExceeded`] as for [`Simulator::run`], plus
+    /// [`SimError::Transport`] when the backend's transport fails.
+    pub fn run_wire_on<P: WireProgram, B: SolveBackend>(
+        &self,
+        network: &Network,
+        program: &P,
+        backend: &B,
+    ) -> Result<SimulationResult<P::Output>, SimError>
+    where
+        P::State: Clone + Sync,
+    {
+        let n = network.num_nodes();
+        let mut states: Vec<Option<P::State>> =
+            (0..n).map(|v| Some(program.init(v, network))).collect();
+        let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
+        let mut halting_round: Vec<usize> = vec![0; n];
+        let mut inboxes: Vec<Vec<(usize, P::Message)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut running: Vec<usize> = (0..n).collect();
+
+        let mut messages: u64 = 0;
+        let mut message_units: u64 = 0;
+        let mut messages_per_round: Vec<u64> = Vec::new();
+        let mut round = 0usize;
+
+        while !running.is_empty() {
+            if round >= self.config.max_rounds {
+                return Err(SimError::RoundLimitExceeded {
+                    limit: self.config.max_rounds,
+                    still_running: running.len(),
+                });
+            }
+
+            let stage = SimRoundStage {
+                program,
+                network,
+                round,
+                nodes: &running,
+                states: &states,
+                inboxes: &inboxes,
+            };
+            let run = backend.execute_stage(running.len(), &stage)?;
+
+            // Merge in shard order (shards partition `running` contiguously,
+            // so this is exactly `running` order): install the new states and
+            // collect the actions for delivery.
+            let mut actions = Vec::with_capacity(running.len());
+            let mut next = 0usize;
+            for shard_steps in run.outputs {
+                for step in shard_steps {
+                    let node = running[next];
+                    next += 1;
+                    states[node] = step.state;
+                    actions.push(step.action);
+                }
+            }
+            debug_assert_eq!(next, running.len(), "every running node stepped exactly once");
+
+            // Clear the inboxes we just consumed.
+            for &node in &running {
+                inboxes[node].clear();
+            }
+
+            let (still_running, round_messages) = deliver_round(
+                network,
+                round,
+                &running,
+                actions,
+                &mut inboxes,
+                &mut outputs,
+                &mut halting_round,
+                &mut message_units,
+            );
+            messages += round_messages;
+            messages_per_round.push(round_messages);
+            running = still_running;
+            round += 1;
+        }
+
+        Ok(SimulationResult {
+            outputs: outputs
+                .into_iter()
+                .map(|o| o.expect("every node halted with an output"))
+                .collect(),
+            rounds: round,
+            halting_round,
+            messages,
+            message_units,
+            messages_per_round,
+        })
+    }
+}
+
+/// Applies one round's actions: records halts, queues outgoing messages,
+/// delivers them to nodes that have not halted and keeps every inbox sorted
+/// by sender.  Returns the still-running nodes and the number of messages
+/// delivered this round.
+///
+/// This is the single delivery path shared by the closure tier
+/// ([`Simulator::run_on`]) and the wire tier ([`Simulator::run_wire_on`]):
+/// actions are applied in `running` order, which both tiers produce, so the
+/// two tiers are message-for-message identical.
+#[allow(clippy::too_many_arguments)]
+fn deliver_round<M: Clone + MessageSize, O>(
+    network: &Network,
+    round: usize,
+    running: &[usize],
+    actions: Vec<Action<M, O>>,
+    inboxes: &mut [Vec<(usize, M)>],
+    outputs: &mut [Option<O>],
+    halting_round: &mut [usize],
+    message_units: &mut u64,
+) -> (Vec<usize>, u64) {
+    let mut round_messages = 0u64;
+    let mut outgoing: Vec<(usize, usize, M)> = Vec::new();
+    let mut still_running = Vec::with_capacity(running.len());
+    for (&node, action) in running.iter().zip(actions) {
+        match action {
+            Action::Broadcast(msg) => {
+                for &to in network.neighbors(node) {
+                    outgoing.push((node, to, msg.clone()));
+                }
+                still_running.push(node);
+            }
+            Action::Send(list) => {
+                for (to, msg) in list {
+                    assert!(
+                        network.neighbors(node).contains(&to),
+                        "node {node} attempted to message non-neighbour {to}"
+                    );
+                    outgoing.push((node, to, msg));
+                }
+                still_running.push(node);
+            }
+            Action::Idle => still_running.push(node),
+            Action::Halt(output) => {
+                outputs[node] = Some(output);
+                halting_round[node] = round;
+            }
+        }
+    }
+    for (from, to, msg) in outgoing {
+        // Halted nodes no longer receive messages.
+        if outputs[to].is_none() {
+            round_messages += 1;
+            *message_units += msg.size_units();
+            inboxes[to].push((from, msg));
+        }
+    }
+    for inbox in inboxes.iter_mut() {
+        inbox.sort_by_key(|(from, _)| *from);
+    }
+    (still_running, round_messages)
 }
 
 #[cfg(test)]

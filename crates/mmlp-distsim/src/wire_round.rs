@@ -1,0 +1,551 @@
+//! Simulator rounds as wire stages: the `mmlp/sim-round@1` seam.
+//!
+//! One synchronous round of a [`WireProgram`] is a pure function of bytes —
+//! every running node's `(state, inbox)` goes in, its `(state, outbox)` (or
+//! final output) comes out — so a round is executed exactly like a batch of
+//! local-LP solves: as a [`WireStage`] submitted to a
+//! [`SolveBackend`](mmlp_parallel::SolveBackend).
+//!
+//! * **Context** (sent once per worker, cached across rounds): the program
+//!   identifier, the program's configuration and the network topology.  The
+//!   bytes are identical for every round of a run, so a pooled worker
+//!   decodes the program and network once ([`StageCache`]), not once per
+//!   round.
+//! * **Job** (one per node-range shard, per round): the round number and,
+//!   for each running node of the shard, its node id, encoded state and
+//!   encoded inbox.
+//! * **Reply**: one [`NodeStep`] per node — the node's new state plus its
+//!   outbox action, or its final output if it halted.
+//!
+//! Because state travels with the job, workers are stateless between rounds:
+//! the [`ShardDriver`](mmlp_parallel::ShardDriver)'s respawn-and-resend
+//! retry and its by-sequence ordered merge apply unchanged, so a duplicated,
+//! reordered or lost inter-round message batch resolves exactly like any
+//! other shard reply — dropped by the merge or resent to a fresh worker,
+//! never double-applied.  The host merges replies in shard order (sequence
+//! numbers are claimed per round in shard order), which makes the
+//! cross-shard message exchange deterministic by `(round, shard, seq)`.
+
+use crate::network::{put_network, read_network, Network};
+use crate::program::{Action, NodeProgram, WireProgram};
+use mmlp_parallel::wire::{put_str, put_u8, put_usize, ByteReader, WireError};
+use mmlp_parallel::{Shard, StageCache, StageRegistry, TransportError, WireStage};
+use std::sync::{Arc, OnceLock};
+
+/// Stage identifier of a simulator round (`@1` is the payload version — see
+/// the versioning rule in [`mmlp_parallel::wire`]).
+pub const STAGE_SIM_ROUND: &str = "mmlp/sim-round@1";
+
+/// What one node did in one round: its new state and outbox action, or its
+/// final output.
+///
+/// Invariant: `state` is `None` exactly when `action` is [`Action::Halt`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeStep<S, M, O> {
+    /// The node's state after the round (`None` iff the node halted).
+    pub state: Option<S>,
+    /// The node's outbox action (or its final output, for [`Action::Halt`]).
+    pub action: Action<M, O>,
+}
+
+/// The steps of one shard's nodes, in shard order — the reply type of a
+/// sim-round stage.
+pub type ProgramSteps<P> = Vec<
+    NodeStep<<P as NodeProgram>::State, <P as NodeProgram>::Message, <P as NodeProgram>::Output>,
+>;
+
+/// One simulator round as a [`WireStage`] over node-range shards of the
+/// running set.
+///
+/// `nodes` is the (sorted) list of running nodes; `states` and `inboxes`
+/// are indexed by node id.  Shards index into `nodes`, so the plan is a
+/// contiguous node-range split — the local model of assigning node ranges
+/// to machines.
+pub struct SimRoundStage<'a, P: WireProgram>
+where
+    P::State: Clone + Sync,
+{
+    /// The program being simulated.
+    pub program: &'a P,
+    /// The communication topology.
+    pub network: &'a Network,
+    /// The current round (0-based).
+    pub round: usize,
+    /// The running nodes, in ascending order; shards cover `0..nodes.len()`.
+    pub nodes: &'a [usize],
+    /// Per-node state, indexed by node id (`Some` for every running node).
+    pub states: &'a [Option<P::State>],
+    /// Per-node inbox for this round, indexed by node id.
+    pub inboxes: &'a [Vec<(usize, P::Message)>],
+}
+
+impl<P: WireProgram> SimRoundStage<'_, P>
+where
+    P::State: Clone + Sync,
+{
+    fn state_of(&self, node: usize) -> &P::State {
+        self.states[node].as_ref().expect("running node has state")
+    }
+}
+
+impl<P: WireProgram> WireStage for SimRoundStage<'_, P>
+where
+    P::State: Clone + Sync,
+{
+    type Output = ProgramSteps<P>;
+
+    fn stage_id(&self) -> &'static str {
+        STAGE_SIM_ROUND
+    }
+
+    fn encode_context(&self, out: &mut Vec<u8>) {
+        put_str(out, self.program.program_id());
+        self.program.encode_config(out);
+        put_network(out, self.network);
+    }
+
+    fn encode_job(&self, shard: &Shard, out: &mut Vec<u8>) {
+        put_usize(out, self.round);
+        put_usize(out, shard.len());
+        for &node in &self.nodes[shard.range()] {
+            put_usize(out, node);
+            self.program.encode_state(self.state_of(node), out);
+            let inbox = &self.inboxes[node];
+            put_usize(out, inbox.len());
+            for (sender, message) in inbox {
+                put_usize(out, *sender);
+                self.program.encode_message(message, out);
+            }
+        }
+    }
+
+    fn decode_reply(&self, shard: &Shard, payload: &[u8]) -> Result<Self::Output, TransportError> {
+        let mut r = ByteReader::new(payload);
+        let steps = read_steps(self.program, &mut r, shard.len())?;
+        Ok(steps)
+    }
+
+    fn run_local(&self, shard: &Shard) -> Self::Output {
+        self.nodes[shard.range()]
+            .iter()
+            .map(|&node| {
+                let mut state = self.state_of(node).clone();
+                let action = self.program.step(
+                    node,
+                    &mut state,
+                    &self.inboxes[node],
+                    self.round,
+                    self.network,
+                );
+                let state = match &action {
+                    Action::Halt(_) => None,
+                    _ => Some(state),
+                };
+                NodeStep { state, action }
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reply codec (shared by the host stage and the worker handler).
+// ---------------------------------------------------------------------------
+
+const TAG_BROADCAST: u8 = 0;
+const TAG_SEND: u8 = 1;
+const TAG_IDLE: u8 = 2;
+const TAG_HALT: u8 = 3;
+
+fn encode_steps<P: WireProgram>(
+    program: &P,
+    steps: &[NodeStep<P::State, P::Message, P::Output>],
+    out: &mut Vec<u8>,
+) where
+    P::State: Clone + Sync,
+{
+    put_usize(out, steps.len());
+    for step in steps {
+        match &step.action {
+            Action::Halt(output) => {
+                put_u8(out, TAG_HALT);
+                program.encode_output(output, out);
+            }
+            action => {
+                let state = step.state.as_ref().expect("running node keeps state");
+                match action {
+                    Action::Broadcast(message) => {
+                        put_u8(out, TAG_BROADCAST);
+                        program.encode_state(state, out);
+                        program.encode_message(message, out);
+                    }
+                    Action::Send(list) => {
+                        put_u8(out, TAG_SEND);
+                        program.encode_state(state, out);
+                        put_usize(out, list.len());
+                        for (to, message) in list {
+                            put_usize(out, *to);
+                            program.encode_message(message, out);
+                        }
+                    }
+                    Action::Idle => {
+                        put_u8(out, TAG_IDLE);
+                        program.encode_state(state, out);
+                    }
+                    Action::Halt(_) => unreachable!("matched above"),
+                }
+            }
+        }
+    }
+}
+
+fn read_steps<P: WireProgram>(
+    program: &P,
+    r: &mut ByteReader<'_>,
+    expected: usize,
+) -> Result<ProgramSteps<P>, WireError>
+where
+    P::State: Clone + Sync,
+{
+    const CTX: &str = "sim-round reply";
+    // Every step occupies at least its 1-byte tag.
+    let count = r.seq_len(1, CTX)?;
+    if count != expected {
+        return Err(WireError::Decode { context: CTX });
+    }
+    let mut steps = Vec::with_capacity(count);
+    for _ in 0..count {
+        let step = match r.u8(CTX)? {
+            TAG_HALT => NodeStep { state: None, action: Action::Halt(program.decode_output(r)?) },
+            TAG_BROADCAST => {
+                let state = program.decode_state(r)?;
+                let message = program.decode_message(r)?;
+                NodeStep { state: Some(state), action: Action::Broadcast(message) }
+            }
+            TAG_SEND => {
+                let state = program.decode_state(r)?;
+                // Every list entry occupies at least its 8-byte target id.
+                let len = r.seq_len(8, CTX)?;
+                let list = (0..len)
+                    .map(|_| Ok((r.usize(CTX)?, program.decode_message(r)?)))
+                    .collect::<Result<Vec<_>, WireError>>()?;
+                NodeStep { state: Some(state), action: Action::Send(list) }
+            }
+            TAG_IDLE => NodeStep { state: Some(program.decode_state(r)?), action: Action::Idle },
+            _ => return Err(WireError::Decode { context: CTX }),
+        };
+        steps.push(step);
+    }
+    Ok(steps)
+}
+
+// ---------------------------------------------------------------------------
+// The worker side.
+// ---------------------------------------------------------------------------
+
+/// Reads the program identifier a sim-round context frame opens with, so a
+/// registry's dispatcher can route to the right [`handle_sim_round`]
+/// instantiation.
+///
+/// # Errors
+///
+/// A typed [`WireError`] when the context is malformed.
+pub fn peek_program_id(ctx: &[u8]) -> Result<&str, WireError> {
+    ByteReader::new(ctx).str("sim-round program id")
+}
+
+/// The worker-side context-derived state of a sim-round stage: the decoded
+/// program and network, built once per context and cached across rounds.
+struct SimProgramState<P> {
+    program: P,
+    network: Network,
+}
+
+/// The worker-side body of one sim-round job for a concrete program type:
+/// decode `(state, inbox)` per node, run the pure round step, encode
+/// `(state, outbox)` per node.
+///
+/// Registries register a plain dispatcher `fn` for [`STAGE_SIM_ROUND`] that
+/// peeks the program id ([`peek_program_id`]) and calls this generic body
+/// with the matching program type — the worker refuses program ids it does
+/// not know, exactly like unknown stage ids.
+///
+/// # Errors
+///
+/// A rendered [`WireError`] for malformed payloads (the worker loop ships it
+/// back as a `WorkerError` frame).
+pub fn handle_sim_round<P>(
+    ctx: &[u8],
+    job: &[u8],
+    cache: &mut StageCache,
+) -> Result<Vec<u8>, String>
+where
+    P: WireProgram + Send + 'static,
+    P::State: Clone + Sync,
+{
+    const CTX: &str = "sim-round job";
+    let wire_err = |e: WireError| e.to_string();
+    let state: &mut SimProgramState<P> = cache.get_or_try_insert_with(|| {
+        let mut r = ByteReader::new(ctx);
+        let id = r.str("sim-round program id").map_err(wire_err)?;
+        let program = P::decode_config(&mut r).map_err(wire_err)?;
+        if id != program.program_id() {
+            return Err(format!(
+                "sim-round context names program `{id}` but decoded `{}`",
+                program.program_id()
+            ));
+        }
+        let network = read_network(&mut r).map_err(wire_err)?;
+        Ok(SimProgramState { program, network })
+    })?;
+    let program = &state.program;
+    let network = &state.network;
+
+    let mut r = ByteReader::new(job);
+    let round = r.usize(CTX).map_err(wire_err)?;
+    // Every entry occupies at least its node id and inbox length (8 + 8).
+    let count = r.seq_len(16, CTX).map_err(wire_err)?;
+    let mut steps = Vec::with_capacity(count);
+    for _ in 0..count {
+        let node = r.usize(CTX).map_err(wire_err)?;
+        if node >= network.num_nodes() {
+            return Err(format!("sim-round job names unknown node {node}"));
+        }
+        let mut node_state = program.decode_state(&mut r).map_err(wire_err)?;
+        let inbox_len = r.seq_len(8, CTX).map_err(wire_err)?;
+        let inbox = (0..inbox_len)
+            .map(|_| Ok((r.usize(CTX)?, program.decode_message(&mut r)?)))
+            .collect::<Result<Vec<_>, WireError>>()
+            .map_err(wire_err)?;
+        let action = program.step(node, &mut node_state, &inbox, round, network);
+        let state = match &action {
+            Action::Halt(_) => None,
+            _ => Some(node_state),
+        };
+        steps.push(NodeStep { state, action });
+    }
+    let mut out = Vec::new();
+    encode_steps(program, &steps, &mut out);
+    Ok(out)
+}
+
+/// The distributed simulator's own stage registry: serves [`STAGE_SIM_ROUND`]
+/// for the programs this crate defines (currently the gathering protocol).
+///
+/// Crates that define further wire programs compose their own dispatcher on
+/// top of [`peek_program_id`] + [`handle_sim_round`] — the engine's
+/// `engine_registry` in `mmlp-algorithms` serves both its pipeline stages
+/// and every simulator program it knows.
+pub fn distsim_registry() -> Arc<StageRegistry> {
+    static REGISTRY: OnceLock<Arc<StageRegistry>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| {
+            let mut registry = StageRegistry::new();
+            registry.register(STAGE_SIM_ROUND, handle_distsim_round);
+            Arc::new(registry)
+        })
+        .clone()
+}
+
+fn handle_distsim_round(ctx: &[u8], job: &[u8], cache: &mut StageCache) -> Result<Vec<u8>, String> {
+    match peek_program_id(ctx).map_err(|e| e.to_string())? {
+        crate::gather::GATHER_PROGRAM_ID => {
+            handle_sim_round::<crate::gather::GatherProgram>(ctx, job, cache)
+        }
+        other => Err(format!("unknown simulator program `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::NodeProgram;
+    use crate::simulator::{SimError, Simulator};
+    use mmlp_parallel::wire::put_u64;
+    use mmlp_parallel::{FaultPlan, LoopbackBackend, ParallelConfig, Sequential, Sharded};
+
+    /// A test program exercising every [`Action`] variant: in round 0 even
+    /// nodes `Send` their id to their smallest neighbour and odd nodes stay
+    /// `Idle`; in round 1 everyone `Broadcast`s its accumulated sum; in
+    /// round 2 everyone `Halt`s with it.  State accumulates received values.
+    #[derive(Debug, Clone, PartialEq)]
+    struct RelayProgram {
+        boost: u64,
+    }
+
+    impl NodeProgram for RelayProgram {
+        type State = u64;
+        type Message = u64;
+        type Output = u64;
+
+        fn init(&self, node: usize, _network: &Network) -> u64 {
+            node as u64 + self.boost
+        }
+
+        fn step(
+            &self,
+            node: usize,
+            state: &mut u64,
+            inbox: &[(usize, u64)],
+            round: usize,
+            network: &Network,
+        ) -> Action<u64, u64> {
+            for (_, m) in inbox {
+                *state += m;
+            }
+            match round {
+                0 if node % 2 == 0 && !network.neighbors(node).is_empty() => {
+                    Action::Send(vec![(network.neighbors(node)[0], *state)])
+                }
+                0 => Action::Idle,
+                1 => Action::Broadcast(*state),
+                _ => Action::Halt(*state),
+            }
+        }
+    }
+
+    const RELAY_PROGRAM_ID: &str = "test/prog/relay@1";
+
+    impl WireProgram for RelayProgram {
+        fn program_id(&self) -> &'static str {
+            RELAY_PROGRAM_ID
+        }
+        fn encode_config(&self, out: &mut Vec<u8>) {
+            put_u64(out, self.boost);
+        }
+        fn decode_config(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+            Ok(Self { boost: r.u64("relay config")? })
+        }
+        fn encode_state(&self, state: &u64, out: &mut Vec<u8>) {
+            put_u64(out, *state);
+        }
+        fn decode_state(&self, r: &mut ByteReader<'_>) -> Result<u64, WireError> {
+            r.u64("relay state")
+        }
+        fn encode_message(&self, message: &u64, out: &mut Vec<u8>) {
+            put_u64(out, *message);
+        }
+        fn decode_message(&self, r: &mut ByteReader<'_>) -> Result<u64, WireError> {
+            r.u64("relay message")
+        }
+        fn encode_output(&self, output: &u64, out: &mut Vec<u8>) {
+            put_u64(out, *output);
+        }
+        fn decode_output(&self, r: &mut ByteReader<'_>) -> Result<u64, WireError> {
+            r.u64("relay output")
+        }
+    }
+
+    fn relay_registry() -> Arc<StageRegistry> {
+        fn dispatch(ctx: &[u8], job: &[u8], cache: &mut StageCache) -> Result<Vec<u8>, String> {
+            match peek_program_id(ctx).map_err(|e| e.to_string())? {
+                RELAY_PROGRAM_ID => handle_sim_round::<RelayProgram>(ctx, job, cache),
+                other => Err(format!("unknown simulator program `{other}`")),
+            }
+        }
+        let mut registry = StageRegistry::new();
+        registry.register(STAGE_SIM_ROUND, dispatch);
+        Arc::new(registry)
+    }
+
+    fn path_network(n: usize) -> Network {
+        let mut adj = vec![Vec::new(); n];
+        for v in 0..n.saturating_sub(1) {
+            adj[v].push(v + 1);
+            adj[v + 1].push(v);
+        }
+        Network::from_adjacency(adj)
+    }
+
+    #[test]
+    fn wire_tier_matches_the_closure_tier_on_every_action_variant() {
+        let net = path_network(11);
+        let program = RelayProgram { boost: 7 };
+        let simulator = Simulator::sequential();
+        let reference = simulator.run(&net, &program).unwrap();
+        let via_sequential = simulator.run_wire_on(&net, &program, &Sequential).unwrap();
+        assert_eq!(via_sequential, reference);
+        for shards in [1usize, 2, 5] {
+            let backend = Sharded::new(shards, ParallelConfig::sequential());
+            let wired = simulator.run_wire_on(&net, &program, &backend).unwrap();
+            assert_eq!(wired, reference, "{shards} shards");
+        }
+        let loopback = LoopbackBackend::new(relay_registry(), 4).with_workers(2);
+        let wired = simulator.run_wire_on(&net, &program, &loopback).unwrap();
+        assert_eq!(wired, reference, "loopback");
+    }
+
+    #[test]
+    fn duplicated_and_reordered_round_batches_are_absorbed() {
+        let net = path_network(9);
+        let program = RelayProgram { boost: 3 };
+        let simulator = Simulator::sequential();
+        let reference = simulator.run(&net, &program).unwrap();
+        let faults = FaultPlan {
+            duplicate_replies: (0..30).collect(),
+            reorder_seed: Some(11),
+            ..FaultPlan::none()
+        };
+        let backend = LoopbackBackend::new(relay_registry(), 6)
+            .with_workers(2)
+            .with_faults(faults);
+        let wired = simulator.run_wire_on(&net, &program, &backend).unwrap();
+        assert_eq!(wired, reference);
+    }
+
+    #[test]
+    fn a_truncated_round_batch_is_a_typed_transport_error() {
+        let net = path_network(6);
+        let program = RelayProgram { boost: 0 };
+        let faults = FaultPlan { truncate_replies: vec![1], ..FaultPlan::none() };
+        let backend = LoopbackBackend::new(relay_registry(), 3).with_faults(faults);
+        match Simulator::sequential().run_wire_on(&net, &program, &backend) {
+            Err(SimError::Transport(TransportError::Wire(WireError::Truncated { .. }))) => {}
+            other => panic!("expected a truncated-frame error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn an_unknown_program_id_is_refused_by_the_worker() {
+        // The distsim registry serves gather only; the relay program must be
+        // refused with a typed worker error naming the program.
+        let net = path_network(4);
+        let program = RelayProgram { boost: 0 };
+        let backend = LoopbackBackend::new(distsim_registry(), 2);
+        match Simulator::sequential().run_wire_on(&net, &program, &backend) {
+            Err(SimError::Transport(TransportError::Worker { message, .. })) => {
+                assert!(message.contains(RELAY_PROGRAM_ID), "unexpected message: {message}");
+            }
+            other => panic!("expected an unknown-program error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reply_codec_rejects_wrong_counts_and_bad_tags() {
+        let net = path_network(3);
+        let program = RelayProgram { boost: 0 };
+        let stage = SimRoundStage {
+            program: &program,
+            network: &net,
+            round: 0,
+            nodes: &[0, 1, 2],
+            states: &[Some(0), Some(1), Some(2)],
+            inboxes: &[vec![], vec![], vec![]],
+        };
+        let shard = Shard { index: 0, start: 0, end: 3 };
+        // A reply for two nodes where three were sent.
+        let mut short = Vec::new();
+        encode_steps(&program, &stage.run_local(&Shard { index: 0, start: 0, end: 2 }), &mut short);
+        assert!(stage.decode_reply(&shard, &short).is_err());
+        // An unknown action tag.
+        let mut bad = Vec::new();
+        put_usize(&mut bad, 3);
+        put_u8(&mut bad, 99);
+        assert!(stage.decode_reply(&shard, &bad).is_err());
+        // Truncation mid-step.
+        let mut good = Vec::new();
+        encode_steps(&program, &stage.run_local(&shard), &mut good);
+        for cut in 0..good.len() {
+            assert!(stage.decode_reply(&shard, &good[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

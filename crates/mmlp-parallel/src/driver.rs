@@ -22,6 +22,16 @@
 //! arrives).  Anything else — truncated or corrupted frames, worker-side
 //! handler failures, protocol violations — aborts the stage with a typed
 //! [`TransportError`]; no failure path hangs or panics.
+//!
+//! The distributed simulator's inter-round message exchange rides this
+//! merge unchanged: every round is one stage run (`mmlp/sim-round@1`),
+//! which claims a fresh contiguous sequence range in shard order, so a
+//! round's message batches are merged deterministically by
+//! `(round, shard, seq)` — a duplicated or reordered batch is recognised
+//! and dropped exactly like any other shard reply, and a lost one is
+//! recomputed by a respawned worker from the resent `(state, inbox)` bytes
+//! (programs keep no worker-resident state, which is what makes the
+//! respawn-and-resend retry correct for simulations too).
 
 use crate::transport::{TransportError, WorkerLink};
 use crate::wire::{put_str, ByteReader, Frame, FrameKind};

@@ -651,7 +651,9 @@ pub struct SubprocessBackend {
     shards: usize,
     driver: ShardDriver,
     registry: Arc<StageRegistry>,
-    availability: OnceLock<bool>,
+    /// `None` = workers spawn here; `Some(reason)` = the capability probe
+    /// failed for that reason and every stage serves through the fallback.
+    availability: OnceLock<Option<String>>,
     pool: Mutex<LinkPool>,
     fallback: Mutex<Option<LoopbackBackend>>,
 }
@@ -720,28 +722,52 @@ impl SubprocessBackend {
     /// logged once.  A worker binary that appears later in the process's
     /// lifetime is not re-probed.
     pub fn subprocess_available(&self) -> bool {
-        *self.availability.get_or_init(|| {
-            static VERDICTS: OnceLock<Mutex<std::collections::HashMap<String, bool>>> =
-                OnceLock::new();
-            let verdicts = VERDICTS.get_or_init(|| Mutex::new(std::collections::HashMap::new()));
-            let mut verdicts = verdicts.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-            let key = self.command.describe();
-            if let Some(&known) = verdicts.get(&key) {
-                return known;
-            }
-            let available = match probe_worker(&self.command) {
-                Ok(()) => true,
-                Err(e) => {
-                    eprintln!(
-                        "mmlp: subprocess transport unavailable ({e}); \
-                         falling back to the in-memory loopback transport"
-                    );
-                    false
+        self.probe_failure().is_none()
+    }
+
+    /// Why the capability probe rejected this environment, if it did —
+    /// classified as a *spawn* failure (the OS refused fork/exec or the
+    /// binary is missing) vs a *handshake* failure (the process started but
+    /// never spoke the protocol, e.g. a watchdog-killed silent binary).
+    ///
+    /// The reason is cached process-wide alongside the verdict, so every
+    /// backend probing the same worker command reports the identical
+    /// string — what the skip log printed is what this returns.
+    pub fn probe_failure(&self) -> Option<String> {
+        self.availability
+            .get_or_init(|| {
+                static VERDICTS: OnceLock<
+                    Mutex<std::collections::HashMap<String, Option<String>>>,
+                > = OnceLock::new();
+                let verdicts =
+                    VERDICTS.get_or_init(|| Mutex::new(std::collections::HashMap::new()));
+                let mut verdicts =
+                    verdicts.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                let key = self.command.describe();
+                if let Some(known) = verdicts.get(&key) {
+                    return known.clone();
                 }
-            };
-            verdicts.insert(key, available);
-            available
-        })
+                let failure = match probe_worker(&self.command) {
+                    Ok(()) => None,
+                    Err(e) => {
+                        let reason = match &e {
+                            TransportError::SpawnFailed { .. } => format!("spawn failed: {e}"),
+                            TransportError::HandshakeFailed { .. } => {
+                                format!("handshake failed: {e}")
+                            }
+                            other => format!("probe failed: {other}"),
+                        };
+                        eprintln!(
+                            "mmlp: subprocess transport unavailable ({reason}); \
+                             falling back to the in-memory loopback transport"
+                        );
+                        Some(reason)
+                    }
+                };
+                verdicts.insert(key, failure.clone());
+                failure
+            })
+            .clone()
     }
 }
 
@@ -801,6 +827,39 @@ impl Drop for SubprocessBackend {
         }
         pool.links.clear();
     }
+}
+
+/// The process-wide pool of subprocess backends, keyed by worker count,
+/// dispatch mode and registry *content* fingerprint
+/// ([`StageRegistry::fingerprint`]).
+///
+/// `BackendKind` is a `Copy` selector, so callers going through option
+/// structs (engine options, simulator config) cannot hold a backend
+/// themselves — without pooling, every call would spawn (and on drop kill)
+/// its whole worker pool and lose all worker-side context caching.  Pooled
+/// backends spawn workers via [`WorkerCommand::auto`] and persist for the
+/// life of the process; each backend's internal lock serialises concurrent
+/// stages.  Keying by content fingerprint means content-identical
+/// registries — including a fresh `Arc` built per call from the same
+/// registrations — share one pool, so the pool's size is bounded by the
+/// number of distinct *configurations*, not call sites.  Callers that want
+/// explicit lifecycle control construct a [`SubprocessBackend`] directly.
+pub fn pooled_subprocess_backend(
+    workers: usize,
+    overlapped: bool,
+    registry: &Arc<StageRegistry>,
+) -> Arc<SubprocessBackend> {
+    type BackendPool = Mutex<std::collections::HashMap<(usize, bool, u64), Arc<SubprocessBackend>>>;
+    static POOL: OnceLock<BackendPool> = OnceLock::new();
+    let pool = POOL.get_or_init(|| Mutex::new(std::collections::HashMap::new()));
+    let mut pool = pool.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let key = (workers.max(1), overlapped, registry.fingerprint());
+    pool.entry(key)
+        .or_insert_with(|| {
+            let backend = SubprocessBackend::new(workers, registry.clone());
+            Arc::new(if overlapped { backend } else { backend.lockstep() })
+        })
+        .clone()
 }
 
 /// A `Copy` selector for the built-in backends, carried inside option
@@ -1143,6 +1202,82 @@ mod tests {
             assert_eq!(s.shard, i);
             assert_eq!(s.items, run.outputs[i]);
         }
+    }
+
+    #[test]
+    fn registry_fingerprints_key_the_backend_pool_by_content() {
+        fn handler_a(_: &[u8], _: &[u8], _: &mut StageCache) -> Result<Vec<u8>, String> {
+            Ok(vec![1])
+        }
+        fn handler_b(_: &[u8], _: &[u8], _: &mut StageCache) -> Result<Vec<u8>, String> {
+            Ok(vec![2])
+        }
+        let build = |with_b: bool| {
+            let mut r = StageRegistry::new();
+            r.register("test/a@1", handler_a);
+            if with_b {
+                r.register("test/b@1", handler_b);
+            }
+            Arc::new(r)
+        };
+        // Content-identical registries (distinct Arcs) fingerprint equally…
+        assert_eq!(build(false).fingerprint(), build(false).fingerprint());
+        assert_eq!(build(true).fingerprint(), build(true).fingerprint());
+        // …different content differs.
+        assert_ne!(build(false).fingerprint(), build(true).fingerprint());
+        let mut swapped = StageRegistry::new();
+        swapped.register("test/a@1", handler_b);
+        assert_ne!(build(false).fingerprint(), swapped.fingerprint());
+        // So a fresh-but-identical registry per call reuses one pooled
+        // backend instead of leaking a worker pool per call.
+        let first = pooled_subprocess_backend(2, true, &build(false));
+        let second = pooled_subprocess_backend(2, true, &build(false));
+        assert!(Arc::ptr_eq(&first, &second));
+        let lockstep = pooled_subprocess_backend(2, false, &build(false));
+        assert!(!Arc::ptr_eq(&first, &lockstep));
+    }
+
+    #[test]
+    fn probe_failure_reason_is_classified_and_cached() {
+        // A worker command that cannot spawn: the verdict cache must hand
+        // every backend probing the same command the identical, classified
+        // reason — the probe runs once per process, not once per backend.
+        let registry = Arc::new(StageRegistry::new());
+        let command = WorkerCommand::Path(std::path::PathBuf::from(
+            "/nonexistent/mmlp-probe-reason-test-worker",
+        ));
+        let first = SubprocessBackend::new(2, registry.clone()).with_command(command.clone());
+        let second = SubprocessBackend::new(1, registry).with_command(command);
+        let reason = first.probe_failure().expect("a missing binary cannot probe as available");
+        assert!(reason.starts_with("spawn failed:"), "unclassified reason: {reason}");
+        assert!(!first.subprocess_available());
+        // The cached verdict returns the same reason, verbatim.
+        assert_eq!(second.probe_failure(), Some(reason.clone()));
+        assert_eq!(first.probe_failure(), Some(reason));
+    }
+
+    #[test]
+    fn probe_failure_classifies_handshake_failures() {
+        // A binary that spawns but never speaks the protocol (`true` exits
+        // immediately) is a *handshake* failure, not a spawn failure.  Where
+        // the sandbox cannot fork/exec at all, the spawn classification is
+        // asserted instead — the probe must never report "available".
+        let candidate = ["/bin/true", "/usr/bin/true"]
+            .iter()
+            .find(|p| std::path::Path::new(p).is_file())
+            .copied();
+        let Some(candidate) = candidate else {
+            eprintln!("skipping: no `true` binary found");
+            return;
+        };
+        let registry = Arc::new(StageRegistry::new());
+        let backend = SubprocessBackend::new(1, registry)
+            .with_command(WorkerCommand::Path(std::path::PathBuf::from(candidate)));
+        let reason = backend.probe_failure().expect("`true` is not a worker");
+        assert!(
+            reason.starts_with("handshake failed:") || reason.starts_with("spawn failed:"),
+            "unclassified reason: {reason}"
+        );
     }
 
     #[test]

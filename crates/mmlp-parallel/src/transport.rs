@@ -238,6 +238,35 @@ impl StageRegistry {
         self.handlers.keys().copied()
     }
 
+    /// A process-local content fingerprint: two registries fingerprint
+    /// equally iff they map the same stage identifiers to the same handler
+    /// functions, making them interchangeable.  Used to key the
+    /// process-wide subprocess-backend pool
+    /// ([`pooled_subprocess_backend`](crate::pooled_subprocess_backend)),
+    /// so callers that build a fresh (but identical) registry per call
+    /// still share one worker pool.  Handler identity is the function's
+    /// address, so the fingerprint is only meaningful within one process —
+    /// exactly the pool's scope.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over (stage id, handler address) pairs, in the map's
+        // deterministic sorted order.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |byte: u8| {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for (stage, handler) in &self.handlers {
+            for b in stage.bytes() {
+                mix(b);
+            }
+            mix(0);
+            for b in (*handler as usize).to_le_bytes() {
+                mix(b);
+            }
+        }
+        hash
+    }
+
     /// Runs the handler for `stage`.
     pub fn dispatch(
         &self,

@@ -123,17 +123,22 @@ pub use mmlp_lp::solve_maxmin;
 pub mod prelude {
     pub use crate::algorithms::{
         apply_rule_direct, compare_algorithms, engine_registry, local_averaging,
-        local_averaging_activity_from_view, run_local_rule, safe_activity_from_view,
+        local_averaging_activity_from_view, run_local_rule, run_wire_rule, safe_activity_from_view,
         safe_algorithm, serve_engine_worker_if_requested, solve_local_lps, solve_local_lps_on,
         solve_local_lps_reusing, uniform_baseline, views_direct, AlgorithmComparison,
         ClassBasisCache, EngineError, LocalAveragingOptions, LocalAveragingResult, LocalLpBatch,
-        LocalLpOptions, LocalRun, SolveMode, SolveStats, WarmStartPolicy, SAFE_HORIZON,
+        LocalLpOptions, LocalRuleProgram, LocalRun, SolveMode, SolveStats, WarmStartPolicy,
+        WireRule, SAFE_HORIZON,
     };
     pub use crate::core::{
         bounds, canonical_form, canonical_key, AgentId, CanonicalForm, CanonicalKey, DegreeBounds,
         InstanceBuilder, MaxMinInstance, PartyId, ResourceId, Solution,
     };
-    pub use crate::distsim::{gather_views, LocalView, Network, Simulator, SimulatorConfig};
+    pub use crate::distsim::{
+        distsim_registry, gather_views, Action, GatherMessage, GatherProgram, LocalView, Network,
+        NodeProgram, SimError, SimulationResult, Simulator, SimulatorConfig, WireProgram,
+        GATHER_PROGRAM_ID, STAGE_SIM_ROUND,
+    };
     pub use crate::hypergraph::{
         communication_hypergraph, growth_profile, Graph, GrowthProfile, Hypergraph,
     };

@@ -296,6 +296,130 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // ---- The simulator's message/state codecs (the `mmlp/sim-round@1`
+    // payloads): identity round-trips, frame-level byte-flip detection and
+    // noise rejection, mirroring the engine payload properties above. ----
+
+    #[test]
+    fn gather_knowledge_and_message_codecs_are_identity((cfg, seed) in instance_config()) {
+        use maxmin_local_lp::distsim::gather::{put_knowledge, read_knowledge};
+        let inst = random_instance(&cfg, &mut StdRng::seed_from_u64(seed));
+        let program = GatherProgram::new(&inst, 1);
+        let records: Vec<_> = inst
+            .agent_ids()
+            .map(|v| maxmin_local_lp::distsim::LocalKnowledge::of_agent(&inst, v))
+            .collect();
+        for record in &records {
+            let mut bytes = Vec::new();
+            put_knowledge(&mut bytes, record);
+            let mut r = ByteReader::new(&bytes);
+            let decoded = read_knowledge(&mut r).expect("own encoding must decode");
+            prop_assert!(r.is_empty());
+            prop_assert_eq!(&decoded, record);
+        }
+        let message = GatherMessage { records };
+        let mut bytes = Vec::new();
+        WireProgram::encode_message(&program, &message, &mut bytes);
+        let decoded = WireProgram::decode_message(&program, &mut ByteReader::new(&bytes))
+            .expect("own encoding must decode");
+        prop_assert_eq!(decoded, message);
+    }
+
+    #[test]
+    fn gather_state_and_view_codecs_are_identity(
+        (cfg, seed) in instance_config(),
+        radius in 0usize..3,
+    ) {
+        use maxmin_local_lp::distsim::gather::{put_local_view, read_local_view};
+        let inst = random_instance(&cfg, &mut StdRng::seed_from_u64(seed));
+        let (h, _) = communication_hypergraph(&inst);
+        let network = Network::from_hypergraph(&h);
+        let program = GatherProgram::new(&inst, radius);
+        for node in 0..inst.num_agents().min(4) {
+            let state = program.init(node, &network);
+            let mut bytes = Vec::new();
+            program.encode_state(&state, &mut bytes);
+            let mut r = ByteReader::new(&bytes);
+            let decoded = program.decode_state(&mut r).expect("own encoding must decode");
+            prop_assert!(r.is_empty());
+            // GatherState has no PartialEq; compare through the encoding.
+            let mut reencoded = Vec::new();
+            program.encode_state(&decoded, &mut reencoded);
+            prop_assert_eq!(reencoded, bytes);
+
+            let view = LocalView::from_instance(&inst, &h, AgentId::new(node), radius);
+            let mut bytes = Vec::new();
+            put_local_view(&mut bytes, &view);
+            let decoded = read_local_view(&mut ByteReader::new(&bytes))
+                .expect("own encoding must decode");
+            prop_assert_eq!(decoded, view);
+        }
+    }
+
+    #[test]
+    fn network_codec_is_identity_and_rejects_noise((cfg, seed) in instance_config()) {
+        use maxmin_local_lp::distsim::{put_network, read_network};
+        let inst = random_instance(&cfg, &mut StdRng::seed_from_u64(seed));
+        let (h, _) = communication_hypergraph(&inst);
+        let network = Network::from_hypergraph(&h);
+        let mut bytes = Vec::new();
+        put_network(&mut bytes, &network);
+        let mut r = ByteReader::new(&bytes);
+        let decoded = read_network(&mut r).expect("own encoding must decode");
+        prop_assert!(r.is_empty());
+        prop_assert_eq!(decoded, network);
+        // Truncations at every prefix: typed error, no panic.
+        for cut in 0..bytes.len().min(64) {
+            prop_assert!(read_network(&mut ByteReader::new(&bytes[..cut])).is_err());
+        }
+    }
+
+    #[test]
+    fn sim_round_payload_flips_inside_a_frame_are_always_detected(
+        (cfg, seed) in instance_config(),
+        flip in any::<u64>(),
+        xor in 1u64..256,
+    ) {
+        // Inter-round message batches travel as frame payloads; the frame
+        // CRC is what guarantees a corrupted batch is rejected rather than
+        // silently mis-delivered (payload codecs alone cannot detect a flip
+        // inside a coefficient's bit pattern).
+        let inst = random_instance(&cfg, &mut StdRng::seed_from_u64(seed));
+        let program = GatherProgram::new(&inst, 1);
+        let records: Vec<_> = inst
+            .agent_ids()
+            .map(|v| maxmin_local_lp::distsim::LocalKnowledge::of_agent(&inst, v))
+            .collect();
+        let mut payload = Vec::new();
+        WireProgram::encode_message(&program, &GatherMessage { records }, &mut payload);
+        let frame = Frame { kind: FrameKind::Reply, seq: seed, payload };
+        let mut bytes = encode_frame(&frame);
+        let idx = (flip % bytes.len() as u64) as usize;
+        bytes[idx] ^= xor as u8;
+        prop_assert!(decode_frame(&bytes).is_err(), "flip at byte {} went undetected", idx);
+    }
+
+    #[test]
+    fn sim_round_decoders_never_panic_on_noise(seed in any::<u64>(), len in 0usize..400) {
+        use maxmin_local_lp::distsim::gather::{read_knowledge, read_local_view};
+        use maxmin_local_lp::distsim::read_network;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x51b407);
+        let noise: Vec<u8> = (0..len).map(|_| rng.gen_range(0u64..256) as u8).collect();
+        // Any outcome but a panic is acceptable.
+        let _ = read_network(&mut ByteReader::new(&noise));
+        let _ = read_knowledge(&mut ByteReader::new(&noise));
+        let _ = read_local_view(&mut ByteReader::new(&noise));
+        let _ = GatherProgram::decode_config(&mut ByteReader::new(&noise));
+        if let Ok(program) = GatherProgram::decode_config(&mut ByteReader::new(&noise)) {
+            let _ = program.decode_state(&mut ByteReader::new(&noise));
+            let _ = WireProgram::decode_message(&program, &mut ByteReader::new(&noise));
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// The simplex solver against a reference point: on packing LPs

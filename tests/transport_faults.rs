@@ -166,6 +166,78 @@ fn an_aborted_run_leaves_the_same_pooled_backend_usable() {
 }
 
 // ---------------------------------------------------------------------------
+// The distributed simulator under injected faults: inter-round message
+// batches are shard replies of the `mmlp/sim-round@1` stage, so the
+// driver's ordered merge and respawn-and-resend retry must absorb (or
+// surface, typed) every fault without ever changing a view.
+// ---------------------------------------------------------------------------
+
+fn gather_setup(inst: &MaxMinInstance, radius: usize) -> (Network, GatherProgram) {
+    let (h, _) = communication_hypergraph(inst);
+    (Network::from_hypergraph(&h), GatherProgram::new(inst, radius))
+}
+
+#[test]
+fn duplicated_inter_round_message_batch_is_dropped_by_the_ordered_merge() {
+    // Every reply of a simulator round carries one shard's inter-round
+    // message batch.  Duplicating (and reordering) those batches must be
+    // absorbed by the by-sequence merge: each batch is applied exactly
+    // once, so views, message counts and round counts all stay identical.
+    let inst = workload();
+    let (network, program) = gather_setup(&inst, 2);
+    let simulator = Simulator::sequential();
+    let reference = simulator.run(&network, &program).unwrap();
+    let backend = loopback(FaultPlan {
+        duplicate_replies: (0..60).collect(),
+        reorder_seed: Some(13),
+        ..FaultPlan::none()
+    });
+    let wired = simulator.run_wire_on(&network, &program, &backend).unwrap();
+    assert_eq!(wired.outputs, reference.outputs);
+    assert_eq!(wired.messages, reference.messages);
+    assert_eq!(wired.rounds, reference.rounds);
+    assert_eq!(wired.messages_per_round, reference.messages_per_round);
+}
+
+#[test]
+fn killed_worker_mid_simulation_is_respawned_to_an_identical_result() {
+    // State travels with every round's jobs, so a respawned worker simply
+    // recomputes the lost batches from the resent bytes.
+    let inst = workload();
+    let (network, program) = gather_setup(&inst, 2);
+    let simulator = Simulator::sequential();
+    let reference = simulator.run(&network, &program).unwrap();
+    let backend =
+        loopback(FaultPlan { die_after_replies: Some(2), ..FaultPlan::none() }).with_max_retries(1);
+    let wired = simulator.run_wire_on(&network, &program, &backend).unwrap();
+    assert_eq!(wired.outputs, reference.outputs);
+    assert_eq!(wired.messages, reference.messages);
+}
+
+#[test]
+fn truncated_round_batch_aborts_the_simulation_with_a_typed_error() {
+    let inst = workload();
+    let (network, program) = gather_setup(&inst, 2);
+    let backend = loopback(FaultPlan { truncate_replies: vec![1], ..FaultPlan::none() });
+    match Simulator::sequential().run_wire_on(&network, &program, &backend) {
+        Err(SimError::Transport(TransportError::Wire(WireError::Truncated { .. }))) => {}
+        other => panic!("expected a truncation error, got {other:?}"),
+    }
+}
+
+#[test]
+fn simulation_death_past_the_retry_budget_is_a_typed_error() {
+    let inst = workload();
+    let (network, program) = gather_setup(&inst, 2);
+    let backend =
+        loopback(FaultPlan { die_after_replies: Some(1), ..FaultPlan::none() }).with_max_retries(0);
+    match Simulator::sequential().run_wire_on(&network, &program, &backend) {
+        Err(SimError::Transport(TransportError::RetriesExhausted { .. })) => {}
+        other => panic!("expected exhausted retries, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The real process boundary.
 // ---------------------------------------------------------------------------
 
