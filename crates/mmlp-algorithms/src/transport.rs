@@ -33,7 +33,8 @@ use crate::runner::{LocalRuleProgram, LOCAL_RULE_PROGRAM_ID};
 use mmlp_core::canonical::{CanonicalForm, CanonicalKey};
 use mmlp_core::{InstanceBuilder, MaxMinInstance};
 use mmlp_distsim::{
-    handle_sim_round, peek_program_id, GatherProgram, GATHER_PROGRAM_ID, STAGE_SIM_ROUND,
+    handle_sim_epoch, handle_sim_round, peek_program_id, GatherProgram, GATHER_PROGRAM_ID,
+    STAGE_SIM_EPOCH, STAGE_SIM_ROUND,
 };
 use mmlp_hypergraph::{communication_hypergraph, NeighborCache};
 use mmlp_lp::{LpError, SimplexOptions, WarmStart};
@@ -644,6 +645,23 @@ fn handle_engine_sim_round(
     }
 }
 
+/// The worker-side dispatcher for worker-resident simulator rounds
+/// (`mmlp/sim-epoch@1`): the same program dispatch as
+/// [`handle_engine_sim_round`], routed to the resident-state round body.
+///
+/// [`WireProgram`]: mmlp_distsim::WireProgram
+fn handle_engine_sim_epoch(
+    ctx: &[u8],
+    job: &[u8],
+    cache: &mut StageCache,
+) -> Result<Vec<u8>, String> {
+    match peek_program_id(ctx).map_err(|e| e.to_string())? {
+        GATHER_PROGRAM_ID => handle_sim_epoch::<GatherProgram>(ctx, job, cache),
+        LOCAL_RULE_PROGRAM_ID => handle_sim_epoch::<LocalRuleProgram>(ctx, job, cache),
+        other => Err(format!("unknown simulator program `{other}`")),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Registry and worker entry points.
 // ---------------------------------------------------------------------------
@@ -664,6 +682,7 @@ pub fn engine_registry() -> Arc<StageRegistry> {
             registry.register(STAGE_SOLVE, handle_solve);
             registry.register(STAGE_SCATTER, handle_scatter);
             registry.register(STAGE_SIM_ROUND, handle_engine_sim_round);
+            registry.register(STAGE_SIM_EPOCH, handle_engine_sim_epoch);
             Arc::new(registry)
         })
         .clone()

@@ -21,7 +21,11 @@
 //!   declares exact-bit codecs for its state, messages and outputs, and a
 //!   simulator round becomes the `mmlp/sim-round@1` wire stage, executable
 //!   by every [`SolveBackend`](mmlp_parallel::SolveBackend) — including the
-//!   transport backends, where rounds genuinely cross the process boundary.
+//!   transport backends, where rounds genuinely cross the process boundary;
+//! * [`sim_epoch`] — the worker-resident execution tier: workers own their
+//!   node-range's state across rounds (`mmlp/sim-epoch@1`), jobs ship only
+//!   inter-shard message batches, and worker death is handled by the
+//!   checkpoint/restore protocol driven by a [`CheckpointPolicy`].
 //!
 //! The simulator is exact rather than approximate: a deterministic local
 //! algorithm executed through it produces precisely the same outputs it would
@@ -34,6 +38,7 @@
 pub mod gather;
 pub mod network;
 pub mod program;
+pub mod sim_epoch;
 pub mod simulator;
 pub mod view;
 pub mod wire_round;
@@ -43,6 +48,7 @@ pub use gather::{
 };
 pub use network::{put_network, read_network, Network};
 pub use program::{Action, MessageSize, NodeProgram, WireProgram};
+pub use sim_epoch::{handle_sim_epoch, CheckpointPolicy, STAGE_SIM_EPOCH};
 pub use simulator::{SimError, SimulationResult, Simulator, SimulatorConfig};
 pub use view::LocalView;
 pub use wire_round::{

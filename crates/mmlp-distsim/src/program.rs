@@ -109,15 +109,55 @@ pub trait NodeProgram: Sync {
 /// With those in hand a simulator round becomes a pure function of bytes —
 /// `round(state, inbox) -> (state, outbox)` — executable by every
 /// [`SolveBackend`](mmlp_parallel::SolveBackend) through the
-/// `mmlp/sim-round@1` wire stage: the in-process backends step a cloned
-/// state directly, the transport backends ship state and inbox to a worker
-/// and decode the returned state and outbox.  Because the codecs are exact,
+/// `mmlp/sim-round@1` wire stage (state-in-job) or the worker-resident
+/// `mmlp/sim-epoch@1` stage: the in-process backends step a cloned
+/// state directly, the transport backends ship the encoded bytes to a
+/// worker and decode what returns.  Because the codecs are exact,
 /// both paths are bit-identical.
 ///
 /// The `Self::State: Clone + Sync` bound is what lets the in-process
 /// reference path ([`mmlp_parallel::driver::WireStage::run_local`]) execute
 /// the same pure step on borrowed state from worker threads without
 /// consuming the caller's authoritative copy.
+///
+/// The gathering protocol is this crate's built-in wire program; "exact-bit
+/// codec" means a state survives the byte boundary unchanged:
+///
+/// ```
+/// use mmlp_core::InstanceBuilder;
+/// use mmlp_distsim::{GatherProgram, Network, NodeProgram, WireProgram};
+/// use mmlp_hypergraph::communication_hypergraph;
+/// use mmlp_parallel::wire::ByteReader;
+///
+/// // A 3-agent path: v0 - v1 - v2, one benefit party per agent.
+/// let mut b = InstanceBuilder::new();
+/// let v = b.add_agents(3);
+/// for w in v.windows(2) {
+///     let i = b.add_resource();
+///     b.set_consumption(i, w[0], 1.0);
+///     b.set_consumption(i, w[1], 1.0);
+/// }
+/// for &agent in &v {
+///     let k = b.add_party();
+///     b.set_benefit(k, agent, 1.0);
+/// }
+/// let inst = b.build().unwrap();
+///
+/// let program = GatherProgram::new(&inst, 1);
+/// // The versioned identifier worker-side dispatchers key on.
+/// assert_eq!(program.program_id(), "mmlp/prog/gather@1");
+///
+/// // A node state round-trips through bytes bit-identically.
+/// let (h, _) = communication_hypergraph(&inst);
+/// let network = Network::from_hypergraph(&h);
+/// let state = program.init(0, &network);
+/// let mut bytes = Vec::new();
+/// program.encode_state(&state, &mut bytes);
+/// let decoded = program.decode_state(&mut ByteReader::new(&bytes)).unwrap();
+/// let mut again = Vec::new();
+/// program.encode_state(&decoded, &mut again);
+/// assert_eq!(bytes, again);
+/// ```
 pub trait WireProgram: NodeProgram
 where
     Self::State: Clone + Sync,

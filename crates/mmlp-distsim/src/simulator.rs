@@ -20,10 +20,14 @@
 
 use crate::network::Network;
 use crate::program::{Action, MessageSize, NodeProgram, WireProgram};
+use crate::sim_epoch::{
+    next_run_token, CheckpointPolicy, EpochAction, ResidentSlot, SimEpochStage,
+};
 use crate::wire_round::SimRoundStage;
+use mmlp_parallel::wire::WireError;
 use mmlp_parallel::{
     backend_map, pooled_subprocess_backend, BackendKind, LoopbackBackend, ParallelConfig,
-    SolveBackend, StageRegistry, TransportError,
+    RecoveryLog, SolveBackend, StageRegistry, TransportError,
 };
 use parking_lot::Mutex;
 use std::fmt;
@@ -38,6 +42,9 @@ pub struct SimulatorConfig {
     pub parallel: ParallelConfig,
     /// Which execution backend runs the per-round node steps.
     pub backend: BackendKind,
+    /// How often the worker-resident tier ([`Simulator::run_epoch_on`])
+    /// checkpoints resident state back to the host.
+    pub checkpoint: CheckpointPolicy,
 }
 
 impl Default for SimulatorConfig {
@@ -46,6 +53,7 @@ impl Default for SimulatorConfig {
             max_rounds: 10_000,
             parallel: ParallelConfig::default(),
             backend: BackendKind::default(),
+            checkpoint: CheckpointPolicy::default(),
         }
     }
 }
@@ -426,6 +434,260 @@ impl Simulator {
             messages_per_round,
         })
     }
+
+    /// Runs a [`WireProgram`] on the **worker-resident** epoch tier
+    /// (`mmlp/sim-epoch@1`) on the backend selected in the configuration —
+    /// the counterpart of [`Simulator::run_typed`] for
+    /// [`Simulator::run_epoch_on`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Simulator::run_epoch_on`].
+    pub fn run_typed_epoch<P: WireProgram>(
+        &self,
+        network: &Network,
+        program: &P,
+        registry: &Arc<StageRegistry>,
+    ) -> Result<SimulationResult<P::Output>, SimError>
+    where
+        P::State: Clone + Sync,
+    {
+        match self.config.backend {
+            BackendKind::Sequential => {
+                self.run_epoch_on(network, program, &mmlp_parallel::Sequential)
+            }
+            BackendKind::ScopedThreads => self.run_epoch_on(
+                network,
+                program,
+                &mmlp_parallel::ScopedThreads::new(self.config.parallel),
+            ),
+            BackendKind::Sharded { shards } => self.run_epoch_on(
+                network,
+                program,
+                &mmlp_parallel::Sharded::new(shards, self.config.parallel),
+            ),
+            BackendKind::Loopback { shards } => {
+                self.run_epoch_on(network, program, &LoopbackBackend::new(registry.clone(), shards))
+            }
+            BackendKind::Subprocess { workers, overlapped } => {
+                let backend = pooled_subprocess_backend(workers, overlapped, registry);
+                self.run_epoch_on(network, program, &*backend)
+            }
+        }
+    }
+
+    /// Runs a [`WireProgram`] with **worker-resident state**: every round is
+    /// submitted as the `mmlp/sim-epoch@1` stage, whose jobs carry only the
+    /// round number and the shard's inter-shard message batches — per-node
+    /// state lives on the workers between rounds instead of travelling with
+    /// every job (the steady-state wire volume drops from
+    /// `O(state + messages)` to `O(messages)` per round).
+    ///
+    /// The plan covers all nodes every round with fixed shard boundaries, so
+    /// each worker's resident states keep describing the same node range.
+    /// Correctness under worker death comes from the checkpoint/restore
+    /// protocol: per the configured [`CheckpointPolicy`], jobs ask workers
+    /// to stream state snapshots back, and the backend's
+    /// [`RecoveryLog`] replays `snapshot + buffered jobs` into respawned
+    /// workers.  The in-process backends run the identical resident-state
+    /// protocol against host-side shard mirrors, so every backend is
+    /// bit-identical to [`Simulator::run_on`] — the conformance and fault
+    /// suites assert this, including under scripted worker deaths.
+    ///
+    /// A full checkpoint-and-recover round trip — snapshots every 2 rounds,
+    /// a worker killed mid-run, results asserted identical to the
+    /// sequential simulator:
+    ///
+    /// ```
+    /// use mmlp_core::InstanceBuilder;
+    /// use mmlp_distsim::{
+    ///     distsim_registry, CheckpointPolicy, GatherProgram, Network, Simulator,
+    ///     SimulatorConfig,
+    /// };
+    /// use mmlp_hypergraph::communication_hypergraph;
+    /// use mmlp_parallel::{FaultPlan, LoopbackBackend};
+    ///
+    /// // A 4-agent path instance and its radius-2 gathering protocol.
+    /// let mut b = InstanceBuilder::new();
+    /// let v = b.add_agents(4);
+    /// for w in v.windows(2) {
+    ///     let i = b.add_resource();
+    ///     b.set_consumption(i, w[0], 1.0);
+    ///     b.set_consumption(i, w[1], 1.0);
+    /// }
+    /// for &agent in &v {
+    ///     let k = b.add_party();
+    ///     b.set_benefit(k, agent, 1.0);
+    /// }
+    /// let inst = b.build().unwrap();
+    /// let program = GatherProgram::new(&inst, 2);
+    /// let (h, _) = communication_hypergraph(&inst);
+    /// let network = Network::from_hypergraph(&h);
+    ///
+    /// let reference = Simulator::sequential().run(&network, &program).unwrap();
+    ///
+    /// // Two loopback workers; the fault plan kills each worker's first
+    /// // link after one reply, forcing a restore + replay mid-run.
+    /// let backend = LoopbackBackend::new(distsim_registry(), 2)
+    ///     .with_faults(FaultPlan { die_after_replies: Some(1), ..FaultPlan::none() });
+    /// let sim = Simulator::with_config(SimulatorConfig {
+    ///     checkpoint: CheckpointPolicy::every(2),
+    ///     ..SimulatorConfig::default()
+    /// });
+    /// let run = sim.run_epoch_on(&network, &program, &backend).unwrap();
+    /// assert_eq!(run.outputs, reference.outputs);
+    /// assert_eq!(run.messages, reference.messages);
+    /// assert_eq!(run.rounds, reference.rounds);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::RoundLimitExceeded`] as for [`Simulator::run`], plus
+    /// [`SimError::Transport`] when the backend's transport fails (for
+    /// example when worker deaths exhaust the retry budget).
+    pub fn run_epoch_on<P: WireProgram, B: SolveBackend>(
+        &self,
+        network: &Network,
+        program: &P,
+        backend: &B,
+    ) -> Result<SimulationResult<P::Output>, SimError>
+    where
+        P::State: Clone + Sync,
+    {
+        let n = network.num_nodes();
+        let token = next_run_token();
+        let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
+        let mut halting_round: Vec<usize> = vec![0; n];
+        let mut inboxes: Vec<Vec<(usize, P::Message)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut running: Vec<usize> = (0..n).collect();
+        let mut running_flags: Vec<bool> = vec![true; n];
+        // Host-side resident mirrors for the in-process backends (a plan
+        // never has more shards than items, so `n` slots suffice).
+        let resident: Vec<ResidentSlot<P>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let mut recovery = RecoveryLog::new();
+
+        let mut messages: u64 = 0;
+        let mut message_units: u64 = 0;
+        let mut messages_per_round: Vec<u64> = Vec::new();
+        let mut round = 0usize;
+
+        while !running.is_empty() {
+            if round >= self.config.max_rounds {
+                return Err(SimError::RoundLimitExceeded {
+                    limit: self.config.max_rounds,
+                    still_running: running.len(),
+                });
+            }
+
+            let stage = SimEpochStage {
+                program,
+                network,
+                round,
+                snapshot: self.config.checkpoint.requests_snapshot(round),
+                token,
+                running: &running_flags,
+                inboxes: &inboxes,
+                resident: &resident,
+            };
+            let run = backend.execute_stage_recoverable(n, &stage, &mut recovery)?;
+
+            // Shards are contiguous ascending node ranges and each reply
+            // lists its running nodes in ascending order, so the
+            // concatenation is exactly `running` order.  Each action keeps
+            // its shard's boundary for the delivery rule below.
+            let mut actions = Vec::with_capacity(running.len());
+            let mut stepped = Vec::with_capacity(running.len());
+            for (start, end, shard_steps) in run.outputs {
+                for (node, action) in shard_steps {
+                    stepped.push(node);
+                    actions.push((start, end, action));
+                }
+            }
+            if stepped != running {
+                return Err(SimError::Transport(TransportError::Wire(WireError::Decode {
+                    context: "sim-epoch merged replies",
+                })));
+            }
+
+            // Clear the inter-shard inboxes we just consumed.
+            for &node in &running {
+                inboxes[node].clear();
+            }
+
+            // The epoch tier's delivery mirrors `deliver_round` exactly but
+            // works from the reply summaries: halts and the outgoing queue
+            // first, then counting and — only where a copy crosses its
+            // sender's shard boundary — materialising the payload into the
+            // recipient's inter-shard inbox.  Intra-shard copies were
+            // already delivered by the worker from its retained outbox; the
+            // host just counts them from the shipped size units.
+            let mut round_messages = 0u64;
+            let mut outgoing: Vec<(usize, usize, u64, Option<P::Message>)> = Vec::new();
+            let mut still_running = Vec::with_capacity(running.len());
+            for (&node, (start, end, action)) in running.iter().zip(actions) {
+                match action {
+                    EpochAction::Broadcast { units, message } => {
+                        for &to in network.neighbors(node) {
+                            let payload =
+                                (to < start || to >= end).then(|| message.clone()).flatten();
+                            outgoing.push((node, to, units, payload));
+                        }
+                        still_running.push(node);
+                    }
+                    EpochAction::Send { list } => {
+                        for (to, units, message) in list {
+                            assert!(
+                                network.neighbors(node).contains(&to),
+                                "node {node} attempted to message non-neighbour {to}"
+                            );
+                            outgoing.push((node, to, units, message));
+                        }
+                        still_running.push(node);
+                    }
+                    EpochAction::Idle => still_running.push(node),
+                    EpochAction::Halt(output) => {
+                        outputs[node] = Some(output);
+                        halting_round[node] = round;
+                    }
+                }
+            }
+            for (from, to, units, payload) in outgoing {
+                // Halted nodes no longer receive messages.
+                if outputs[to].is_none() {
+                    round_messages += 1;
+                    message_units += units;
+                    if let Some(message) = payload {
+                        inboxes[to].push((from, message));
+                    }
+                }
+            }
+            for inbox in inboxes.iter_mut() {
+                inbox.sort_by_key(|(from, _)| *from);
+            }
+
+            for &node in &running {
+                if outputs[node].is_some() {
+                    running_flags[node] = false;
+                }
+            }
+            messages += round_messages;
+            messages_per_round.push(round_messages);
+            running = still_running;
+            round += 1;
+        }
+
+        Ok(SimulationResult {
+            outputs: outputs
+                .into_iter()
+                .map(|o| o.expect("every node halted with an output"))
+                .collect(),
+            rounds: round,
+            halting_round,
+            messages,
+            message_units,
+            messages_per_round,
+        })
+    }
 }
 
 /// Applies one round's actions: records halts, queues outgoing messages,
@@ -670,6 +932,7 @@ mod tests {
             max_rounds: 10,
             parallel: ParallelConfig::sequential(),
             backend: BackendKind::Sequential,
+            ..SimulatorConfig::default()
         });
         assert_eq!(
             sim.run(&net, &Forever),

@@ -151,10 +151,10 @@ where
 // Reply codec (shared by the host stage and the worker handler).
 // ---------------------------------------------------------------------------
 
-const TAG_BROADCAST: u8 = 0;
-const TAG_SEND: u8 = 1;
-const TAG_IDLE: u8 = 2;
-const TAG_HALT: u8 = 3;
+pub(crate) const TAG_BROADCAST: u8 = 0;
+pub(crate) const TAG_SEND: u8 = 1;
+pub(crate) const TAG_IDLE: u8 = 2;
+pub(crate) const TAG_HALT: u8 = 3;
 
 fn encode_steps<P: WireProgram>(
     program: &P,
@@ -329,7 +329,8 @@ where
 }
 
 /// The distributed simulator's own stage registry: serves [`STAGE_SIM_ROUND`]
-/// for the programs this crate defines (currently the gathering protocol).
+/// and [`STAGE_SIM_EPOCH`](crate::sim_epoch::STAGE_SIM_EPOCH) for the
+/// programs this crate defines (currently the gathering protocol).
 ///
 /// Crates that define further wire programs compose their own dispatcher on
 /// top of [`peek_program_id`] + [`handle_sim_round`] — the engine's
@@ -341,6 +342,10 @@ pub fn distsim_registry() -> Arc<StageRegistry> {
         .get_or_init(|| {
             let mut registry = StageRegistry::new();
             registry.register(STAGE_SIM_ROUND, handle_distsim_round);
+            registry.register(
+                crate::sim_epoch::STAGE_SIM_EPOCH,
+                crate::sim_epoch::handle_distsim_epoch,
+            );
             Arc::new(registry)
         })
         .clone()

@@ -32,6 +32,29 @@
 //! recomputed by a respawned worker from the resent `(state, inbox)` bytes
 //! (programs keep no worker-resident state, which is what makes the
 //! respawn-and-resend retry correct for simulations too).
+//!
+//! # Recoverable stages: checkpoints and replay
+//!
+//! Respawn-and-resend is only correct while jobs are pure functions of
+//! their own bytes.  Stages with **worker-resident state** (the
+//! `mmlp/sim-epoch@1` simulator tier keeps every node's state on the
+//! worker across rounds) instead run through
+//! [`ShardDriver::run_recoverable`] with a caller-owned [`RecoveryLog`]:
+//!
+//! * every sent job frame is buffered per shard;
+//! * a `Checkpoint` frame from a worker (a state snapshot the stage handler
+//!   deposited, carrying the sequence number of the job that requested it)
+//!   is recorded and trims the buffered jobs at or below that sequence;
+//! * the [`LinkPool`] numbers link *generations* — every spawn for a worker
+//!   index bumps its generation, so the log can tell the link it last
+//!   observed from a fresh one (even one revived by an interleaved
+//!   non-recoverable stage on the same pool);
+//! * when a recoverable run touches a worker whose generation moved, the
+//!   driver sends the stage context, a `Restore` frame per checkpointed
+//!   shard of that worker, and then the buffered job frames verbatim.
+//!   Replayed rounds recompute deterministically; their replies carry old
+//!   sequence numbers and are dropped by the ordered merge, so replay is
+//!   invisible to the caller.
 
 use crate::transport::{TransportError, WorkerLink};
 use crate::wire::{put_str, ByteReader, Frame, FrameKind};
@@ -89,6 +112,58 @@ pub trait WireStage: Sync {
 }
 
 /// Dispatches the shards of one stage across a pool of worker links.
+///
+/// Callers normally reach the driver through a transport backend's
+/// [`execute_stage`](crate::SolveBackend::execute_stage); the loopback
+/// backend is the smallest end-to-end setup — every context, job and reply
+/// below crosses a real encoded-frame boundary:
+///
+/// ```
+/// use mmlp_parallel::wire::{put_usize, ByteReader};
+/// use mmlp_parallel::{
+///     LoopbackBackend, Shard, SolveBackend, StageCache, StageRegistry, TransportError,
+///     WireStage,
+/// };
+/// use std::sync::Arc;
+///
+/// // A stage that ships each shard's range out and sums it worker-side.
+/// struct SumStage;
+///
+/// impl WireStage for SumStage {
+///     type Output = usize;
+///     fn stage_id(&self) -> &'static str {
+///         "doc/sum@1"
+///     }
+///     fn encode_context(&self, _out: &mut Vec<u8>) {}
+///     fn encode_job(&self, shard: &Shard, out: &mut Vec<u8>) {
+///         put_usize(out, shard.start);
+///         put_usize(out, shard.end);
+///     }
+///     fn decode_reply(&self, _shard: &Shard, payload: &[u8]) -> Result<usize, TransportError> {
+///         Ok(ByteReader::new(payload).usize("doc sum reply")?)
+///     }
+///     fn run_local(&self, shard: &Shard) -> usize {
+///         shard.range().sum()
+///     }
+/// }
+///
+/// // The worker-side handler: the same computation, decoded from bytes.
+/// fn handle(_ctx: &[u8], job: &[u8], _cache: &mut StageCache) -> Result<Vec<u8>, String> {
+///     let mut r = ByteReader::new(job);
+///     let start = r.usize("doc sum start").map_err(|e| e.to_string())?;
+///     let end = r.usize("doc sum end").map_err(|e| e.to_string())?;
+///     let mut out = Vec::new();
+///     put_usize(&mut out, (start..end).sum());
+///     Ok(out)
+/// }
+///
+/// let mut registry = StageRegistry::new();
+/// registry.register("doc/sum@1", handle);
+/// // 4 shards pipelined over 2 workers by the overlapped driver.
+/// let backend = LoopbackBackend::new(Arc::new(registry), 4).with_workers(2);
+/// let run = backend.execute_stage(100, &SumStage).unwrap();
+/// assert_eq!(run.outputs.iter().sum::<usize>(), 4950);
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct ShardDriver {
     /// Number of concurrent workers (clamped to the number of shards).
@@ -111,6 +186,17 @@ pub struct ShardDriver {
 #[derive(Default)]
 pub struct LinkPool {
     pub(crate) links: Vec<Option<Box<dyn WorkerLink>>>,
+    /// The last context payload each live link received.  A worker keeps a
+    /// stage's stored context until different bytes replace it, so the
+    /// driver skips re-sending identical context bytes — per-round stages
+    /// with a large constant context (the simulator tiers ship the whole
+    /// network there) pay for it once per link instead of once per round.
+    /// Cleared whenever a fresh link is installed.
+    sent_context: Vec<Option<Vec<u8>>>,
+    /// Spawn counters per worker index: bumped on every installed link, so
+    /// a [`RecoveryLog`] can recognise a link it has never synchronised
+    /// (generation 0 = never spawned).
+    generations: Vec<u64>,
     next_seq: u64,
 }
 
@@ -118,6 +204,7 @@ impl std::fmt::Debug for LinkPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LinkPool")
             .field("links", &self.links.iter().map(Option::is_some).collect::<Vec<_>>())
+            .field("generations", &self.generations)
             .field("next_seq", &self.next_seq)
             .finish()
     }
@@ -135,11 +222,127 @@ impl LinkPool {
         self.next_seq += count;
         base
     }
+
+    /// Installs a freshly spawned link for worker `w`, bumping its
+    /// generation and forgetting what context the dead link had received.
+    fn install(&mut self, w: usize, link: Box<dyn WorkerLink>) {
+        if self.generations.len() <= w {
+            self.generations.resize(w + 1, 0);
+        }
+        if self.sent_context.len() <= w {
+            self.sent_context.resize(w + 1, None);
+        }
+        self.generations[w] += 1;
+        self.sent_context[w] = None;
+        self.links[w] = Some(link);
+    }
+
+    /// The spawn generation of worker `w` (0 before the first spawn).
+    pub fn generation(&self, w: usize) -> u64 {
+        self.generations.get(w).copied().unwrap_or(0)
+    }
+
+    /// Whether worker `w`'s current link already holds exactly this context
+    /// payload (see [`LinkPool::sent_context`]).
+    fn context_is_current(&self, w: usize, payload: &[u8]) -> bool {
+        self.sent_context.get(w).and_then(Option::as_deref) == Some(payload)
+    }
+
+    /// Records the context payload worker `w`'s link just received.
+    fn note_context(&mut self, w: usize, payload: &[u8]) {
+        if self.sent_context.len() <= w {
+            self.sent_context.resize(w + 1, None);
+        }
+        self.sent_context[w] = Some(payload.to_vec());
+    }
 }
 
 /// Spawner callback: produces a fresh link for a worker index, both at
 /// start-up and when the driver replaces a dead worker.
 pub type LinkSpawner<'a> = dyn FnMut(usize) -> Result<Box<dyn WorkerLink>, TransportError> + 'a;
+
+/// The driver-side half of the checkpoint/restore protocol: per-shard
+/// snapshot frames plus the job frames sent since each snapshot, and the
+/// link generation last synchronised per worker.
+///
+/// One log serves one logical sequence of [`ShardDriver::run_recoverable`]
+/// calls over a **fixed plan** (shard `i` of every run must be the same
+/// logical shard — the simulator's epoch tier partitions all nodes
+/// identically every round).  The caller owns the log for the lifetime of
+/// that sequence; dropping it forgets the snapshots, after which a dead
+/// worker's resident state is unrecoverable.
+///
+/// With no checkpoints recorded yet, recovery degrades gracefully: the
+/// buffered jobs reach back to the first round, so a respawned worker
+/// replays the whole history (correct, just slower) — exactly the
+/// "pre-first-checkpoint" kill phase of the fault suite.
+#[derive(Debug, Default)]
+pub struct RecoveryLog {
+    shards: Vec<ShardRecovery>,
+    /// Link generation last synchronised per worker index; a pool
+    /// generation ahead of this means the worker's resident state is gone.
+    seen_generation: Vec<u64>,
+}
+
+#[derive(Debug, Default)]
+struct ShardRecovery {
+    /// The latest snapshot frame (kind `Checkpoint`, original sequence).
+    checkpoint: Option<Frame>,
+    /// Sent job frames with sequence numbers above the checkpoint's,
+    /// ascending — the replay tail.
+    jobs: Vec<Frame>,
+}
+
+impl RecoveryLog {
+    /// An empty log: no snapshots, no buffered jobs.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the per-shard and per-worker tables.
+    fn ensure(&mut self, shards: usize, workers: usize) {
+        debug_assert!(
+            self.shards.is_empty() || self.shards.len() == shards,
+            "a RecoveryLog must be reused with a fixed plan \
+             ({} shards recorded, {shards} now)",
+            self.shards.len(),
+        );
+        if self.shards.len() < shards {
+            self.shards.resize_with(shards, ShardRecovery::default);
+        }
+        if self.seen_generation.len() < workers {
+            self.seen_generation.resize(workers, 0);
+        }
+    }
+
+    /// Buffers one sent job frame for shard `idx` (idempotent per sequence
+    /// number, so a resend after an in-run revival records nothing new).
+    fn record_job(&mut self, idx: usize, frame: &Frame) {
+        let jobs = &mut self.shards[idx].jobs;
+        if jobs.last().is_some_and(|last| last.seq >= frame.seq) {
+            return;
+        }
+        jobs.push(frame.clone());
+    }
+
+    /// Records a snapshot for shard `idx` and trims the replay tail: jobs
+    /// at or below the snapshot's sequence can never need replaying again.
+    fn record_checkpoint(&mut self, idx: usize, frame: Frame) {
+        let rec = &mut self.shards[idx];
+        rec.jobs.retain(|job| job.seq > frame.seq);
+        rec.checkpoint = Some(frame);
+    }
+
+    /// Total buffered replay frames across all shards (test observability).
+    pub fn buffered_jobs(&self) -> usize {
+        self.shards.iter().map(|s| s.jobs.len()).sum()
+    }
+
+    /// Number of shards holding a snapshot (test observability).
+    pub fn checkpointed_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.checkpoint.is_some()).count()
+    }
+}
 
 struct WorkerState {
     /// Jobs assigned but not yet sent (lockstep keeps them here).
@@ -170,6 +373,45 @@ impl ShardDriver {
         pool: &mut LinkPool,
         spawn: &mut LinkSpawner<'_>,
     ) -> Result<StageRun<S::Output>, TransportError> {
+        self.run_inner(backend_name, stage, plan, pool, spawn, None)
+    }
+
+    /// [`run`](Self::run) for stages with worker-resident state: sent jobs
+    /// are buffered in `recovery`, worker `Checkpoint` frames are recorded
+    /// there, and a worker whose link generation moved since the log last
+    /// saw it is re-synchronised (context, `Restore` per checkpointed
+    /// shard, buffered jobs replayed) before receiving new work.
+    ///
+    /// The caller keeps one log across the whole sequence of runs that
+    /// share resident state (one simulation), always with the same plan
+    /// shape.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run); additionally, `Checkpoint` frames for the
+    /// current run would be [`TransportError::UnexpectedFrame`] under
+    /// [`run`](Self::run), which has nowhere to record them.
+    pub fn run_recoverable<S: WireStage>(
+        &self,
+        backend_name: &'static str,
+        stage: &S,
+        plan: &[Shard],
+        pool: &mut LinkPool,
+        spawn: &mut LinkSpawner<'_>,
+        recovery: &mut RecoveryLog,
+    ) -> Result<StageRun<S::Output>, TransportError> {
+        self.run_inner(backend_name, stage, plan, pool, spawn, Some(recovery))
+    }
+
+    fn run_inner<S: WireStage>(
+        &self,
+        backend_name: &'static str,
+        stage: &S,
+        plan: &[Shard],
+        pool: &mut LinkPool,
+        spawn: &mut LinkSpawner<'_>,
+        mut recovery: Option<&mut RecoveryLog>,
+    ) -> Result<StageRun<S::Output>, TransportError> {
         let n = plan.len();
         if n == 0 {
             return Ok(StageRun {
@@ -184,6 +426,9 @@ impl ShardDriver {
         let workers = self.workers.clamp(1, n);
         if pool.links.len() < workers {
             pool.links.resize_with(workers, || None);
+        }
+        if let Some(log) = recovery.as_deref_mut() {
+            log.ensure(n, workers);
         }
         let base = pool.claim_seq_range(n as u64);
 
@@ -210,7 +455,18 @@ impl ShardDriver {
         // workers compute concurrently while the driver merges in order.
         if self.mode == DriverMode::Overlapped {
             for w in 0..workers {
-                self.flush_unsent(w, base, stage, plan, pool, spawn, &mut states, &context)?;
+                self.flush_unsent(
+                    w,
+                    workers,
+                    base,
+                    stage,
+                    plan,
+                    pool,
+                    spawn,
+                    &mut states,
+                    &context,
+                    recovery.as_deref_mut(),
+                )?;
             }
         }
 
@@ -223,7 +479,18 @@ impl ShardDriver {
                 // Shards are assigned round-robin and merged in order, so
                 // the worker's next unsent job is exactly `next` (unless a
                 // revival already re-dispatched it, making this a no-op).
-                self.flush_one(w, base, stage, plan, pool, spawn, &mut states, &context)?;
+                self.flush_one(
+                    w,
+                    workers,
+                    base,
+                    stage,
+                    plan,
+                    pool,
+                    spawn,
+                    &mut states,
+                    &context,
+                    recovery.as_deref_mut(),
+                )?;
             }
             // Collect until shard `next` is merged; out-of-order replies are
             // buffered into `results`, duplicates of merged shards ignored.
@@ -233,6 +500,7 @@ impl ShardDriver {
                     Err(TransportError::WorkerDied { message, .. }) => {
                         self.revive(
                             w,
+                            workers,
                             base,
                             message,
                             stage,
@@ -241,6 +509,7 @@ impl ShardDriver {
                             spawn,
                             &mut states,
                             &context,
+                            recovery.as_deref_mut(),
                         )?;
                         continue;
                     }
@@ -288,8 +557,30 @@ impl ShardDriver {
                             message: String::from_utf8_lossy(&frame.payload).into_owned(),
                         });
                     }
+                    FrameKind::Checkpoint => {
+                        let seq = frame.seq;
+                        if seq < base {
+                            // Snapshot from an earlier run: a later (or
+                            // already recorded) snapshot supersedes it, and
+                            // replaying a longer tail stays correct.
+                            continue;
+                        }
+                        let idx = usize::try_from(seq - base)
+                            .ok()
+                            .filter(|&i| i < n)
+                            .ok_or(TransportError::UnexpectedReply { seq })?;
+                        match recovery.as_deref_mut() {
+                            Some(log) => log.record_checkpoint(idx, frame),
+                            None => {
+                                return Err(TransportError::UnexpectedFrame { kind: "checkpoint" })
+                            }
+                        }
+                    }
                     FrameKind::Hello => continue, // stray handshake echo
-                    FrameKind::Context | FrameKind::Job | FrameKind::Shutdown => {
+                    FrameKind::Context
+                    | FrameKind::Job
+                    | FrameKind::Shutdown
+                    | FrameKind::Restore => {
                         return Err(TransportError::UnexpectedFrame { kind: "control" });
                     }
                 }
@@ -310,23 +601,59 @@ impl ShardDriver {
     }
 
     /// Makes sure worker `w` has a live link that received this stage's
-    /// context.
+    /// context — and, for recoverable stages, that a link the log has not
+    /// yet synchronised is brought back to its resident state: one
+    /// `Restore` frame per checkpointed shard of this worker, then the
+    /// buffered job frames replayed verbatim (their stale replies are
+    /// dropped by the ordered merge).
     #[allow(clippy::too_many_arguments)]
-    fn ensure_link(
+    fn ensure_link<S: WireStage>(
         &self,
         w: usize,
+        workers: usize,
+        stage: &S,
         pool: &mut LinkPool,
         spawn: &mut LinkSpawner<'_>,
         states: &mut [WorkerState],
         context: &Frame,
+        recovery: Option<&mut RecoveryLog>,
     ) -> Result<(), TransportError> {
         if pool.links[w].is_none() {
-            pool.links[w] = Some(spawn(w)?);
+            let link = spawn(w)?;
+            pool.install(w, link);
             states[w].ctx_sent = false;
         }
         if !states[w].ctx_sent {
-            pool.links[w].as_mut().expect("just ensured").send(context)?;
+            if !pool.context_is_current(w, &context.payload) {
+                pool.links[w].as_mut().expect("just ensured").send(context)?;
+                pool.note_context(w, &context.payload);
+            }
             states[w].ctx_sent = true;
+        }
+        if let Some(log) = recovery {
+            let generation = pool.generation(w);
+            if log.seen_generation[w] != generation {
+                let link = pool.links[w].as_mut().expect("link ensured");
+                // Shard-to-worker assignment is `index % workers`, stable
+                // across runs because recoverable plans keep their shape.
+                for idx in (w..log.shards.len()).step_by(workers) {
+                    let rec = &log.shards[idx];
+                    if let Some(checkpoint) = &rec.checkpoint {
+                        let mut payload = Vec::new();
+                        put_str(&mut payload, stage.stage_id());
+                        payload.extend_from_slice(&checkpoint.payload);
+                        link.send(&Frame {
+                            kind: FrameKind::Restore,
+                            seq: checkpoint.seq,
+                            payload,
+                        })?;
+                    }
+                    for job in &rec.jobs {
+                        link.send(job)?;
+                    }
+                }
+                log.seen_generation[w] = generation;
+            }
         }
         Ok(())
     }
@@ -336,6 +663,7 @@ impl ShardDriver {
     fn flush_unsent<S: WireStage>(
         &self,
         w: usize,
+        workers: usize,
         base: u64,
         stage: &S,
         plan: &[Shard],
@@ -343,10 +671,22 @@ impl ShardDriver {
         spawn: &mut LinkSpawner<'_>,
         states: &mut [WorkerState],
         context: &Frame,
+        mut recovery: Option<&mut RecoveryLog>,
     ) -> Result<(), TransportError> {
-        self.ensure_link(w, pool, spawn, states, context)?;
+        self.ensure_link(w, workers, stage, pool, spawn, states, context, recovery.as_deref_mut())?;
         while !states[w].unsent.is_empty() {
-            self.flush_one(w, base, stage, plan, pool, spawn, states, context)?;
+            self.flush_one(
+                w,
+                workers,
+                base,
+                stage,
+                plan,
+                pool,
+                spawn,
+                states,
+                context,
+                recovery.as_deref_mut(),
+            )?;
         }
         Ok(())
     }
@@ -356,6 +696,7 @@ impl ShardDriver {
     fn flush_one<S: WireStage>(
         &self,
         w: usize,
+        workers: usize,
         base: u64,
         stage: &S,
         plan: &[Shard],
@@ -363,11 +704,22 @@ impl ShardDriver {
         spawn: &mut LinkSpawner<'_>,
         states: &mut [WorkerState],
         context: &Frame,
+        mut recovery: Option<&mut RecoveryLog>,
     ) -> Result<(), TransportError> {
         loop {
-            self.ensure_link(w, pool, spawn, states, context)?;
+            self.ensure_link(
+                w,
+                workers,
+                stage,
+                pool,
+                spawn,
+                states,
+                context,
+                recovery.as_deref_mut(),
+            )?;
             let Some(&seq) = states[w].unsent.front() else { return Ok(()) };
-            let shard = &plan[usize::try_from(seq - base).expect("shard index fits usize")];
+            let idx = usize::try_from(seq - base).expect("shard index fits usize");
+            let shard = &plan[idx];
             let mut payload = Vec::new();
             put_str(&mut payload, stage.stage_id());
             stage.encode_job(shard, &mut payload);
@@ -376,10 +728,25 @@ impl ShardDriver {
                 Ok(()) => {
                     states[w].unsent.pop_front();
                     states[w].inflight.push_back(seq);
+                    if let Some(log) = recovery.as_deref_mut() {
+                        log.record_job(idx, &frame);
+                    }
                     return Ok(());
                 }
                 Err(TransportError::WorkerDied { message, .. }) => {
-                    self.revive(w, base, message, stage, plan, pool, spawn, states, context)?;
+                    self.revive(
+                        w,
+                        workers,
+                        base,
+                        message,
+                        stage,
+                        plan,
+                        pool,
+                        spawn,
+                        states,
+                        context,
+                        recovery.as_deref_mut(),
+                    )?;
                 }
                 Err(e) => return Err(e),
             }
@@ -392,6 +759,7 @@ impl ShardDriver {
     fn revive<S: WireStage>(
         &self,
         w: usize,
+        workers: usize,
         base: u64,
         cause: String,
         stage: &S,
@@ -400,6 +768,7 @@ impl ShardDriver {
         spawn: &mut LinkSpawner<'_>,
         states: &mut [WorkerState],
         context: &Frame,
+        recovery: Option<&mut RecoveryLog>,
     ) -> Result<(), TransportError> {
         states[w].respawns += 1;
         if states[w].respawns > self.max_retries {
@@ -411,17 +780,23 @@ impl ShardDriver {
         }
         pool.links[w] = None;
         states[w].ctx_sent = false;
-        // Everything the dead link had in flight is lost; queue it again in
-        // front of the untouched jobs (order within a worker is free — the
-        // merge is by sequence number) and re-dispatch the whole queue.
-        // Re-dispatching also in lockstep mode keeps the recovery path
-        // uniform; jobs are idempotent and the ordered merge ignores any
-        // duplicate, so early dispatch can never change a result.
-        let inflight: Vec<u64> = states[w].inflight.drain(..).collect();
-        for seq in inflight.into_iter().rev() {
-            states[w].unsent.push_front(seq);
+        if recovery.is_none() {
+            // Everything the dead link had in flight is lost; queue it
+            // again in front of the untouched jobs (order within a worker
+            // is free — the merge is by sequence number) and re-dispatch
+            // the whole queue.  Re-dispatching also in lockstep mode keeps
+            // the recovery path uniform; jobs are idempotent and the
+            // ordered merge ignores any duplicate, so early dispatch can
+            // never change a result.
+            let inflight: Vec<u64> = states[w].inflight.drain(..).collect();
+            for seq in inflight.into_iter().rev() {
+                states[w].unsent.push_front(seq);
+            }
         }
-        self.flush_unsent(w, base, stage, plan, pool, spawn, states, context)
+        // With a recovery log the in-flight jobs stay in flight: they are
+        // part of the buffered replay tail that `ensure_link` ships to the
+        // respawned worker, and their recomputed replies merge normally.
+        self.flush_unsent(w, workers, base, stage, plan, pool, spawn, states, context, recovery)
     }
 }
 

@@ -44,7 +44,7 @@ pub mod driver;
 pub mod transport;
 pub mod wire;
 
-pub use driver::{DriverMode, LinkPool, ShardDriver, WireStage};
+pub use driver::{DriverMode, LinkPool, RecoveryLog, ShardDriver, WireStage};
 pub use transport::{
     probe_worker, run_worker_if_requested, serve, serve_stdio, spawn_worker, worker_mode_requested,
     FaultPlan, LoopbackLink, StageCache, StageHandler, StageRegistry, SubprocessLink,
@@ -305,6 +305,20 @@ pub struct StageRun<R> {
 /// concatenate to `0..n`), `execute` calls the stage function exactly once
 /// per shard, and outputs are returned in shard order.  A pure stage
 /// function therefore produces the same results on every backend.
+///
+/// ```
+/// use mmlp_parallel::{ParallelConfig, Sequential, Sharded, SolveBackend};
+///
+/// // The same pure stage on two backends: the plans differ, the
+/// // concatenated outputs agree.
+/// let one = Sequential.execute("doc/sum", 100, |shard| shard.range().sum::<usize>());
+/// let four = Sharded::new(4, ParallelConfig::default())
+///     .execute("doc/sum", 100, |shard| shard.range().sum::<usize>());
+/// assert_eq!(one.outputs, vec![4950]);
+/// assert_eq!(four.outputs.len(), 4);
+/// assert_eq!(four.outputs.iter().sum::<usize>(), 4950);
+/// assert_eq!(four.stats.items(), 100);
+/// ```
 pub trait SolveBackend: Sync {
     /// Human-readable backend name, used in statistics and reports.
     fn name(&self) -> &'static str;
@@ -337,6 +351,35 @@ pub trait SolveBackend: Sync {
         stage: &S,
     ) -> Result<StageRun<S::Output>, TransportError> {
         Ok(self.execute(stage.stage_id(), items, |shard| stage.run_local(shard)))
+    }
+
+    /// Runs a serialisable stage with **worker-resident state** under the
+    /// checkpoint/restore protocol: sent jobs are buffered in `recovery`,
+    /// worker snapshots are recorded there, and a respawned worker is
+    /// restored and replayed before receiving new work (see
+    /// [`ShardDriver::run_recoverable`]).
+    ///
+    /// The caller owns one [`RecoveryLog`] per logical sequence of runs
+    /// that share resident state (for the simulator's epoch tier: one
+    /// simulation) and must submit the same item count every run.
+    ///
+    /// The default ignores the log and delegates to
+    /// [`execute_stage`](SolveBackend::execute_stage): for the in-process
+    /// backends the stage's own `run_local` state is never lost, so there
+    /// is nothing to checkpoint.  Transport backends override this to run
+    /// the recoverable driver path.
+    ///
+    /// # Errors
+    ///
+    /// As [`execute_stage`](SolveBackend::execute_stage).
+    fn execute_stage_recoverable<S: WireStage>(
+        &self,
+        items: usize,
+        stage: &S,
+        recovery: &mut RecoveryLog,
+    ) -> Result<StageRun<S::Output>, TransportError> {
+        let _ = recovery;
+        self.execute_stage(items, stage)
     }
 }
 
@@ -577,6 +620,35 @@ impl LoopbackBackend {
         self.driver.max_retries = max_retries;
         self
     }
+
+    /// The shared driver invocation behind both stage entry points.
+    fn run_driver<S: WireStage>(
+        &self,
+        items: usize,
+        stage: &S,
+        recovery: Option<&mut RecoveryLog>,
+    ) -> Result<StageRun<S::Output>, TransportError> {
+        let plan = self.plan(items);
+        let mut guard = self.pool.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let (pool, spawn_counts) = &mut *guard;
+        if spawn_counts.len() < self.driver.workers {
+            spawn_counts.resize(self.driver.workers, 0);
+        }
+        let registry = self.registry.clone();
+        let faults = self.faults.clone();
+        let mut spawn = |w: usize| -> Result<Box<dyn WorkerLink>, TransportError> {
+            spawn_counts[w] += 1;
+            let plan = if spawn_counts[w] == 1 { faults.clone() } else { FaultPlan::none() };
+            Ok(Box::new(LoopbackLink::with_faults(registry.clone(), w, plan)))
+        };
+        match recovery {
+            Some(log) => {
+                self.driver
+                    .run_recoverable(self.name(), stage, &plan, pool, &mut spawn, log)
+            }
+            None => self.driver.run(self.name(), stage, &plan, pool, &mut spawn),
+        }
+    }
 }
 
 impl SolveBackend for LoopbackBackend {
@@ -603,20 +675,16 @@ impl SolveBackend for LoopbackBackend {
         items: usize,
         stage: &S,
     ) -> Result<StageRun<S::Output>, TransportError> {
-        let plan = self.plan(items);
-        let mut guard = self.pool.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        let (pool, spawn_counts) = &mut *guard;
-        if spawn_counts.len() < self.driver.workers {
-            spawn_counts.resize(self.driver.workers, 0);
-        }
-        let registry = self.registry.clone();
-        let faults = self.faults.clone();
-        let mut spawn = |w: usize| -> Result<Box<dyn WorkerLink>, TransportError> {
-            spawn_counts[w] += 1;
-            let plan = if spawn_counts[w] == 1 { faults.clone() } else { FaultPlan::none() };
-            Ok(Box::new(LoopbackLink::with_faults(registry.clone(), w, plan)))
-        };
-        self.driver.run(self.name(), stage, &plan, pool, &mut spawn)
+        self.run_driver(items, stage, None)
+    }
+
+    fn execute_stage_recoverable<S: WireStage>(
+        &self,
+        items: usize,
+        stage: &S,
+        recovery: &mut RecoveryLog,
+    ) -> Result<StageRun<S::Output>, TransportError> {
+        self.run_driver(items, stage, Some(recovery))
     }
 }
 
@@ -769,6 +837,42 @@ impl SubprocessBackend {
             })
             .clone()
     }
+
+    /// The shared driver invocation behind both stage entry points, routing
+    /// through the loopback fallback (which keeps its own recoverable path)
+    /// when the capability probe rejected this environment.
+    fn run_driver<S: WireStage>(
+        &self,
+        items: usize,
+        stage: &S,
+        recovery: Option<&mut RecoveryLog>,
+    ) -> Result<StageRun<S::Output>, TransportError> {
+        if !self.subprocess_available() {
+            let mut guard = self.fallback.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let fallback = guard.get_or_insert_with(|| {
+                LoopbackBackend::new(self.registry.clone(), self.shards)
+                    .with_workers(self.driver.workers)
+                    .with_mode(self.driver.mode)
+            });
+            return match recovery {
+                Some(log) => fallback.execute_stage_recoverable(items, stage, log),
+                None => fallback.execute_stage(items, stage),
+            };
+        }
+        let plan = self.plan(items);
+        let mut pool = self.pool.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let command = &self.command;
+        let mut spawn = |w: usize| -> Result<Box<dyn WorkerLink>, TransportError> {
+            Ok(Box::new(spawn_worker(command, w)?))
+        };
+        match recovery {
+            Some(log) => {
+                self.driver
+                    .run_recoverable(self.name(), stage, &plan, &mut pool, &mut spawn, log)
+            }
+            None => self.driver.run(self.name(), stage, &plan, &mut pool, &mut spawn),
+        }
+    }
 }
 
 impl SolveBackend for SubprocessBackend {
@@ -798,22 +902,16 @@ impl SolveBackend for SubprocessBackend {
         items: usize,
         stage: &S,
     ) -> Result<StageRun<S::Output>, TransportError> {
-        if !self.subprocess_available() {
-            let mut guard = self.fallback.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-            let fallback = guard.get_or_insert_with(|| {
-                LoopbackBackend::new(self.registry.clone(), self.shards)
-                    .with_workers(self.driver.workers)
-                    .with_mode(self.driver.mode)
-            });
-            return fallback.execute_stage(items, stage);
-        }
-        let plan = self.plan(items);
-        let mut pool = self.pool.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        let command = &self.command;
-        let mut spawn = |w: usize| -> Result<Box<dyn WorkerLink>, TransportError> {
-            Ok(Box::new(spawn_worker(command, w)?))
-        };
-        self.driver.run(self.name(), stage, &plan, &mut pool, &mut spawn)
+        self.run_driver(items, stage, None)
+    }
+
+    fn execute_stage_recoverable<S: WireStage>(
+        &self,
+        items: usize,
+        stage: &S,
+        recovery: &mut RecoveryLog,
+    ) -> Result<StageRun<S::Output>, TransportError> {
+        self.run_driver(items, stage, Some(recovery))
     }
 }
 

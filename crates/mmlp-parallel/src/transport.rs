@@ -162,9 +162,22 @@ pub type StageHandler = fn(&[u8], &[u8], &mut StageCache) -> Result<Vec<u8>, Str
 /// frame with *different bytes* arrives, so a handler decodes its context
 /// once per context — not once per job, and not even once per stage run
 /// when a pooled worker sees the same context again.
+///
+/// Beyond the memo slot, the cache is the worker-side mailbox of the
+/// checkpoint/restore protocol (see `docs/wire-protocol.md`): `Restore`
+/// frame payloads are queued here by the serve loop and drained by the
+/// handler before its next job ([`take_restores`](Self::take_restores)),
+/// and a handler deposits a snapshot
+/// ([`deposit_checkpoint`](Self::deposit_checkpoint)) for the serve loop to
+/// ship back as a `Checkpoint` frame immediately before the job's reply.
 #[derive(Default)]
 pub struct StageCache {
     slot: Option<Box<dyn std::any::Any + Send>>,
+    /// Pending `Restore` payloads (snapshot bytes, stage id stripped),
+    /// oldest first.
+    restores: VecDeque<Vec<u8>>,
+    /// A snapshot the handler deposited while answering the current job.
+    checkpoint: Option<Vec<u8>>,
 }
 
 impl fmt::Debug for StageCache {
@@ -199,6 +212,30 @@ impl StageCache {
             .expect("slot was just filled")
             .downcast_mut::<T>()
             .expect("slot holds a T"))
+    }
+
+    /// Queues one `Restore` snapshot for the stage's handler to install.
+    pub fn push_restore(&mut self, snapshot: Vec<u8>) {
+        self.restores.push_back(snapshot);
+    }
+
+    /// Drains the pending `Restore` snapshots, oldest first.  A resident
+    /// stage handler calls this at the top of every job and installs each
+    /// snapshot before acting on the job itself.
+    pub fn take_restores(&mut self) -> Vec<Vec<u8>> {
+        self.restores.drain(..).collect()
+    }
+
+    /// Deposits a state snapshot for the current job.  The serve loop ships
+    /// it as a `Checkpoint` frame (same sequence number as the job)
+    /// immediately *before* the job's reply.
+    pub fn deposit_checkpoint(&mut self, snapshot: Vec<u8>) {
+        self.checkpoint = Some(snapshot);
+    }
+
+    /// Takes the snapshot deposited while answering the current job, if any.
+    pub fn take_checkpoint(&mut self) -> Option<Vec<u8>> {
+        self.checkpoint.take()
     }
 }
 
@@ -283,7 +320,9 @@ impl StageRegistry {
     }
 }
 
-/// Runs one job frame against the registry, producing the reply frame.
+/// Runs one job frame against the registry, producing the reply frame and —
+/// when the handler deposited a snapshot — the `Checkpoint` frame to ship
+/// *before* the reply.
 ///
 /// Shared by the process worker loop and the in-memory loopback so both
 /// boundaries execute byte-identical logic.  The reply payload is the
@@ -292,16 +331,17 @@ fn answer_job(
     registry: &StageRegistry,
     contexts: &mut HashMap<String, (Vec<u8>, StageCache)>,
     frame: &Frame,
-) -> Frame {
+) -> (Frame, Option<Frame>) {
     let mut reader = ByteReader::new(&frame.payload);
     let stage = match reader.str("job stage id") {
         Ok(s) => s,
         Err(e) => {
-            return Frame {
+            let reply = Frame {
                 kind: FrameKind::WorkerError,
                 seq: frame.seq,
                 payload: format!("malformed job frame: {e}").into_bytes(),
-            }
+            };
+            return (reply, None);
         }
     };
     let job = reader.rest();
@@ -311,7 +351,7 @@ fn answer_job(
         None => (transient.0.as_slice(), &mut transient.1),
     };
     let clock = Instant::now();
-    match registry.dispatch(stage, ctx, job, cache) {
+    let reply = match registry.dispatch(stage, ctx, job, cache) {
         Ok(output) => {
             let mut payload = Vec::with_capacity(8 + output.len());
             crate::wire::put_u64(&mut payload, clock.elapsed().as_nanos() as u64);
@@ -327,7 +367,35 @@ fn answer_job(
             };
             Frame { kind: FrameKind::WorkerError, seq: frame.seq, payload: message.into_bytes() }
         }
-    }
+    };
+    let checkpoint = cache.take_checkpoint().map(|snapshot| Frame {
+        kind: FrameKind::Checkpoint,
+        seq: frame.seq,
+        payload: snapshot,
+    });
+    (reply, checkpoint)
+}
+
+/// Queues a `Restore` frame's snapshot into the named stage's cache.
+///
+/// The snapshot is installed by the stage handler itself on its next job
+/// (via [`StageCache::take_restores`]); the serve loop only routes bytes.
+/// A restore may precede the stage's first job on a fresh worker, so a
+/// missing context entry is created empty here — the driver always sends
+/// `Context` before `Restore`, making that path unreachable in practice.
+fn offer_restore(
+    contexts: &mut HashMap<String, (Vec<u8>, StageCache)>,
+    frame: &Frame,
+) -> Result<(), WireError> {
+    let mut reader = ByteReader::new(&frame.payload);
+    let stage = reader.str("restore stage id")?;
+    let snapshot = reader.rest().to_vec();
+    contexts
+        .entry(stage.to_string())
+        .or_insert_with(|| (Vec::new(), StageCache::new()))
+        .1
+        .push_restore(snapshot);
+    Ok(())
 }
 
 /// Stores a `Context` frame's payload under its stage identifier.
@@ -378,15 +446,20 @@ pub fn serve<R: Read, W: Write>(
                 writer.flush().map_err(|e| WireError::Io(e.to_string()))?;
             }
             FrameKind::Context => store_context(&mut contexts, &frame)?,
+            FrameKind::Restore => offer_restore(&mut contexts, &frame)?,
             FrameKind::Job => {
-                let reply = answer_job(registry, &mut contexts, &frame);
+                let (reply, checkpoint) = answer_job(registry, &mut contexts, &frame);
+                if let Some(checkpoint) = checkpoint {
+                    write_frame(&mut writer, &checkpoint)?;
+                }
                 write_frame(&mut writer, &reply)?;
                 writer.flush().map_err(|e| WireError::Io(e.to_string()))?;
             }
             FrameKind::Shutdown => return Ok(()),
-            // A worker never receives replies; tolerate and continue so a
-            // confused peer degrades to a protocol error on its own side.
-            FrameKind::Reply | FrameKind::WorkerError => {}
+            // A worker never receives replies or checkpoints; tolerate and
+            // continue so a confused peer degrades to a protocol error on
+            // its own side.
+            FrameKind::Reply | FrameKind::WorkerError | FrameKind::Checkpoint => {}
         }
     }
 }
@@ -580,12 +653,21 @@ impl WorkerLink for LoopbackLink {
         match frame.kind {
             FrameKind::Hello => self.push_reply(Frame::control(FrameKind::Hello)),
             FrameKind::Context => store_context(&mut self.contexts, &frame)?,
+            FrameKind::Restore => offer_restore(&mut self.contexts, &frame)?,
             FrameKind::Job => {
-                let reply = answer_job(&self.registry, &mut self.contexts, &frame);
-                self.push_reply(reply);
+                let (reply, checkpoint) = answer_job(&self.registry, &mut self.contexts, &frame);
+                // The checkpoint ships before the reply and passes through
+                // the same fault machinery, so a scripted death can land on
+                // the snapshot itself (the "mid-snapshot" recovery phase).
+                if let Some(checkpoint) = checkpoint {
+                    self.push_reply(checkpoint);
+                }
+                if !self.dead {
+                    self.push_reply(reply);
+                }
             }
             FrameKind::Shutdown => {}
-            FrameKind::Reply | FrameKind::WorkerError => {}
+            FrameKind::Reply | FrameKind::WorkerError | FrameKind::Checkpoint => {}
         }
         Ok(())
     }

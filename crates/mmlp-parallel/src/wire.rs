@@ -141,6 +141,16 @@ pub enum FrameKind {
     WorkerError = 5,
     /// Clean shutdown request; the worker exits its serve loop.
     Shutdown = 6,
+    /// A worker-streamed state snapshot for one shard of a resident stage
+    /// (`payload = snapshot bytes`, `seq` = the job that requested it).
+    /// Deposited by the stage handler, recorded by the driver's
+    /// [`RecoveryLog`](crate::driver::RecoveryLog).
+    Checkpoint = 7,
+    /// A driver-sent snapshot to install on a respawned worker
+    /// (`payload = stage id ++ snapshot bytes`, `seq` = the checkpoint's
+    /// original job sequence).  Always preceded by the stage's `Context`
+    /// and followed by the replayed job frames since that snapshot.
+    Restore = 8,
 }
 
 impl FrameKind {
@@ -152,6 +162,8 @@ impl FrameKind {
             4 => FrameKind::Reply,
             5 => FrameKind::WorkerError,
             6 => FrameKind::Shutdown,
+            7 => FrameKind::Checkpoint,
+            8 => FrameKind::Restore,
             other => return Err(WireError::UnknownFrameKind(other)),
         })
     }

@@ -135,9 +135,9 @@ pub mod prelude {
         InstanceBuilder, MaxMinInstance, PartyId, ResourceId, Solution,
     };
     pub use crate::distsim::{
-        distsim_registry, gather_views, Action, GatherMessage, GatherProgram, LocalView, Network,
-        NodeProgram, SimError, SimulationResult, Simulator, SimulatorConfig, WireProgram,
-        GATHER_PROGRAM_ID, STAGE_SIM_ROUND,
+        distsim_registry, gather_views, Action, CheckpointPolicy, GatherMessage, GatherProgram,
+        LocalView, Network, NodeProgram, SimError, SimulationResult, Simulator, SimulatorConfig,
+        WireProgram, GATHER_PROGRAM_ID, STAGE_SIM_EPOCH, STAGE_SIM_ROUND,
     };
     pub use crate::hypergraph::{
         communication_hypergraph, growth_profile, Graph, GrowthProfile, Hypergraph,
@@ -154,9 +154,9 @@ pub mod prelude {
     };
     pub use crate::parallel::{
         backend_map, par_map, par_map_with, probe_worker, BackendKind, DriverMode, FaultPlan,
-        LoopbackBackend, ParallelConfig, ScopedThreads, Sequential, Shard, ShardStats, Sharded,
-        SolveBackend, StageRegistry, StageStats, SubprocessBackend, TransportError, WireError,
-        WorkerCommand,
+        LoopbackBackend, ParallelConfig, RecoveryLog, ScopedThreads, Sequential, Shard, ShardStats,
+        Sharded, SolveBackend, StageRegistry, StageStats, SubprocessBackend, TransportError,
+        WireError, WorkerCommand,
     };
 }
 

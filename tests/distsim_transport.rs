@@ -21,6 +21,10 @@
 //! gather-then-decide rule program (`mmlp/prog/local-rule@1`) for both of
 //! the paper's algorithms, whose solutions are additionally asserted equal
 //! to the centralised computations.
+//!
+//! The worker-resident tier (`mmlp/sim-epoch@1`) is held to the same bar:
+//! the epoch matrix sweeps backends × checkpoint cadences and the recovery
+//! fault cases live in `transport_faults.rs`.
 
 use maxmin_local_lp::prelude::*;
 use rand::rngs::StdRng;
@@ -194,9 +198,78 @@ fn wire_tier_respects_the_round_limit() {
         max_rounds: 2, // the radius-3 gather needs 4 rounds
         parallel: ParallelConfig::sequential(),
         backend: BackendKind::Sequential,
+        ..SimulatorConfig::default()
     });
     match simulator.run_wire_on(&network, &program, &Sequential) {
         Err(SimError::RoundLimitExceeded { limit: 2, .. }) => {}
         other => panic!("expected the round limit, got {other:?}"),
+    }
+}
+
+#[test]
+fn epoch_tier_matrix_is_bit_identical_to_the_sequential_simulator() {
+    // The worker-resident tier (`mmlp/sim-epoch@1`): state stays on the
+    // workers between rounds, jobs carry only inter-shard message batches,
+    // and several checkpoint cadences are swept so snapshot rounds and
+    // snapshot-free rounds both cross the boundary.
+    let inst = workload();
+    let simulator = Simulator::sequential();
+    for radius in [1usize, 2] {
+        let (network, program) = gather_setup(&inst, radius);
+        let reference = simulator.run(&network, &program).unwrap();
+
+        for every in [0usize, 1, 4] {
+            let epoch_sim = Simulator::with_config(SimulatorConfig {
+                parallel: ParallelConfig::sequential(),
+                checkpoint: CheckpointPolicy::every(every),
+                ..SimulatorConfig::default()
+            });
+            let run = epoch_sim.run_epoch_on(&network, &program, &Sequential).unwrap();
+            assert_run_identical(&format!("epoch sequential k={every}"), &run, &reference);
+
+            for shards in [1usize, 2, 5] {
+                let backend = Sharded::new(shards, ParallelConfig::with_threads(3));
+                let run = epoch_sim.run_epoch_on(&network, &program, &backend).unwrap();
+                assert_run_identical(
+                    &format!("epoch sharded-{shards} k={every}"),
+                    &run,
+                    &reference,
+                );
+            }
+
+            for mode in [DriverMode::Lockstep, DriverMode::Overlapped] {
+                let backend =
+                    LoopbackBackend::new(engine_registry(), 5).with_workers(2).with_mode(mode);
+                let run = epoch_sim.run_epoch_on(&network, &program, &backend).unwrap();
+                assert_run_identical(
+                    &format!("epoch loopback-{mode:?} k={every}"),
+                    &run,
+                    &reference,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn epoch_tier_runs_on_subprocess_workers_and_backend_kind_dispatch() {
+    let inst = workload();
+    let (network, program) = gather_setup(&inst, 2);
+    let reference = Simulator::sequential().run(&network, &program).unwrap();
+    for backend in [
+        BackendKind::Sequential,
+        BackendKind::ScopedThreads,
+        BackendKind::Sharded { shards: 5 },
+        BackendKind::Loopback { shards: 5 },
+        BackendKind::Subprocess { workers: 2, overlapped: false },
+        BackendKind::Subprocess { workers: 2, overlapped: true },
+    ] {
+        let simulator = Simulator::with_config(SimulatorConfig {
+            backend,
+            checkpoint: CheckpointPolicy::every(2),
+            ..SimulatorConfig::default()
+        });
+        let run = simulator.run_typed_epoch(&network, &program, &engine_registry()).unwrap();
+        assert_run_identical(&format!("epoch {backend:?}"), &run, &reference);
     }
 }

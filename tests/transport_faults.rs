@@ -238,6 +238,99 @@ fn simulation_death_past_the_retry_budget_is_a_typed_error() {
 }
 
 // ---------------------------------------------------------------------------
+// The worker-resident tier (`mmlp/sim-epoch@1`) under injected faults: state
+// lives on the workers between rounds, so killing a worker loses state and
+// recovery must come from the checkpoint/restore protocol — the driver
+// restores the newest snapshot into the respawned worker and replays the
+// buffered job frames since that epoch.
+// ---------------------------------------------------------------------------
+
+fn epoch_simulator(checkpoint_every: usize) -> Simulator {
+    Simulator::with_config(SimulatorConfig {
+        parallel: ParallelConfig::sequential(),
+        checkpoint: CheckpointPolicy::every(checkpoint_every),
+        ..SimulatorConfig::default()
+    })
+}
+
+#[test]
+fn epoch_kill_at_round_k_recovers_bit_identically_at_every_checkpoint_phase() {
+    // Sweeping the scripted death over every produced frame × checkpoint
+    // cadence covers all three recovery phases on a real workload:
+    //
+    // * **pre-first-checkpoint** (death before any snapshot): the replay
+    //   buffer reaches back to round 0, whose job re-initialises the shard;
+    // * **mid-interval** (death between snapshots): restore the newest
+    //   snapshot, replay the rounds since;
+    // * **mid-snapshot** (death lands on the `Checkpoint` frame itself): the
+    //   snapshot is lost with the queue, so the driver restores the
+    //   *previous* epoch and the replayed job re-emits the snapshot.
+    let inst = workload();
+    let (network, program) = gather_setup(&inst, 2);
+    let reference = Simulator::sequential().run(&network, &program).unwrap();
+    for every in [0usize, 1, 2] {
+        for die in 1..=8usize {
+            let backend = loopback(FaultPlan { die_after_replies: Some(die), ..FaultPlan::none() })
+                .with_max_retries(1);
+            let run = epoch_simulator(every).run_epoch_on(&network, &program, &backend).unwrap();
+            assert_eq!(run.outputs, reference.outputs, "every={every} die={die}");
+            assert_eq!(run.messages, reference.messages, "every={every} die={die}");
+            assert_eq!(run.rounds, reference.rounds, "every={every} die={die}");
+            assert_eq!(
+                run.messages_per_round, reference.messages_per_round,
+                "every={every} die={die}"
+            );
+            assert_eq!(run.halting_round, reference.halting_round, "every={every} die={die}");
+        }
+    }
+}
+
+#[test]
+fn epoch_duplicated_and_reordered_frames_are_absorbed() {
+    // Duplicated reply *and* checkpoint frames (they share the job's
+    // sequence number) plus scripted reordering must be dropped by the
+    // driver's merge and the recovery log's idempotent snapshot recording.
+    let inst = workload();
+    let (network, program) = gather_setup(&inst, 2);
+    let reference = Simulator::sequential().run(&network, &program).unwrap();
+    let backend = loopback(FaultPlan {
+        duplicate_replies: (0..60).collect(),
+        reorder_seed: Some(29),
+        ..FaultPlan::none()
+    });
+    let run = epoch_simulator(2).run_epoch_on(&network, &program, &backend).unwrap();
+    assert_eq!(run.outputs, reference.outputs);
+    assert_eq!(run.messages, reference.messages);
+    assert_eq!(run.messages_per_round, reference.messages_per_round);
+}
+
+#[test]
+fn epoch_death_past_the_retry_budget_is_a_typed_error() {
+    // With a zero respawn budget the restore protocol never gets to run:
+    // the death must surface as the same typed error as the stateless tier,
+    // not a hang or a wrong answer.
+    let inst = workload();
+    let (network, program) = gather_setup(&inst, 2);
+    let backend =
+        loopback(FaultPlan { die_after_replies: Some(1), ..FaultPlan::none() }).with_max_retries(0);
+    match epoch_simulator(2).run_epoch_on(&network, &program, &backend) {
+        Err(SimError::Transport(TransportError::RetriesExhausted { .. })) => {}
+        other => panic!("expected exhausted retries, got {other:?}"),
+    }
+}
+
+#[test]
+fn epoch_truncated_frame_is_a_typed_error() {
+    let inst = workload();
+    let (network, program) = gather_setup(&inst, 2);
+    let backend = loopback(FaultPlan { truncate_replies: vec![1], ..FaultPlan::none() });
+    match epoch_simulator(2).run_epoch_on(&network, &program, &backend) {
+        Err(SimError::Transport(TransportError::Wire(WireError::Truncated { .. }))) => {}
+        other => panic!("expected a truncation error, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The real process boundary.
 // ---------------------------------------------------------------------------
 
