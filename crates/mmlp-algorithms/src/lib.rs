@@ -20,6 +20,11 @@
 //!   ([`SubprocessBackend`](mmlp_parallel::SubprocessBackend)) or through
 //!   the fault-injectable in-memory loopback, with results proven
 //!   bit-identical by the conformance suite;
+//! * [`service`] — the multi-tenant binding of the
+//!   [`SolveService`](mmlp_parallel::SolveService): many tenants admit
+//!   batched solves onto the shared worker pool with typed backpressure and
+//!   per-tenant fairness, optionally sharing one bounded `ClassBasisCache`
+//!   (bit-identical results guaranteed by the zero-pivot exactness gate);
 //! * [`runner`] — the bridge to `mmlp-distsim`: run any view-based local rule
 //!   through the synchronous simulator and account for rounds and messages;
 //! * [`analysis`] — the centralised optimum baseline, the trivial uniform
@@ -38,6 +43,7 @@ pub mod engine;
 pub mod local_averaging;
 pub mod runner;
 pub mod safe;
+pub mod service;
 pub mod transport;
 
 pub use analysis::{compare_algorithms, uniform_baseline, AlgorithmComparison, ComparisonEntry};
@@ -55,4 +61,5 @@ pub use runner::{
     WireRule, LOCAL_RULE_PROGRAM_ID,
 };
 pub use safe::{safe_activity_from_view, safe_algorithm, SAFE_HORIZON};
+pub use service::EngineService;
 pub use transport::{engine_registry, serve_engine_worker_if_requested, serve_engine_worker_stdio};

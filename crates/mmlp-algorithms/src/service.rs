@@ -1,0 +1,132 @@
+//! The engine binding of the multi-tenant
+//! [`SolveService`]: admit whole batched solves
+//! — optionally sharing one bounded [`ClassBasisCache`] across tenants.
+//!
+//! `mmlp-parallel`'s service is deliberately domain-blind (a request is just
+//! a closure).  [`EngineService`] is the domain layer on top:
+//!
+//! * [`submit_solve`](EngineService::submit_solve) admits a
+//!   [`solve_local_lps`] run for a tenant; the request dispatches through
+//!   the ordinary [`BackendKind`](mmlp_parallel::BackendKind) machinery, so
+//!   admitted solves land on the same process-wide pooled subprocess
+//!   workers as solo solves.
+//! * With [`with_shared_cache`](EngineService::with_shared_cache), tenants
+//!   share one bounded [`ClassBasisCache`]: each admitted solve clones the
+//!   donor cache, runs the seeded path ([`solve_local_lps_reusing`]) and
+//!   absorbs its fresh bases back.  Sharing is safe *because* of the
+//!   engine's zero-pivot exactness gate — a seeded basis is only accepted
+//!   when it is certifiably optimal for the class, so results remain
+//!   bit-identical to an isolated cold solve no matter which tenant warmed
+//!   the cache (the conformance suite asserts this).
+//! * Accepted cross-run seeds are booked per tenant into
+//!   [`TenantCounters::cache_hits`](mmlp_parallel::TenantCounters) (from
+//!   the batch's `warm_accepted` stat), so operators can see which tenants
+//!   actually benefit from sharing.
+//!
+//! Simulator epochs are admitted through the same underlying service via
+//! [`Simulator::submit_typed_epoch`](mmlp_distsim::Simulator::submit_typed_epoch)
+//! and [`EngineService::inner`].
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+use mmlp_core::MaxMinInstance;
+use mmlp_parallel::{
+    ServiceConfig, ServiceError, ServiceMetrics, SolveService, TenantCounters, TenantId, Ticket,
+};
+
+use crate::engine::{
+    solve_local_lps, solve_local_lps_reusing, ClassBasisCache, EngineError, LocalLpBatch,
+    LocalLpOptions,
+};
+
+/// A multi-tenant front-end for batched engine solves (see the
+/// [module docs](self)).
+#[derive(Debug)]
+pub struct EngineService {
+    service: SolveService,
+    metrics: ServiceMetrics,
+    cache: Option<Arc<Mutex<ClassBasisCache>>>,
+}
+
+impl EngineService {
+    /// A service whose tenants are fully isolated: every admitted solve is
+    /// a cold solve.
+    pub fn new(config: ServiceConfig) -> Self {
+        let service = SolveService::new(config);
+        let metrics = service.metrics();
+        Self { service, metrics, cache: None }
+    }
+
+    /// A service whose tenants share one bounded [`ClassBasisCache`] of
+    /// `capacity` classes.  Exactness is preserved: the zero-pivot gate
+    /// accepts a shared seed only when it is certifiably optimal, so every
+    /// tenant's results stay bit-identical to an isolated cold solve.
+    pub fn with_shared_cache(config: ServiceConfig, capacity: usize) -> Self {
+        let service = SolveService::new(config);
+        let metrics = service.metrics();
+        Self {
+            service,
+            metrics,
+            cache: Some(Arc::new(Mutex::new(ClassBasisCache::with_capacity(capacity)))),
+        }
+    }
+
+    /// Admits one batched solve for `tenant`.
+    ///
+    /// With a shared cache, the request runs the seeded path against a
+    /// snapshot of the cache, absorbs its fresh bases back afterwards, and
+    /// books the accepted seeds into the tenant's `cache_hits` counter.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::QueueFull`] (typed backpressure) or
+    /// [`ServiceError::Draining`]; engine failures arrive inside the
+    /// [`Ticket`].
+    pub fn submit_solve(
+        &self,
+        tenant: TenantId,
+        instance: MaxMinInstance,
+        options: LocalLpOptions,
+    ) -> Result<Ticket<Result<LocalLpBatch, EngineError>>, ServiceError> {
+        let cache = self.cache.clone();
+        let metrics = self.metrics.clone();
+        self.service.submit(tenant, move || match cache {
+            Some(shared) => {
+                // Snapshot the donor under the lock, solve outside it — a
+                // long solve must not serialise other tenants' admissions.
+                let donor = shared.lock().unwrap_or_else(PoisonError::into_inner).clone();
+                let batch = solve_local_lps_reusing(&instance, &options, &donor)?;
+                metrics.record_cache_hits(tenant, batch.stats.warm_accepted as u64);
+                shared.lock().unwrap_or_else(PoisonError::into_inner).absorb(&batch);
+                Ok(batch)
+            }
+            None => solve_local_lps(&instance, &options),
+        })
+    }
+
+    /// The underlying generic service — for admitting non-engine requests
+    /// (e.g. simulator epochs) onto the same executors and fairness lanes.
+    pub fn inner(&self) -> &SolveService {
+        &self.service
+    }
+
+    /// This tenant's counters (see [`SolveService::counters`]).
+    pub fn counters(&self, tenant: TenantId) -> TenantCounters {
+        self.service.counters(tenant)
+    }
+
+    /// Number of classes currently in the shared cache (0 when isolated).
+    pub fn shared_classes(&self) -> usize {
+        self.cache
+            .as_ref()
+            .map(|c| c.lock().unwrap_or_else(PoisonError::into_inner).len())
+            .unwrap_or(0)
+    }
+
+    /// Closes admission and completes every queued and in-flight solve;
+    /// returns the number of requests completed over the service's
+    /// lifetime.
+    pub fn drain(&self) -> u64 {
+        self.service.drain()
+    }
+}

@@ -49,8 +49,25 @@ pub use gather::{
 pub use network::{put_network, read_network, Network};
 pub use program::{Action, MessageSize, NodeProgram, WireProgram};
 pub use sim_epoch::{handle_sim_epoch, CheckpointPolicy, STAGE_SIM_EPOCH};
-pub use simulator::{SimError, SimulationResult, Simulator, SimulatorConfig};
+pub use simulator::{EpochTicket, SimError, SimulationResult, Simulator, SimulatorConfig};
 pub use view::LocalView;
 pub use wire_round::{
     distsim_registry, handle_sim_round, peek_program_id, NodeStep, SimRoundStage, STAGE_SIM_ROUND,
 };
+
+/// Test topologies shared by the simulator-tier suites, so a topology fix
+/// cannot silently drift between tiers.
+#[cfg(test)]
+pub(crate) mod test_topology {
+    use crate::network::Network;
+
+    /// The n-node path `0 – 1 – … – n-1`.
+    pub(crate) fn path_network(n: usize) -> Network {
+        let mut adj = vec![Vec::new(); n];
+        for v in 0..n.saturating_sub(1) {
+            adj[v].push(v + 1);
+            adj[v + 1].push(v);
+        }
+        Network::from_adjacency(adj)
+    }
+}

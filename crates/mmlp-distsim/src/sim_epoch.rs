@@ -98,6 +98,13 @@ impl Default for CheckpointPolicy {
 
 impl CheckpointPolicy {
     /// Never snapshot: recovery replays the whole run from round 0.
+    ///
+    /// **Memory caveat.**  Without snapshots nothing ever trims the
+    /// host-side [`RecoveryLog`](mmlp_parallel::RecoveryLog): it buffers
+    /// every round's job frames since round 0, so host memory grows
+    /// linearly with the run length.  A finite cadence bounds the log at
+    /// `every_rounds` job frames per shard — long or open-ended runs
+    /// should checkpoint (the default is every 16 rounds).
     pub fn never() -> Self {
         Self { every_rounds: 0 }
     }
@@ -800,6 +807,7 @@ mod tests {
     use super::*;
     use crate::program::NodeProgram;
     use crate::simulator::{SimError, Simulator, SimulatorConfig};
+    use crate::test_topology::path_network;
     use mmlp_parallel::wire::put_u64;
     use mmlp_parallel::{
         BackendKind, FaultPlan, LoopbackBackend, ParallelConfig, Sequential, Sharded, StageRegistry,
@@ -890,15 +898,6 @@ mod tests {
         let mut registry = StageRegistry::new();
         registry.register(STAGE_SIM_EPOCH, dispatch);
         Arc::new(registry)
-    }
-
-    fn path_network(n: usize) -> Network {
-        let mut adj = vec![Vec::new(); n];
-        for v in 0..n.saturating_sub(1) {
-            adj[v].push(v + 1);
-            adj[v + 1].push(v);
-        }
-        Network::from_adjacency(adj)
     }
 
     fn sim(checkpoint_every: usize) -> Simulator {

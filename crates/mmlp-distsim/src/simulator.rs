@@ -27,7 +27,8 @@ use crate::wire_round::SimRoundStage;
 use mmlp_parallel::wire::WireError;
 use mmlp_parallel::{
     backend_map, pooled_subprocess_backend, BackendKind, LoopbackBackend, ParallelConfig,
-    RecoveryLog, SolveBackend, StageRegistry, TransportError,
+    RecoveryLog, ServiceError, SolveBackend, SolveService, StageRegistry, TenantId, Ticket,
+    TransportError,
 };
 use parking_lot::Mutex;
 use std::fmt;
@@ -110,6 +111,10 @@ pub struct SimulationResult<O> {
     /// Messages delivered per round.
     pub messages_per_round: Vec<u64>,
 }
+
+/// The [`Ticket`] a simulator epoch admitted onto a multi-tenant
+/// [`SolveService`] resolves to ([`Simulator::submit_typed_epoch`]).
+pub type EpochTicket<O> = Ticket<Result<SimulationResult<O>, SimError>>;
 
 impl<O> SimulationResult<O> {
     /// Average number of messages sent per node over the whole run.
@@ -476,6 +481,39 @@ impl Simulator {
         }
     }
 
+    /// Admits a [`run_typed_epoch`](Simulator::run_typed_epoch) run onto a
+    /// multi-tenant [`SolveService`] for `tenant`, returning the [`Ticket`]
+    /// its [`SimulationResult`] will arrive on.
+    ///
+    /// The admitted epoch dispatches through the ordinary backend
+    /// machinery, so simulator rounds and engine solves queue onto the same
+    /// fairness lanes and — under
+    /// [`BackendKind::Subprocess`] — the same process-wide worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::QueueFull`] (the service's typed backpressure) or
+    /// [`ServiceError::Draining`]; simulation failures arrive inside the
+    /// [`Ticket`].
+    pub fn submit_typed_epoch<P>(
+        &self,
+        service: &SolveService,
+        tenant: TenantId,
+        network: &Network,
+        program: P,
+        registry: &Arc<StageRegistry>,
+    ) -> Result<EpochTicket<P::Output>, ServiceError>
+    where
+        P: WireProgram + Send + 'static,
+        P::State: Clone + Sync,
+        P::Output: Send + 'static,
+    {
+        let simulator = self.clone();
+        let network = network.clone();
+        let registry = registry.clone();
+        service.submit(tenant, move || simulator.run_typed_epoch(&network, &program, &registry))
+    }
+
     /// Runs a [`WireProgram`] with **worker-resident state**: every round is
     /// submitted as the `mmlp/sim-epoch@1` stage, whose jobs carry only the
     /// round number and the shard's inter-shard message batches — per-node
@@ -755,6 +793,7 @@ fn deliver_round<M: Clone + MessageSize, O>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::test_topology::path_network;
 
     /// Every node immediately halts with its own id.
     struct IdentityProgram;
@@ -840,15 +879,6 @@ mod tests {
                 Action::Broadcast(state.0)
             }
         }
-    }
-
-    fn path_network(n: usize) -> Network {
-        let mut adj = vec![Vec::new(); n];
-        for v in 0..n.saturating_sub(1) {
-            adj[v].push(v + 1);
-            adj[v + 1].push(v);
-        }
-        Network::from_adjacency(adj)
     }
 
     #[test]

@@ -365,6 +365,7 @@ mod tests {
     use super::*;
     use crate::program::NodeProgram;
     use crate::simulator::{SimError, Simulator};
+    use crate::test_topology::path_network;
     use mmlp_parallel::wire::put_u64;
     use mmlp_parallel::{FaultPlan, LoopbackBackend, ParallelConfig, Sequential, Sharded};
 
@@ -450,15 +451,6 @@ mod tests {
         let mut registry = StageRegistry::new();
         registry.register(STAGE_SIM_ROUND, dispatch);
         Arc::new(registry)
-    }
-
-    fn path_network(n: usize) -> Network {
-        let mut adj = vec![Vec::new(); n];
-        for v in 0..n.saturating_sub(1) {
-            adj[v].push(v + 1);
-            adj[v + 1].push(v);
-        }
-        Network::from_adjacency(adj)
     }
 
     #[test]

@@ -276,6 +276,17 @@ pub type LinkSpawner<'a> = dyn FnMut(usize) -> Result<Box<dyn WorkerLink>, Trans
 /// buffered jobs reach back to the first round, so a respawned worker
 /// replays the whole history (correct, just slower) — exactly the
 /// "pre-first-checkpoint" kill phase of the fault suite.
+///
+/// # Memory bound
+///
+/// The replay tail is trimmed **only** by recorded checkpoints: with a
+/// finite checkpoint cadence `k` the log holds at most `k` job frames per
+/// shard at any time (asserted by
+/// `recovery_log_stays_bounded_by_the_checkpoint_cadence`), but a stage
+/// that never requests snapshots (`CheckpointPolicy::never()` in the
+/// simulator's epoch tier) buffers **every job since round 0** — memory
+/// grows linearly with the run length, by design, because replay-from-zero
+/// is then the only recovery story.  Long-lived runs should checkpoint.
 #[derive(Debug, Default)]
 pub struct RecoveryLog {
     shards: Vec<ShardRecovery>,
@@ -988,6 +999,105 @@ mod tests {
             let outputs = run_with_faults(&driver, 40, 8, faults).unwrap();
             assert_eq!(outputs, reference(40, 8), "{mode:?}");
         }
+    }
+
+    /// The resident-state test stage: each run is one "round"; the handler
+    /// deposits a snapshot when the job's flag byte asks for one.
+    struct ResidentStage {
+        round: u64,
+        snapshot: bool,
+    }
+
+    fn resident_handler(
+        _ctx: &[u8],
+        job: &[u8],
+        cache: &mut StageCache,
+    ) -> Result<Vec<u8>, String> {
+        let mut r = ByteReader::new(job);
+        let round = r.u64("round").map_err(|e| e.to_string())?;
+        if r.u64("snapshot flag").map_err(|e| e.to_string())? == 1 {
+            let mut snap = Vec::new();
+            put_u64(&mut snap, round);
+            cache.deposit_checkpoint(snap);
+        }
+        let mut out = Vec::new();
+        put_u64(&mut out, round);
+        Ok(out)
+    }
+
+    impl WireStage for ResidentStage {
+        type Output = u64;
+
+        fn stage_id(&self) -> &'static str {
+            "test/resident@1"
+        }
+
+        fn encode_context(&self, _out: &mut Vec<u8>) {}
+
+        fn encode_job(&self, _shard: &Shard, out: &mut Vec<u8>) {
+            put_u64(out, self.round);
+            put_u64(out, u64::from(self.snapshot));
+        }
+
+        fn decode_reply(&self, _shard: &Shard, payload: &[u8]) -> Result<u64, TransportError> {
+            Ok(ByteReader::new(payload).u64("round echo")?)
+        }
+
+        fn run_local(&self, _shard: &Shard) -> u64 {
+            self.round
+        }
+    }
+
+    #[test]
+    fn recovery_log_stays_bounded_by_the_checkpoint_cadence() {
+        // The replay tail is trimmed by checkpoints, so with a finite
+        // cadence k the log may never hold more than k job frames per
+        // shard — the memory bound a long-lived serving process relies on.
+        let mut reg = StageRegistry::new();
+        reg.register("test/resident@1", resident_handler);
+        let reg = Arc::new(reg);
+        let driver = ShardDriver { workers: 2, mode: DriverMode::Overlapped, max_retries: 0 };
+        let shards = 4usize;
+        let plan = balanced_plan(8, shards);
+        for cadence in [1usize, 4] {
+            let mut pool = LinkPool::new();
+            let mut recovery = RecoveryLog::new();
+            let mut spawn = |w: usize| -> Result<Box<dyn WorkerLink>, TransportError> {
+                Ok(Box::new(LoopbackLink::new(reg.clone(), w)) as Box<dyn WorkerLink>)
+            };
+            for round in 0..32u64 {
+                let snapshot = (round as usize) % cadence == cadence - 1;
+                let stage = ResidentStage { round, snapshot };
+                let run = driver
+                    .run_recoverable("test", &stage, &plan, &mut pool, &mut spawn, &mut recovery)
+                    .unwrap();
+                assert_eq!(run.outputs, vec![round; shards]);
+                assert!(
+                    recovery.buffered_jobs() <= shards * cadence,
+                    "cadence {cadence}, round {round}: {} buffered jobs exceed the bound {}",
+                    recovery.buffered_jobs(),
+                    shards * cadence,
+                );
+            }
+            assert_eq!(recovery.checkpointed_shards(), shards);
+        }
+        // Without checkpoints nothing ever trims: the tail reaches back to
+        // round 0 and grows linearly — the documented cost of
+        // `CheckpointPolicy::never()`.
+        let mut pool = LinkPool::new();
+        let mut recovery = RecoveryLog::new();
+        let mut spawn = |w: usize| -> Result<Box<dyn WorkerLink>, TransportError> {
+            Ok(Box::new(LoopbackLink::new(reg.clone(), w)) as Box<dyn WorkerLink>)
+        };
+        let rounds = 10u64;
+        for round in 0..rounds {
+            let stage = ResidentStage { round, snapshot: false };
+            driver
+                .run_recoverable("test", &stage, &plan, &mut pool, &mut spawn, &mut recovery)
+                .unwrap();
+        }
+        assert_eq!(recovery.buffered_jobs(), shards * rounds as usize);
+        assert_eq!(recovery.checkpointed_shards(), 0);
     }
 
     #[test]

@@ -41,10 +41,15 @@
 #![warn(missing_docs)]
 
 pub mod driver;
+pub mod service;
 pub mod transport;
 pub mod wire;
 
 pub use driver::{DriverMode, LinkPool, RecoveryLog, ShardDriver, WireStage};
+pub use service::{
+    ServiceConfig, ServiceError, ServiceMetrics, SolveService, TenantCounters, TenantId, Ticket,
+    SERVICE_QUEUE_CAP_ENV, SERVICE_WORKERS_ENV,
+};
 pub use transport::{
     probe_worker, run_worker_if_requested, serve, serve_stdio, spawn_worker, worker_mode_requested,
     FaultPlan, LoopbackLink, StageCache, StageHandler, StageRegistry, SubprocessLink,
@@ -928,8 +933,10 @@ impl Drop for SubprocessBackend {
 }
 
 /// The process-wide pool of subprocess backends, keyed by worker count,
-/// dispatch mode and registry *content* fingerprint
-/// ([`StageRegistry::fingerprint`]).
+/// dispatch mode, registry *content* fingerprint
+/// ([`StageRegistry::fingerprint`]) and the **resolved worker command**
+/// ([`WorkerCommand::auto`], rendered by `describe()` — the same identity
+/// the capability-probe verdict cache uses).
 ///
 /// `BackendKind` is a `Copy` selector, so callers going through option
 /// structs (engine options, simulator config) cannot hold a backend
@@ -940,18 +947,24 @@ impl Drop for SubprocessBackend {
 /// stages.  Keying by content fingerprint means content-identical
 /// registries — including a fresh `Arc` built per call from the same
 /// registrations — share one pool, so the pool's size is bounded by the
-/// number of distinct *configurations*, not call sites.  Callers that want
-/// explicit lifecycle control construct a [`SubprocessBackend`] directly.
+/// number of distinct *configurations*, not call sites.  The resolved
+/// command is part of the key because `MMLP_WORKER_BIN` can change
+/// mid-process (test harnesses and experiment binaries pin it): without it,
+/// a stale pool of workers spawned from the *old* binary would keep serving
+/// requests addressed to the new one.  Callers that want explicit lifecycle
+/// control construct a [`SubprocessBackend`] directly.
 pub fn pooled_subprocess_backend(
     workers: usize,
     overlapped: bool,
     registry: &Arc<StageRegistry>,
 ) -> Arc<SubprocessBackend> {
-    type BackendPool = Mutex<std::collections::HashMap<(usize, bool, u64), Arc<SubprocessBackend>>>;
+    type PoolKey = (usize, bool, u64, String);
+    type BackendPool = Mutex<std::collections::HashMap<PoolKey, Arc<SubprocessBackend>>>;
     static POOL: OnceLock<BackendPool> = OnceLock::new();
     let pool = POOL.get_or_init(|| Mutex::new(std::collections::HashMap::new()));
     let mut pool = pool.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-    let key = (workers.max(1), overlapped, registry.fingerprint());
+    let command = WorkerCommand::auto().describe();
+    let key = (workers.max(1), overlapped, registry.fingerprint(), command);
     pool.entry(key)
         .or_insert_with(|| {
             let backend = SubprocessBackend::new(workers, registry.clone());
@@ -1302,8 +1315,15 @@ mod tests {
         }
     }
 
+    /// Serialises tests that read the pool while `MMLP_WORKER_BIN` may be
+    /// mutated (the pool key resolves the worker command per call).
+    static WORKER_BIN_ENV_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn registry_fingerprints_key_the_backend_pool_by_content() {
+        let _env = WORKER_BIN_ENV_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         fn handler_a(_: &[u8], _: &[u8], _: &mut StageCache) -> Result<Vec<u8>, String> {
             Ok(vec![1])
         }
@@ -1333,6 +1353,42 @@ mod tests {
         assert!(Arc::ptr_eq(&first, &second));
         let lockstep = pooled_subprocess_backend(2, false, &build(false));
         assert!(!Arc::ptr_eq(&first, &lockstep));
+    }
+
+    #[test]
+    fn changing_the_worker_binary_rekeys_the_backend_pool() {
+        // Regression: the pool used to key only by (workers, mode,
+        // fingerprint), so flipping `MMLP_WORKER_BIN` mid-process kept
+        // handing out a stale pool of workers spawned from the old binary.
+        // Construction is lazy (workers spawn on first stage), so the
+        // nonexistent paths below never spawn anything.
+        fn handler(_: &[u8], _: &[u8], _: &mut StageCache) -> Result<Vec<u8>, String> {
+            Ok(vec![3])
+        }
+        let registry = {
+            let mut r = StageRegistry::new();
+            r.register("test/rekey@1", handler);
+            Arc::new(r)
+        };
+        let _env = WORKER_BIN_ENV_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let previous = std::env::var_os(WORKER_BIN_ENV);
+        std::env::set_var(WORKER_BIN_ENV, "/nonexistent/mmlp-pool-rekey-a");
+        let a1 = pooled_subprocess_backend(2, true, &registry);
+        let a2 = pooled_subprocess_backend(2, true, &registry);
+        assert!(Arc::ptr_eq(&a1, &a2), "a stable worker binary reuses its pool");
+        std::env::set_var(WORKER_BIN_ENV, "/nonexistent/mmlp-pool-rekey-b");
+        let b = pooled_subprocess_backend(2, true, &registry);
+        assert!(!Arc::ptr_eq(&a1, &b), "a changed MMLP_WORKER_BIN must not reuse the stale pool");
+        // Switching back resolves to the original pool again.
+        std::env::set_var(WORKER_BIN_ENV, "/nonexistent/mmlp-pool-rekey-a");
+        let a3 = pooled_subprocess_backend(2, true, &registry);
+        assert!(Arc::ptr_eq(&a1, &a3));
+        match previous {
+            Some(v) => std::env::set_var(WORKER_BIN_ENV, v),
+            None => std::env::remove_var(WORKER_BIN_ENV),
+        }
     }
 
     #[test]

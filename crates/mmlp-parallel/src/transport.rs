@@ -608,9 +608,9 @@ impl LoopbackLink {
         }
     }
 
-    fn push_reply(&mut self, reply: Frame) {
+    fn push_reply(&mut self, reply: Frame) -> Result<(), TransportError> {
         let seq = reply.seq;
-        let mut bytes = crate::wire::encode_frame(&reply);
+        let mut bytes = crate::wire::encode_frame(&reply)?;
         if self.faults.corrupt_replies.contains(&seq) {
             let mid = bytes.len() / 2;
             bytes[mid] ^= 0x40;
@@ -628,7 +628,7 @@ impl LoopbackLink {
             if self.replies_produced >= limit {
                 self.dead = true;
                 self.queue.clear();
-                return;
+                return Ok(());
             }
         }
         if let Some(rng) = self.rng.as_mut() {
@@ -636,6 +636,7 @@ impl LoopbackLink {
             pending.shuffle(rng);
             self.queue = pending.into();
         }
+        Ok(())
     }
 }
 
@@ -648,10 +649,10 @@ impl WorkerLink for LoopbackLink {
             });
         }
         // Cross the byte boundary: encode, then decode what "arrived".
-        let bytes = crate::wire::encode_frame(frame);
+        let bytes = crate::wire::encode_frame(frame)?;
         let (frame, _) = crate::wire::decode_frame(&bytes)?;
         match frame.kind {
-            FrameKind::Hello => self.push_reply(Frame::control(FrameKind::Hello)),
+            FrameKind::Hello => self.push_reply(Frame::control(FrameKind::Hello))?,
             FrameKind::Context => store_context(&mut self.contexts, &frame)?,
             FrameKind::Restore => offer_restore(&mut self.contexts, &frame)?,
             FrameKind::Job => {
@@ -660,10 +661,10 @@ impl WorkerLink for LoopbackLink {
                 // the same fault machinery, so a scripted death can land on
                 // the snapshot itself (the "mid-snapshot" recovery phase).
                 if let Some(checkpoint) = checkpoint {
-                    self.push_reply(checkpoint);
+                    self.push_reply(checkpoint)?;
                 }
                 if !self.dead {
-                    self.push_reply(reply);
+                    self.push_reply(reply)?;
                 }
             }
             FrameKind::Shutdown => {}
@@ -808,14 +809,13 @@ impl WorkerLink for SubprocessLink {
                 message: "worker stdin already closed".to_string(),
             });
         };
-        if frame.payload.len() > crate::wire::MAX_FRAME_PAYLOAD {
-            // The worker would fatally reject this frame anyway; fail with
-            // the typed cause instead of a later dead-worker error.
-            return Err(WireError::OversizedFrame { len: frame.payload.len() }.into());
-        }
+        // The worker would fatally reject an oversized frame anyway;
+        // `encode_frame` fails with the typed cause instead of a later
+        // dead-worker error.
+        let bytes = crate::wire::encode_frame(frame)?;
         // The channel closes when the writer thread observed a broken pipe
         // and exited — the worker is gone.
-        if sender.send(crate::wire::encode_frame(frame)).is_err() {
+        if sender.send(bytes).is_err() {
             return Err(self.died("worker stdin pipe broke"));
         }
         Ok(())

@@ -224,19 +224,29 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 }
 
 /// Encodes a frame into bytes (header, payload, trailing CRC).
-pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+///
+/// # Errors
+///
+/// [`WireError::OversizedFrame`] when the payload exceeds
+/// [`MAX_FRAME_PAYLOAD`].  The decode side rejects such frames typed, so the
+/// encode side must too: a host that panicked here (the old
+/// `expect("payload fits u32")`) would die on the very input the peer would
+/// merely refuse.  The cap is far below `u32::MAX`, so the length cast below
+/// can never truncate once this check passed.
+pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, WireError> {
+    if frame.payload.len() > MAX_FRAME_PAYLOAD {
+        return Err(WireError::OversizedFrame { len: frame.payload.len() });
+    }
     let mut out = Vec::with_capacity(FRAME_HEADER_LEN + frame.payload.len() + 4);
     out.extend_from_slice(&WIRE_MAGIC);
     out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
     out.push(frame.kind as u8);
     out.extend_from_slice(&frame.seq.to_le_bytes());
-    out.extend_from_slice(
-        &u32::try_from(frame.payload.len()).expect("payload fits u32").to_le_bytes(),
-    );
+    out.extend_from_slice(&(frame.payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&frame.payload);
     let crc = crc32(&out);
     out.extend_from_slice(&crc.to_le_bytes());
-    out
+    Ok(out)
 }
 
 /// Decodes one frame from the start of `buf`, returning the frame and the
@@ -278,10 +288,8 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), WireError> {
 /// frame the peer is guaranteed to reject would only surface as a confusing
 /// dead-worker error later.
 pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), WireError> {
-    if frame.payload.len() > MAX_FRAME_PAYLOAD {
-        return Err(WireError::OversizedFrame { len: frame.payload.len() });
-    }
-    w.write_all(&encode_frame(frame)).map_err(|e| WireError::Io(e.to_string()))
+    w.write_all(&encode_frame(frame)?)
+        .map_err(|e| WireError::Io(e.to_string()))
 }
 
 /// Reads one frame from a stream.
@@ -502,7 +510,7 @@ mod tests {
             Frame::control(FrameKind::Hello),
             Frame { kind: FrameKind::Reply, seq: u64::MAX, payload: vec![0; 1000] },
         ] {
-            let bytes = encode_frame(&frame);
+            let bytes = encode_frame(&frame).unwrap();
             let (decoded, consumed) = decode_frame(&bytes).unwrap();
             assert_eq!(decoded, frame);
             assert_eq!(consumed, bytes.len());
@@ -522,7 +530,7 @@ mod tests {
 
     #[test]
     fn truncation_is_a_typed_error() {
-        let bytes = encode_frame(&sample_frame());
+        let bytes = encode_frame(&sample_frame()).unwrap();
         for cut in [1, FRAME_HEADER_LEN - 1, FRAME_HEADER_LEN + 3, bytes.len() - 1] {
             let err = decode_frame(&bytes[..cut]).unwrap_err();
             assert!(matches!(err, WireError::Truncated { .. }), "cut at {cut}: {err}");
@@ -534,7 +542,7 @@ mod tests {
 
     #[test]
     fn every_single_byte_flip_is_detected() {
-        let bytes = encode_frame(&sample_frame());
+        let bytes = encode_frame(&sample_frame()).unwrap();
         for i in 0..bytes.len() {
             let mut corrupted = bytes.clone();
             corrupted[i] ^= 0x5a;
@@ -544,7 +552,7 @@ mod tests {
 
     #[test]
     fn version_and_magic_are_checked() {
-        let mut bytes = encode_frame(&sample_frame());
+        let mut bytes = encode_frame(&sample_frame()).unwrap();
         bytes[4] = WIRE_VERSION as u8 + 1;
         // Re-seal the checksum so the version check itself is exercised.
         let len = bytes.len();
@@ -552,18 +560,38 @@ mod tests {
         bytes[len - 4..].copy_from_slice(&crc.to_le_bytes());
         assert!(matches!(decode_frame(&bytes), Err(WireError::VersionMismatch { .. })));
 
-        let mut bytes = encode_frame(&sample_frame());
+        let mut bytes = encode_frame(&sample_frame()).unwrap();
         bytes[0] = b'X';
         assert!(matches!(decode_frame(&bytes), Err(WireError::BadMagic { .. })));
     }
 
     #[test]
     fn oversized_length_is_rejected_before_allocation() {
-        let mut bytes = encode_frame(&Frame::control(FrameKind::Hello));
+        let mut bytes = encode_frame(&Frame::control(FrameKind::Hello)).unwrap();
         bytes[15..19].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(decode_frame(&bytes), Err(WireError::OversizedFrame { .. })));
         let mut cursor = std::io::Cursor::new(bytes);
         assert!(matches!(read_frame(&mut cursor), Err(WireError::OversizedFrame { .. })));
+    }
+
+    #[test]
+    fn oversized_payload_is_a_typed_error_on_the_encode_path() {
+        // Regression: `encode_frame` used to panic the host through
+        // `expect("payload fits u32")` on an oversized payload; it must
+        // return the same typed error the decode path produces instead.
+        let frame =
+            Frame { kind: FrameKind::Job, seq: 1, payload: vec![0u8; MAX_FRAME_PAYLOAD + 1] };
+        match encode_frame(&frame) {
+            Err(WireError::OversizedFrame { len }) => assert_eq!(len, MAX_FRAME_PAYLOAD + 1),
+            other => panic!("expected a typed oversize rejection, got {other:?}"),
+        }
+        let mut sink = Vec::new();
+        assert!(matches!(write_frame(&mut sink, &frame), Err(WireError::OversizedFrame { .. })));
+        assert!(sink.is_empty(), "nothing may reach the stream before the check");
+        // The largest legal payload still encodes and round-trips.
+        let frame = Frame { kind: FrameKind::Job, seq: 2, payload: vec![7u8; MAX_FRAME_PAYLOAD] };
+        let bytes = encode_frame(&frame).unwrap();
+        assert_eq!(decode_frame(&bytes).unwrap().0, frame);
     }
 
     #[test]

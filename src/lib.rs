@@ -126,18 +126,18 @@ pub mod prelude {
         local_averaging_activity_from_view, run_local_rule, run_wire_rule, safe_activity_from_view,
         safe_algorithm, serve_engine_worker_if_requested, solve_local_lps, solve_local_lps_on,
         solve_local_lps_reusing, uniform_baseline, views_direct, AlgorithmComparison,
-        ClassBasisCache, EngineError, LocalAveragingOptions, LocalAveragingResult, LocalLpBatch,
-        LocalLpOptions, LocalRuleProgram, LocalRun, SolveMode, SolveStats, WarmStartPolicy,
-        WireRule, SAFE_HORIZON,
+        ClassBasisCache, EngineError, EngineService, LocalAveragingOptions, LocalAveragingResult,
+        LocalLpBatch, LocalLpOptions, LocalRuleProgram, LocalRun, SolveMode, SolveStats,
+        WarmStartPolicy, WireRule, SAFE_HORIZON,
     };
     pub use crate::core::{
         bounds, canonical_form, canonical_key, AgentId, CanonicalForm, CanonicalKey, DegreeBounds,
         InstanceBuilder, MaxMinInstance, PartyId, ResourceId, Solution,
     };
     pub use crate::distsim::{
-        distsim_registry, gather_views, Action, CheckpointPolicy, GatherMessage, GatherProgram,
-        LocalView, Network, NodeProgram, SimError, SimulationResult, Simulator, SimulatorConfig,
-        WireProgram, GATHER_PROGRAM_ID, STAGE_SIM_EPOCH, STAGE_SIM_ROUND,
+        distsim_registry, gather_views, Action, CheckpointPolicy, EpochTicket, GatherMessage,
+        GatherProgram, LocalView, Network, NodeProgram, SimError, SimulationResult, Simulator,
+        SimulatorConfig, WireProgram, GATHER_PROGRAM_ID, STAGE_SIM_EPOCH, STAGE_SIM_ROUND,
     };
     pub use crate::hypergraph::{
         communication_hypergraph, growth_profile, Graph, GrowthProfile, Hypergraph,
@@ -154,9 +154,10 @@ pub mod prelude {
     };
     pub use crate::parallel::{
         backend_map, par_map, par_map_with, probe_worker, BackendKind, DriverMode, FaultPlan,
-        LoopbackBackend, ParallelConfig, RecoveryLog, ScopedThreads, Sequential, Shard, ShardStats,
-        Sharded, SolveBackend, StageRegistry, StageStats, SubprocessBackend, TransportError,
-        WireError, WorkerCommand,
+        LoopbackBackend, ParallelConfig, RecoveryLog, ScopedThreads, Sequential, ServiceConfig,
+        ServiceError, ServiceMetrics, Shard, ShardStats, Sharded, SolveBackend, SolveService,
+        StageRegistry, StageStats, SubprocessBackend, TenantCounters, TenantId, Ticket,
+        TransportError, WireError, WorkerCommand,
     };
 }
 

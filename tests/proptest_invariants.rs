@@ -195,7 +195,7 @@ proptest! {
     #[test]
     fn frame_encode_decode_is_identity(seed in any::<u64>(), len in 0usize..300) {
         let frame = arbitrary_frame(seed, len);
-        let bytes = encode_frame(&frame);
+        let bytes = encode_frame(&frame).expect("within-cap payloads encode");
         let (decoded, consumed) = decode_frame(&bytes).expect("own encoding must decode");
         prop_assert_eq!(decoded, frame);
         prop_assert_eq!(consumed, bytes.len());
@@ -212,7 +212,7 @@ proptest! {
         match decode_frame(&noise) {
             Err(_) => {}
             Ok((frame, consumed)) => {
-                let reencoded = encode_frame(&frame);
+                let reencoded = encode_frame(&frame).expect("a decoded frame re-encodes");
                 prop_assert_eq!(reencoded.as_slice(), &noise[..consumed]);
             }
         }
@@ -226,7 +226,7 @@ proptest! {
         xor in 1u64..256,
     ) {
         let frame = arbitrary_frame(seed, len);
-        let mut bytes = encode_frame(&frame);
+        let mut bytes = encode_frame(&frame).expect("within-cap payloads encode");
         let idx = (flip % bytes.len() as u64) as usize;
         bytes[idx] ^= xor as u8;
         // CRC-32 detects every burst error of at most 32 bits, so a single
@@ -395,7 +395,7 @@ proptest! {
         let mut payload = Vec::new();
         WireProgram::encode_message(&program, &GatherMessage { records }, &mut payload);
         let frame = Frame { kind: FrameKind::Reply, seq: seed, payload };
-        let mut bytes = encode_frame(&frame);
+        let mut bytes = encode_frame(&frame).expect("within-cap payloads encode");
         let idx = (flip % bytes.len() as u64) as usize;
         bytes[idx] ^= xor as u8;
         prop_assert!(decode_frame(&bytes).is_err(), "flip at byte {} went undetected", idx);
