@@ -63,15 +63,20 @@
 //! execution statistics.
 
 use crate::transport::{
-    engine_registry, CanonWireStage, PresentWireStage, ScatterWireStage, SolveWireStage,
+    engine_registry, CanonWireStage, DeltaPresentWireStage, PresentWireStage, ScatterWireStage,
+    SolveWireStage,
 };
 use mmlp_core::canonical::{canonical_form, CanonicalForm, CanonicalKey, SEP_PARTY, SEP_RESOURCE};
 use mmlp_core::{AgentId, InstanceBuilder, MaxMinInstance, PartyId, ResourceId};
 use mmlp_hypergraph::{communication_hypergraph, BallEnumerator, NeighborCache};
-use mmlp_lp::{solve_maxmin_resumed, solve_maxmin_seeded, LpError, SimplexOptions, WarmStart};
+use mmlp_lp::{
+    solve_maxmin_dual_resumed, solve_maxmin_resumed, solve_maxmin_seeded, LpError, SimplexOptions,
+    WarmStart,
+};
 use mmlp_parallel::{
     pooled_subprocess_backend, BackendKind, LoopbackBackend, ParallelConfig, ScopedThreads,
-    Sequential, Sharded, SolveBackend, StageStats, SubprocessBackend, TransportError,
+    Sequential, Shard, Sharded, SolveBackend, StageStats, SubprocessBackend, TransportError,
+    WireStage,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fmt;
@@ -79,8 +84,9 @@ use std::ops::Range;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Errors of the batched engine: a simplex failure on some local LP, or a
-/// transport failure when the pipeline ran on an out-of-process backend.
+/// Errors of the batched engine: a simplex failure on some local LP, a
+/// transport failure when the pipeline ran on an out-of-process backend, or
+/// a rejected instance delta on the incremental path.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineError {
     /// A local LP solve failed.
@@ -88,6 +94,8 @@ pub enum EngineError {
     /// The execution backend's transport failed (typed: frame corruption,
     /// worker death past the retry budget, worker-side handler errors, …).
     Transport(TransportError),
+    /// An [`InstanceDelta`] could not be applied to its registered base.
+    Delta(DeltaError),
 }
 
 impl fmt::Display for EngineError {
@@ -95,6 +103,7 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Lp(e) => write!(f, "local LP solve failed: {e}"),
             EngineError::Transport(e) => write!(f, "solve backend transport failed: {e}"),
+            EngineError::Delta(e) => write!(f, "instance delta rejected: {e}"),
         }
     }
 }
@@ -110,6 +119,183 @@ impl From<LpError> for EngineError {
 impl From<TransportError> for EngineError {
     fn from(e: TransportError) -> Self {
         EngineError::Transport(e)
+    }
+}
+
+impl From<DeltaError> for EngineError {
+    fn from(e: DeltaError) -> Self {
+        EngineError::Delta(e)
+    }
+}
+
+/// Why an [`InstanceDelta`] was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaError {
+    /// The delta was built against a different base version than the one it
+    /// is being applied to.
+    VersionMismatch {
+        /// The registered base's version.
+        expected: u64,
+        /// The version the delta declares.
+        found: u64,
+    },
+    /// An edit names a `(row, agent)` pair that is not an entry of the base
+    /// instance.  Deltas move *existing* weights only — the topology (and
+    /// with it every ball, neighbour cache and registered context) never
+    /// changes under a delta.
+    UnknownEntry {
+        /// Which coefficient family the edit targeted.
+        kind: WeightKind,
+        /// Resource index (consumption) or party index (benefit).
+        row: usize,
+        /// Agent index.
+        agent: usize,
+    },
+    /// An edit carries a weight that is not finite and strictly positive —
+    /// the same validation the [`InstanceBuilder`] enforces.
+    BadWeight {
+        /// The offending weight.
+        weight: f64,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::VersionMismatch { expected, found } => {
+                write!(f, "delta targets base version {found}, registered base is {expected}")
+            }
+            DeltaError::UnknownEntry { kind, row, agent } => {
+                let family = match kind {
+                    WeightKind::Consumption => "resource",
+                    WeightKind::Benefit => "party",
+                };
+                write!(f, "edit targets {family} {row}, agent {agent}: no such entry in the base")
+            }
+            DeltaError::BadWeight { weight } => {
+                write!(f, "edit weight {weight} is not finite and positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// Which coefficient family a [`WeightEdit`] targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightKind {
+    /// A consumption coefficient `a_{iv}` of a resource constraint.
+    Consumption,
+    /// A benefit coefficient `c_{kv}` of a party.
+    Benefit,
+}
+
+/// One weight change of an [`InstanceDelta`]: the `(row, agent)` entry must
+/// already exist in the base instance; only its coefficient moves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightEdit {
+    /// Consumption or benefit.
+    pub kind: WeightKind,
+    /// Resource index ([`WeightKind::Consumption`]) or party index
+    /// ([`WeightKind::Benefit`]).
+    pub row: usize,
+    /// Agent index.
+    pub agent: usize,
+    /// The new coefficient (finite and `> 0`).
+    pub weight: f64,
+}
+
+/// A versioned weight patch against a [`RegisteredBase`] — what an
+/// incremental re-solve ships over the wire instead of the full instance.
+///
+/// A delta can only move weights of existing entries, so the communication
+/// topology, every radius-`R` ball and the registered base context are all
+/// invariant under it; the wire cost of a re-solve is `O(edits)` plus the
+/// affected-ball lists, independent of the instance size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceDelta {
+    /// Version of the registered base the edits were made against.  Applied
+    /// (locally or by a worker) only when it matches the base's version —
+    /// a mismatch is a typed error, never a silent wrong patch.
+    pub base_version: u64,
+    /// The weight edits.  A later edit of the same entry wins.
+    pub edits: Vec<WeightEdit>,
+}
+
+impl InstanceDelta {
+    /// Applies the edits to `base`, rebuilding through the validating
+    /// [`InstanceBuilder`] (the decoded-wire path does the same, so both
+    /// sides of the transport compute on bit-identical patched instances).
+    ///
+    /// # Errors
+    ///
+    /// [`DeltaError::UnknownEntry`] for an edit outside the base topology,
+    /// [`DeltaError::BadWeight`] for a non-finite or non-positive weight.
+    /// The declared `base_version` is *not* checked here — the caller
+    /// compares it against the registered version it holds.
+    pub fn apply(&self, base: &MaxMinInstance) -> Result<MaxMinInstance, DeltaError> {
+        let mut cons: HashMap<(usize, usize), f64> = HashMap::new();
+        let mut bens: HashMap<(usize, usize), f64> = HashMap::new();
+        for e in &self.edits {
+            if !e.weight.is_finite() || e.weight <= 0.0 {
+                return Err(DeltaError::BadWeight { weight: e.weight });
+            }
+            let exists = e.agent < base.num_agents()
+                && match e.kind {
+                    WeightKind::Consumption => {
+                        e.row < base.num_resources()
+                            && base
+                                .resource(ResourceId::new(e.row))
+                                .members()
+                                .iter()
+                                .any(|(v, _)| v.index() == e.agent)
+                    }
+                    WeightKind::Benefit => {
+                        e.row < base.num_parties()
+                            && base
+                                .party(PartyId::new(e.row))
+                                .members()
+                                .iter()
+                                .any(|(v, _)| v.index() == e.agent)
+                    }
+                };
+            if !exists {
+                return Err(DeltaError::UnknownEntry { kind: e.kind, row: e.row, agent: e.agent });
+            }
+            match e.kind {
+                WeightKind::Consumption => cons.insert((e.row, e.agent), e.weight),
+                WeightKind::Benefit => bens.insert((e.row, e.agent), e.weight),
+            };
+        }
+        let mut b = InstanceBuilder::with_capacity(
+            base.num_agents(),
+            base.num_resources(),
+            base.num_parties(),
+        );
+        b.allow_unconstrained_agents();
+        let agents = b.add_agents(base.num_agents());
+        for i in base.resource_ids() {
+            let ri = b.add_resource();
+            for (v, a) in base.resource(i).members() {
+                let w = cons.get(&(i.index(), v.index())).copied().unwrap_or(*a);
+                b.set_consumption(ri, agents[v.index()], w);
+            }
+        }
+        for k in base.party_ids() {
+            let pk = b.add_party();
+            for (v, c) in base.party(k).members() {
+                let w = bens.get(&(k.index(), v.index())).copied().unwrap_or(*c);
+                b.set_benefit(pk, agents[v.index()], w);
+            }
+        }
+        Ok(b.build().expect("weight edits preserve instance validity"))
+    }
+
+    /// The distinct agents named by the edits, sorted ascending — the seeds
+    /// of the affected-ball computation.
+    pub fn changed_agents(&self) -> Vec<usize> {
+        let set: BTreeSet<usize> = self.edits.iter().map(|e| e.agent).collect();
+        set.into_iter().collect()
     }
 }
 
@@ -229,6 +415,15 @@ pub struct SolveStats {
     /// certificate, or the zero-pivot exactness check for cache seeds) held,
     /// skipping the cold solve entirely.
     pub warm_accepted: usize,
+    /// Number of class solves seeded through the dual-simplex phase — the
+    /// incremental path's repair of weight-perturbed classes, whose recorded
+    /// basis is primal-infeasible but typically still dual-feasible
+    /// ([`mmlp_lp::solve_maxmin_dual_resumed`]).  0 outside incremental
+    /// re-solves.
+    pub dual_attempts: usize,
+    /// Number of dual-seeded solves whose uniqueness certificate held; the
+    /// rest fell back to the cold path (bit-identical either way).
+    pub dual_accepted: usize,
     /// Wall-clock per stage.
     pub timings: StageTimings,
     /// Per-shard execution statistics of every stage, in stage order.
@@ -746,11 +941,495 @@ fn run_pipeline<B: SolveBackend>(
         total_installs,
         warm_attempts,
         warm_accepted,
+        dual_attempts: 0,
+        dual_accepted: 0,
         timings,
         stage_shards,
     };
     let class_keys: Vec<CanonicalKey> = class_reps.iter().map(|&p| forms[p].key.clone()).collect();
     Ok(LocalLpBatch { balls, local_x, class_of_ball, class_bases, class_keys, stats })
+}
+
+// ---------------------------------------------------------------------------
+// The incremental re-solve path: registered base + instance deltas.
+// ---------------------------------------------------------------------------
+
+/// A base instance registered for incremental re-solves.
+///
+/// Registration is the expensive step: one full cold solve of the base plus
+/// — lazily, on the first delta solve per worker — the shipping of the delta
+/// stage's context (radius, version, full base instance).  That context
+/// rides the transport's per-stage context dedup, so it crosses each worker
+/// link exactly once per registration; every subsequent re-solve of the same
+/// version ships only the weight edits and the affected-ball lists.
+///
+/// The batch recorded here is what deltas re-solve *against*: unaffected
+/// balls reuse its activity vectors verbatim, unchanged classes re-solve
+/// from their recorded bases under the zero-pivot exactness gate, and
+/// perturbed classes seed the dual-simplex phase from their predecessor's
+/// basis.
+#[derive(Debug, Clone)]
+pub struct RegisteredBase {
+    instance: MaxMinInstance,
+    version: u64,
+    options: LocalLpOptions,
+    batch: LocalLpBatch,
+    neighbors: NeighborCache,
+    /// Canonical key → base class index, for the unchanged-class fast path.
+    key_to_class: HashMap<CanonicalKey, usize>,
+}
+
+impl RegisteredBase {
+    /// The version every delta must target.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The base instance.
+    pub fn instance(&self) -> &MaxMinInstance {
+        &self.instance
+    }
+
+    /// The options incremental re-solves run under.
+    pub fn options(&self) -> &LocalLpOptions {
+        &self.options
+    }
+
+    /// The base batch (the cold solve performed at registration).
+    pub fn batch(&self) -> &LocalLpBatch {
+        &self.batch
+    }
+
+    /// Size in bytes of the delta stage's context payload — what crosses
+    /// each worker link once per registration (and is then deduped for
+    /// every re-solve of this version).
+    pub fn context_wire_bytes(&self) -> usize {
+        let empty = InstanceDelta { base_version: self.version, edits: vec![] };
+        let stage = DeltaPresentWireStage {
+            base: &self.instance,
+            patched: &self.instance,
+            cache: &self.neighbors,
+            radius: self.options.radius,
+            base_version: self.version,
+            delta: &empty,
+            affected: &[],
+        };
+        let mut out = Vec::new();
+        stage.encode_context(&mut out);
+        out.len()
+    }
+}
+
+/// Registers `instance` as version `version` for incremental re-solves:
+/// runs the full cold pipeline once (on the backend selected in `options`)
+/// and records everything a delta solve reuses — the batch, the neighbour
+/// cache (topology is delta-invariant) and the canonical-key index.
+///
+/// # Errors
+///
+/// Propagates simplex and transport failures of the cold solve.
+pub fn register_base(
+    instance: &MaxMinInstance,
+    options: &LocalLpOptions,
+    version: u64,
+) -> Result<RegisteredBase, EngineError> {
+    let batch = dispatch_backend(instance, options, None)?;
+    let (h, _) = communication_hypergraph(instance);
+    let neighbors = h.neighbor_cache();
+    let key_to_class = batch.class_keys.iter().enumerate().map(|(c, k)| (k.clone(), c)).collect();
+    Ok(RegisteredBase {
+        instance: instance.clone(),
+        version,
+        options: *options,
+        batch,
+        neighbors,
+        key_to_class,
+    })
+}
+
+/// The result of one incremental re-solve ([`solve_local_lps_incremental`]).
+#[derive(Debug, Clone)]
+pub struct IncrementalRun {
+    /// The re-solved batch.  Solutions, balls, class numbering and class
+    /// keys are bit-identical to a cold solve of the patched instance
+    /// (`tests/incremental_resolve.rs` asserts this across backends and
+    /// churn rates).  Recorded bases carry the same contract as the
+    /// warm-reuse path: one optimal basis per class, usable as a seed —
+    /// at a degenerate vertex the dual phase may record a different
+    /// representative basis of the same (certified unique) optimum than
+    /// the cold pivot history would.
+    pub batch: LocalLpBatch,
+    /// Distinct agents named by the delta's edits.
+    pub changed_agents: usize,
+    /// Balls re-presented: agents whose radius-`R` ball contains a changed
+    /// agent (ball membership is symmetric, so this is the union of the
+    /// balls around the changed agents).
+    pub affected_agents: usize,
+    /// Bytes of this re-solve's wire job payloads (the delta job plus the
+    /// canonicalise jobs of the affected presentations), computed with the
+    /// transport's own encoders — `O(edits + affected balls)`, independent
+    /// of the instance size.  The base context is *not* included: it ships
+    /// once per worker at first use and is deduped afterwards
+    /// ([`RegisteredBase::context_wire_bytes`]).
+    pub resolve_wire_bytes: usize,
+}
+
+/// Re-solves a registered base under a weight delta, touching only what the
+/// delta can affect.
+///
+/// The pipeline: (1') re-present the affected balls through the
+/// `mmlp/present-delta@1` stage — across the backend, shipping only the
+/// edits and the affected-agent lists against the deduped base context;
+/// (2') canonicalise the affected presentations (the ordinary canonicalise
+/// stage); (3') solve only the classes an affected ball belongs to,
+/// driver-side — a class whose canonical key already existed re-solves from
+/// its own recorded basis under the zero-pivot exactness gate, a genuinely
+/// perturbed class seeds the dual-simplex phase from its predecessor's
+/// basis under the uniqueness certificate, and anything the gates refuse
+/// falls back cold; (4') scatter the fresh solutions onto the affected
+/// balls, keeping every unaffected ball's activity vector verbatim.
+///
+/// Every gate in (3') accepts only what is provably bit-identical to a
+/// cold solve of the patched instance, so the returned solutions, balls,
+/// class numbering and class keys equal the cold batch bit for bit — only
+/// the work (and the wire bytes) scale with the churn.  (Recorded bases
+/// follow the warm-reuse contract — see [`IncrementalRun::batch`].)
+///
+/// # Errors
+///
+/// [`EngineError::Delta`] for a version mismatch or an out-of-topology
+/// edit; otherwise propagates simplex and transport failures.
+pub fn solve_local_lps_incremental(
+    base: &RegisteredBase,
+    delta: &InstanceDelta,
+) -> Result<IncrementalRun, EngineError> {
+    match base.options.backend {
+        BackendKind::Sequential => solve_local_lps_incremental_on(base, delta, &Sequential),
+        BackendKind::ScopedThreads => {
+            solve_local_lps_incremental_on(base, delta, &ScopedThreads::new(base.options.parallel))
+        }
+        BackendKind::Sharded { shards } => solve_local_lps_incremental_on(
+            base,
+            delta,
+            &Sharded::new(shards, base.options.parallel),
+        ),
+        BackendKind::Loopback { shards } => solve_local_lps_incremental_on(
+            base,
+            delta,
+            &LoopbackBackend::new(engine_registry(), shards),
+        ),
+        BackendKind::Subprocess { workers, overlapped } => {
+            solve_local_lps_incremental_on(base, delta, &*subprocess_backend(workers, overlapped))
+        }
+    }
+}
+
+/// [`solve_local_lps_incremental`] on an explicitly constructed backend —
+/// the incremental analogue of [`solve_local_lps_on`], used by the
+/// fault-injection and conformance suites to re-solve through backends with
+/// scripted faults or pinned worker counts.
+///
+/// # Errors
+///
+/// As [`solve_local_lps_incremental`].
+pub fn solve_local_lps_incremental_on<B: SolveBackend>(
+    base: &RegisteredBase,
+    delta: &InstanceDelta,
+    backend: &B,
+) -> Result<IncrementalRun, EngineError> {
+    if delta.base_version != base.version {
+        return Err(DeltaError::VersionMismatch {
+            expected: base.version,
+            found: delta.base_version,
+        }
+        .into());
+    }
+    let patched = delta.apply(&base.instance)?;
+    let changed = delta.changed_agents();
+    let affected: Vec<usize> = {
+        let mut enumerator = BallEnumerator::new(&base.neighbors);
+        let mut set: BTreeSet<usize> = BTreeSet::new();
+        for &v in &changed {
+            set.extend(enumerator.ball(v, base.options.radius));
+        }
+        set.into_iter().collect()
+    };
+    if affected.is_empty() {
+        // An empty delta: the base batch *is* the cold solve of `patched`.
+        return Ok(IncrementalRun {
+            batch: base.batch.clone(),
+            changed_agents: changed.len(),
+            affected_agents: 0,
+            resolve_wire_bytes: 0,
+        });
+    }
+    let (batch, resolve_wire_bytes) = run_incremental(base, delta, &patched, &affected, backend)?;
+    Ok(IncrementalRun {
+        batch,
+        changed_agents: changed.len(),
+        affected_agents: affected.len(),
+        resolve_wire_bytes,
+    })
+}
+
+/// The incremental pipeline body (see [`solve_local_lps_incremental`]).
+fn run_incremental<B: SolveBackend>(
+    base: &RegisteredBase,
+    delta: &InstanceDelta,
+    patched: &MaxMinInstance,
+    affected: &[usize],
+    backend: &B,
+) -> Result<(LocalLpBatch, usize), EngineError> {
+    let n = base.instance.num_agents();
+    let options = &base.options;
+    let mut timings = StageTimings::default();
+    let mut stage_shards: Vec<StageStats> = Vec::new();
+
+    // ---- Stage 1': re-present the affected balls across the backend.  The
+    // stage's context (radius + version + full base instance) is deduped per
+    // link; only the jobs below actually travel on a re-solve. ----
+    let stage = Instant::now();
+    let delta_stage = DeltaPresentWireStage {
+        base: &base.instance,
+        patched,
+        cache: &base.neighbors,
+        radius: options.radius,
+        base_version: base.version,
+        delta,
+        affected,
+    };
+    // The marginal wire bytes of this re-solve, measured with the very
+    // encoders the transport uses (single-shard equivalent; sharding
+    // replicates only the small delta header).
+    let mut resolve_wire_bytes = {
+        let mut job = Vec::new();
+        delta_stage.encode_job(&Shard { index: 0, start: 0, end: affected.len() }, &mut job);
+        job.len()
+    };
+    let run = backend.execute_stage(affected.len(), &delta_stage)?;
+    // Presentation merge, exactly as the cold pipeline (shard order = order
+    // of the affected list, so the numbering is backend-independent).
+    let mut balls_aff: Vec<Vec<usize>> = Vec::with_capacity(affected.len());
+    let mut pres_of_ball_aff: Vec<usize> = Vec::with_capacity(affected.len());
+    let mut reps: Vec<PresentedLp> = Vec::new();
+    {
+        let mut global_ids: HashMap<Vec<u64>, usize> = HashMap::new();
+        for shard_out in run.outputs {
+            let mut local_to_global = Vec::with_capacity(shard_out.reps.len());
+            for lp in shard_out.reps {
+                let id = match global_ids.get(lp.key.as_slice()) {
+                    Some(&id) => id,
+                    None => {
+                        let id = reps.len();
+                        global_ids.insert(lp.key.clone(), id);
+                        reps.push(lp);
+                        id
+                    }
+                };
+                local_to_global.push(id);
+            }
+            balls_aff.extend(shard_out.balls);
+            pres_of_ball_aff.extend(shard_out.pres_of_ball.into_iter().map(|p| local_to_global[p]));
+        }
+    }
+    stage_shards.push(run.stats);
+    timings.enumerate = stage.elapsed();
+
+    // ---- Stage 2': canonicalise the affected presentations (the ordinary
+    // canonicalise wire stage; its jobs are counted as re-solve bytes). ----
+    let stage = Instant::now();
+    let canon_stage = CanonWireStage { instances: reps.iter().map(|r| &r.instance).collect() };
+    resolve_wire_bytes += {
+        let mut job = Vec::new();
+        canon_stage.encode_job(&Shard { index: 0, start: 0, end: reps.len() }, &mut job);
+        job.len()
+    };
+    let run = backend.execute_stage(reps.len(), &canon_stage)?;
+    let mut forms: Vec<CanonicalForm> = Vec::with_capacity(reps.len());
+    let mut shard_tables: Vec<(usize, Vec<usize>, Vec<usize>)> = Vec::new();
+    for sc in run.outputs {
+        shard_tables.push((forms.len(), sc.class_reps, sc.class_of));
+        forms.extend(sc.forms);
+    }
+    let mut class_of_pres: Vec<usize> = vec![0; forms.len()];
+    let mut aff_class_reps: Vec<usize> = Vec::new();
+    {
+        let mut global_ids: HashMap<&CanonicalKey, usize> = HashMap::new();
+        for (offset, local_reps, class_of) in &shard_tables {
+            let mut local_to_global = Vec::with_capacity(local_reps.len());
+            for &r in local_reps {
+                let key = &forms[offset + r].key;
+                let id = match global_ids.get(key) {
+                    Some(&id) => id,
+                    None => {
+                        let id = aff_class_reps.len();
+                        global_ids.insert(key, id);
+                        aff_class_reps.push(offset + r);
+                        id
+                    }
+                };
+                local_to_global.push(id);
+            }
+            for (i, &c) in class_of.iter().enumerate() {
+                class_of_pres[offset + i] = local_to_global[c];
+            }
+        }
+    }
+    stage_shards.push(run.stats);
+    timings.canonicalise = stage.elapsed();
+
+    // ---- Global class table: first-occurrence numbering over an agent
+    // scan.  Unaffected balls contribute their base class keys, affected
+    // balls their fresh canonical keys; since unaffected balls present
+    // bit-identically to the base, this is the same numbering a cold solve
+    // of the patched instance produces. ----
+    enum ClassSource {
+        /// Every ball of the class is unaffected: the base solution stands.
+        Base(usize),
+        /// Some affected ball belongs to the class: re-solve it.
+        Fresh {
+            /// Index into `forms` of the class representative.
+            rep_form: usize,
+            /// Base class of the first affected ball that hit the class —
+            /// the dual-simplex seed donor for perturbed classes.
+            old_class: usize,
+        },
+    }
+    let aff_index: HashMap<usize, usize> =
+        affected.iter().enumerate().map(|(i, &u)| (u, i)).collect();
+    let mut key_to_new: HashMap<CanonicalKey, usize> = HashMap::new();
+    let mut class_keys: Vec<CanonicalKey> = Vec::new();
+    let mut sources: Vec<ClassSource> = Vec::new();
+    let mut class_of_ball: Vec<usize> = Vec::with_capacity(n);
+    for u in 0..n {
+        let (key, source) = match aff_index.get(&u) {
+            Some(&i) => {
+                let rep_form = aff_class_reps[class_of_pres[pres_of_ball_aff[i]]];
+                (
+                    forms[rep_form].key.clone(),
+                    ClassSource::Fresh { rep_form, old_class: base.batch.class_of_ball[u] },
+                )
+            }
+            None => {
+                let c = base.batch.class_of_ball[u];
+                (base.batch.class_keys[c].clone(), ClassSource::Base(c))
+            }
+        };
+        let id = match key_to_new.get(&key) {
+            Some(&id) => id,
+            None => {
+                let id = class_keys.len();
+                key_to_new.insert(key.clone(), id);
+                class_keys.push(key);
+                sources.push(source);
+                id
+            }
+        };
+        class_of_ball.push(id);
+    }
+
+    // ---- Stage 3': solve only the classes an affected ball belongs to,
+    // driver-side, seeded from the registered base. ----
+    let stage = Instant::now();
+    let mut lp_solves = 0usize;
+    let mut total_pivots = 0u64;
+    let mut total_installs = 0u64;
+    let mut warm_attempts = 0usize;
+    let mut warm_accepted = 0usize;
+    let mut dual_attempts = 0usize;
+    let mut dual_accepted = 0usize;
+    let mut class_bases: Vec<Vec<usize>> = Vec::with_capacity(class_keys.len());
+    let mut solutions: Vec<Option<Vec<f64>>> = Vec::with_capacity(class_keys.len());
+    for (id, source) in sources.iter().enumerate() {
+        match source {
+            ClassSource::Base(c) => {
+                class_bases.push(base.batch.class_bases[*c].clone());
+                solutions.push(None);
+            }
+            ClassSource::Fresh { rep_form, old_class } => {
+                let lp = &forms[*rep_form].instance;
+                if lp.num_parties() == 0 {
+                    class_bases.push(vec![]);
+                    solutions.push(Some(vec![0.0; lp.num_agents()]));
+                    continue;
+                }
+                let (opt, _) = match base.key_to_class.get(&class_keys[id]) {
+                    // The canonical LP is unchanged (the edits never reached
+                    // this class, or cancelled out): its own recorded basis
+                    // re-solves under the zero-pivot exactness gate.
+                    Some(&bc) if !base.batch.class_bases[bc].is_empty() => {
+                        warm_attempts += 1;
+                        let seed = WarmStart { basis: base.batch.class_bases[bc].clone() };
+                        let r = solve_maxmin_resumed(lp, &options.simplex, &seed)?;
+                        warm_accepted += usize::from(r.1.warm_accepted);
+                        r
+                    }
+                    Some(_) => solve_maxmin_seeded(lp, &options.simplex, None)?,
+                    // A genuinely perturbed class: its predecessor's optimal
+                    // basis is primal-infeasible under the new weights but
+                    // typically still dual-feasible — the dual-simplex phase
+                    // repairs it, the uniqueness certificate decides
+                    // acceptance, and everything else falls back cold
+                    // inside (bit-identical by construction either way).
+                    None => {
+                        let old = &base.batch.class_bases[*old_class];
+                        if old.is_empty() {
+                            solve_maxmin_seeded(lp, &options.simplex, None)?
+                        } else {
+                            dual_attempts += 1;
+                            let seed = WarmStart { basis: old.clone() };
+                            let r = solve_maxmin_dual_resumed(lp, &options.simplex, &seed)?;
+                            dual_accepted += usize::from(r.1.warm_accepted);
+                            r
+                        }
+                    }
+                };
+                lp_solves += 1;
+                total_pivots += opt.pivots as u64;
+                total_installs += opt.installs as u64;
+                class_bases.push(opt.basis.clone());
+                solutions.push(Some(opt.solution.into_vec()));
+            }
+        }
+    }
+    timings.solve = stage.elapsed();
+
+    // ---- Stage 4': scatter the fresh solutions onto the affected balls;
+    // every unaffected ball keeps its base activity vector verbatim (its
+    // presented LP is bit-identical to the base's, so a cold solve would
+    // reproduce it). ----
+    let stage = Instant::now();
+    let balls = base.batch.balls.clone();
+    let mut local_x = base.batch.local_x.clone();
+    for (i, &u) in affected.iter().enumerate() {
+        debug_assert_eq!(balls_aff[i], balls[u], "deltas never change a ball's membership");
+        let form = &forms[pres_of_ball_aff[i]];
+        let x = solutions[class_of_ball[u]].as_ref().expect("affected classes are solved");
+        local_x[u] = unpermute_values(&form.labelling, x);
+    }
+    timings.scatter = stage.elapsed();
+
+    let stats = SolveStats {
+        // For an incremental run, "enumerated" counts the balls actually
+        // re-presented — the work, not the instance size.
+        balls_enumerated: affected.len(),
+        distinct_presentations: reps.len(),
+        unique_classes: class_keys.len(),
+        cache_hits: n - lp_solves,
+        lp_solves,
+        total_pivots,
+        total_installs,
+        warm_attempts,
+        warm_accepted,
+        dual_attempts,
+        dual_accepted,
+        timings,
+        stage_shards,
+    };
+    Ok((
+        LocalLpBatch { balls, local_x, class_of_ball, class_bases, class_keys, stats },
+        resolve_wire_bytes,
+    ))
 }
 
 /// The output of one *present* shard: its agents' balls, their shard-local
@@ -802,8 +1481,29 @@ pub(crate) fn present_shard(
     radius: usize,
     range: Range<usize>,
 ) -> ShardPresentation {
+    present_agent_list(instance, cache, radius, range)
+}
+
+/// Stage 1' body (the delta path): the same presentation sweep over an
+/// explicit agent list — incremental re-solves present only the affected
+/// balls, which are rarely a contiguous range.
+pub(crate) fn present_agents(
+    instance: &MaxMinInstance,
+    cache: &NeighborCache,
+    radius: usize,
+    agents: &[usize],
+) -> ShardPresentation {
+    present_agent_list(instance, cache, radius, agents.iter().copied())
+}
+
+fn present_agent_list(
+    instance: &MaxMinInstance,
+    cache: &NeighborCache,
+    radius: usize,
+    agents: impl Iterator<Item = usize>,
+) -> ShardPresentation {
     let mut enumerator = BallEnumerator::new(cache);
-    let presented: Vec<(Vec<usize>, PresentedLp)> = range
+    let presented: Vec<(Vec<usize>, PresentedLp)> = agents
         .map(|u| {
             let ball = enumerator.ball(u, radius);
             let lp = present_ball_lp(instance, &ball);
@@ -1333,5 +2033,100 @@ mod tests {
         let batch = solve_local_lps(&inst, &LocalLpOptions::new(1)).unwrap();
         assert!(batch.balls.is_empty());
         assert_eq!(batch.stats, SolveStats::default());
+    }
+
+    /// A weighted grid plus a small delta that perturbs a few existing
+    /// weights (one consumption, one benefit).
+    fn weighted_grid_and_delta(version: u64) -> (MaxMinInstance, InstanceDelta) {
+        let inst = grid_instance(
+            &GridConfig { side_lengths: vec![6, 6], torus: false, random_weights: true },
+            &mut StdRng::seed_from_u64(21),
+        );
+        let (rv, ra) = {
+            let (v, a) = inst.resource(ResourceId::new(2)).members()[0];
+            (v.index(), a)
+        };
+        let (pv, pc) = {
+            let (v, c) = inst.party(PartyId::new(3)).members()[0];
+            (v.index(), c)
+        };
+        let delta = InstanceDelta {
+            base_version: version,
+            edits: vec![
+                WeightEdit { kind: WeightKind::Consumption, row: 2, agent: rv, weight: ra * 1.5 },
+                WeightEdit { kind: WeightKind::Benefit, row: 3, agent: pv, weight: pc * 0.75 },
+            ],
+        };
+        (inst, delta)
+    }
+
+    #[test]
+    fn incremental_resolve_matches_cold_bitwise() {
+        let (inst, delta) = weighted_grid_and_delta(1);
+        let options = LocalLpOptions::new(1);
+        let base = register_base(&inst, &options, 1).unwrap();
+        let run = solve_local_lps_incremental(&base, &delta).unwrap();
+        let cold = solve_local_lps(&delta.apply(&inst).unwrap(), &options).unwrap();
+        assert_eq!(run.batch.local_x, cold.local_x);
+        assert_eq!(run.batch.balls, cold.balls);
+        assert_eq!(run.batch.class_of_ball, cold.class_of_ball);
+        assert_eq!(run.batch.class_keys, cold.class_keys);
+        // Same contract as the warm-reuse path (`tests/conformance_batched.rs`):
+        // one basis per class, each an optimal basis of its class — the dual
+        // path may record a different representative basis of the same
+        // optimal vertex than the cold pivot history.
+        assert_eq!(run.batch.class_bases.len(), cold.class_bases.len());
+        // The work scaled with the churn, not the instance.
+        assert_eq!(run.changed_agents, 2);
+        assert!(run.affected_agents < inst.num_agents());
+        assert!(run.batch.stats.lp_solves < cold.stats.lp_solves);
+        assert!(run.resolve_wire_bytes > 0);
+        // Perturbed classes went through the dual-simplex phase.
+        assert!(run.batch.stats.dual_attempts > 0);
+    }
+
+    #[test]
+    fn incremental_empty_delta_reuses_the_base_verbatim() {
+        let (inst, _) = weighted_grid_and_delta(1);
+        let options = LocalLpOptions::new(1);
+        let base = register_base(&inst, &options, 4).unwrap();
+        let run =
+            solve_local_lps_incremental(&base, &InstanceDelta { base_version: 4, edits: vec![] })
+                .unwrap();
+        assert_eq!(run.batch.local_x, base.batch().local_x);
+        assert_eq!(run.affected_agents, 0);
+        assert_eq!(run.resolve_wire_bytes, 0);
+    }
+
+    #[test]
+    fn incremental_version_mismatch_is_typed() {
+        let (inst, mut delta) = weighted_grid_and_delta(9);
+        let options = LocalLpOptions::new(1);
+        let base = register_base(&inst, &options, 2).unwrap();
+        delta.base_version = 9;
+        match solve_local_lps_incremental(&base, &delta) {
+            Err(EngineError::Delta(DeltaError::VersionMismatch { expected: 2, found: 9 })) => {}
+            other => panic!("expected the typed version mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_rejects_out_of_topology_edits() {
+        let (inst, _) = weighted_grid_and_delta(1);
+        let options = LocalLpOptions::new(1);
+        let base = register_base(&inst, &options, 1).unwrap();
+        let delta = InstanceDelta {
+            base_version: 1,
+            edits: vec![WeightEdit {
+                kind: WeightKind::Consumption,
+                row: inst.num_resources(),
+                agent: 0,
+                weight: 1.0,
+            }],
+        };
+        match solve_local_lps_incremental(&base, &delta) {
+            Err(EngineError::Delta(DeltaError::UnknownEntry { .. })) => {}
+            other => panic!("expected the typed unknown-entry error, got {other:?}"),
+        }
     }
 }

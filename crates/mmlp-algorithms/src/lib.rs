@@ -48,8 +48,10 @@ pub mod transport;
 
 pub use analysis::{compare_algorithms, uniform_baseline, AlgorithmComparison, ComparisonEntry};
 pub use engine::{
-    solve_local_lps, solve_local_lps_on, solve_local_lps_reusing, ClassBasisCache, EngineError,
-    LocalLpBatch, LocalLpOptions, SolveMode, SolveStats, StageTimings, WarmStartPolicy,
+    register_base, solve_local_lps, solve_local_lps_incremental, solve_local_lps_incremental_on,
+    solve_local_lps_on, solve_local_lps_reusing, ClassBasisCache, DeltaError, EngineError,
+    IncrementalRun, InstanceDelta, LocalLpBatch, LocalLpOptions, RegisteredBase, SolveMode,
+    SolveStats, StageTimings, WarmStartPolicy, WeightEdit, WeightKind,
     DEFAULT_CLASS_BASIS_CAPACITY,
 };
 pub use local_averaging::{

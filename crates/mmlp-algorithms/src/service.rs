@@ -35,8 +35,8 @@ use mmlp_parallel::{
 };
 
 use crate::engine::{
-    solve_local_lps, solve_local_lps_reusing, ClassBasisCache, EngineError, LocalLpBatch,
-    LocalLpOptions,
+    solve_local_lps, solve_local_lps_incremental, solve_local_lps_reusing, ClassBasisCache,
+    EngineError, IncrementalRun, InstanceDelta, LocalLpBatch, LocalLpOptions, RegisteredBase,
 };
 
 /// A multi-tenant front-end for batched engine solves (see the
@@ -102,6 +102,27 @@ impl EngineService {
             }
             None => solve_local_lps(&instance, &options),
         })
+    }
+
+    /// Submits an incremental re-solve of a registered base under a weight
+    /// delta (see [`solve_local_lps_incremental`]) onto this service's
+    /// executors and fairness lanes.  The base is shared by `Arc`, so many
+    /// tenants (or many deltas of one tenant) re-solve against one
+    /// registration without copying the instance or its recorded batch.
+    ///
+    /// # Errors
+    ///
+    /// Admission failures are typed [`ServiceError::QueueFull`] /
+    /// [`ServiceError::Draining`]; delta and engine failures arrive inside
+    /// the [`Ticket`].
+    pub fn submit_incremental(
+        &self,
+        tenant: TenantId,
+        base: Arc<RegisteredBase>,
+        delta: InstanceDelta,
+    ) -> Result<Ticket<Result<IncrementalRun, EngineError>>, ServiceError> {
+        self.service
+            .submit(tenant, move || solve_local_lps_incremental(&base, &delta))
     }
 
     /// The underlying generic service — for admitting non-engine requests

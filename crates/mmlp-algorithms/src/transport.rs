@@ -7,6 +7,7 @@
 //! | stage id             | context                    | job (per shard)                  | reply                      |
 //! |----------------------|----------------------------|----------------------------------|----------------------------|
 //! | `mmlp/present@1`     | radius + full instance     | agent range                      | `ShardPresentation`        |
+//! | `mmlp/present-delta@1`| radius + version + base instance | weight edits + affected agents | `ShardPresentation`   |
 //! | `mmlp/canonicalise@1`| —                          | the shard's presented LPs        | `ShardClasses`             |
 //! | `mmlp/solve@1`       | simplex options + policy   | (canonical LP, cached seed) list | solved LPs / typed errors  |
 //! | `mmlp/scatter@1`     | deduplicated solutions     | (labelling, solution idx) list   | per-ball activity vectors  |
@@ -26,8 +27,9 @@
 //! worker reports an unknown stage instead of misreading bytes.
 
 use crate::engine::{
-    canonicalise_shard, present_shard, solve_shard, unpermute_values, PresentedLp, ShardClasses,
-    ShardPresentation, SolvedLp, WarmStartPolicy,
+    canonicalise_shard, present_agents, present_shard, solve_shard, unpermute_values,
+    InstanceDelta, PresentedLp, ShardClasses, ShardPresentation, SolvedLp, WarmStartPolicy,
+    WeightEdit, WeightKind,
 };
 use crate::runner::{LocalRuleProgram, LOCAL_RULE_PROGRAM_ID};
 use mmlp_core::canonical::{CanonicalForm, CanonicalKey};
@@ -50,6 +52,11 @@ use std::sync::{Arc, OnceLock};
 
 /// Stage identifier of the *present* stage.
 pub const STAGE_PRESENT: &str = "mmlp/present@1";
+/// Stage identifier of the incremental *present-delta* stage: the context
+/// registers a versioned base instance (shipped once per link, then deduped
+/// by the transport's per-stage context cache), each job carries only a
+/// weight delta against that version and the affected-agent list.
+pub const STAGE_PRESENT_DELTA: &str = "mmlp/present-delta@1";
 /// Stage identifier of the *canonicalise* stage.
 pub const STAGE_CANONICALISE: &str = "mmlp/canonicalise@1";
 /// Stage identifier of the *solve* stage.
@@ -145,6 +152,71 @@ pub fn read_instance(r: &mut ByteReader<'_>) -> Result<MaxMinInstance, WireError
         }
     }
     b.build().map_err(|_| WireError::Decode { context: CTX })
+}
+
+/// Encodes an instance delta: the base version it targets, then each weight
+/// edit as `(kind byte, row, agent, weight bits)`.
+pub fn put_instance_delta(out: &mut Vec<u8>, delta: &InstanceDelta) {
+    put_u64(out, delta.base_version);
+    put_usize(out, delta.edits.len());
+    for e in &delta.edits {
+        put_u8(
+            out,
+            match e.kind {
+                WeightKind::Consumption => 0,
+                WeightKind::Benefit => 1,
+            },
+        );
+        put_usize(out, e.row);
+        put_usize(out, e.agent);
+        put_f64(out, e.weight);
+    }
+}
+
+/// Decodes an instance delta.
+///
+/// When `expected_base_version` is given, a delta targeting any other
+/// version is rejected with the typed
+/// [`WireError::BaseVersionMismatch`] — the patch-to-wrong-base error a
+/// receiver needs to distinguish from byte corruption (the sender should
+/// re-register, not re-send).
+///
+/// # Errors
+///
+/// [`WireError::BaseVersionMismatch`] on a version mismatch; otherwise
+/// typed decode errors for truncated input, unknown kind bytes, and
+/// non-positive or non-finite weights — arbitrary byte noise errors out,
+/// it never panics.
+pub fn read_instance_delta(
+    r: &mut ByteReader<'_>,
+    expected_base_version: Option<u64>,
+) -> Result<InstanceDelta, WireError> {
+    const CTX: &str = "instance delta";
+    let base_version = r.u64(CTX)?;
+    if let Some(expected) = expected_base_version {
+        if base_version != expected {
+            return Err(WireError::BaseVersionMismatch { expected, found: base_version });
+        }
+    }
+    // Each edit occupies at least kind (1) + row (8) + agent (8) + weight
+    // (8) bytes, so `seq_len` bounds the count by the remaining payload.
+    let len = r.seq_len(25, CTX)?;
+    let mut edits = Vec::with_capacity(len);
+    for _ in 0..len {
+        let kind = match r.u8(CTX)? {
+            0 => WeightKind::Consumption,
+            1 => WeightKind::Benefit,
+            _ => return Err(WireError::Decode { context: CTX }),
+        };
+        let row = r.usize(CTX)?;
+        let agent = r.usize(CTX)?;
+        let weight = r.f64(CTX)?;
+        if !weight.is_finite() || weight <= 0.0 {
+            return Err(WireError::Decode { context: CTX });
+        }
+        edits.push(WeightEdit { kind, row, agent, weight });
+    }
+    Ok(InstanceDelta { base_version, edits })
 }
 
 /// Encodes an optional warm-start seed.
@@ -387,6 +459,56 @@ impl WireStage for PresentWireStage<'_> {
     }
 }
 
+/// The present-delta stage: the context *registers* a versioned base
+/// instance (radius + version + full instance, shipped once per link thanks
+/// to the transport's per-stage context dedup); each job ships only the
+/// weight edits and the shard's slice of the affected-agent list — the
+/// per-re-solve wire bytes scale with the churn, not the instance.
+pub(crate) struct DeltaPresentWireStage<'a> {
+    /// The registered base instance (travels in the context, once).
+    pub(crate) base: &'a MaxMinInstance,
+    /// The patched instance (host-side only; `run_local` presents from it).
+    pub(crate) patched: &'a MaxMinInstance,
+    /// Neighbour cache of the base (deltas never change the topology).
+    pub(crate) cache: &'a NeighborCache,
+    pub(crate) radius: usize,
+    pub(crate) base_version: u64,
+    pub(crate) delta: &'a InstanceDelta,
+    /// Agents whose balls intersect the delta's support, sorted.
+    pub(crate) affected: &'a [usize],
+}
+
+impl WireStage for DeltaPresentWireStage<'_> {
+    type Output = ShardPresentation;
+
+    fn stage_id(&self) -> &'static str {
+        STAGE_PRESENT_DELTA
+    }
+
+    fn encode_context(&self, out: &mut Vec<u8>) {
+        put_usize(out, self.radius);
+        put_u64(out, self.base_version);
+        put_instance(out, self.base);
+    }
+
+    fn encode_job(&self, shard: &Shard, out: &mut Vec<u8>) {
+        put_instance_delta(out, self.delta);
+        put_usizes(out, &self.affected[shard.range()]);
+    }
+
+    fn decode_reply(&self, shard: &Shard, payload: &[u8]) -> Result<Self::Output, TransportError> {
+        let result = read_shard_presentation(&mut ByteReader::new(payload))?;
+        if result.balls.len() != shard.len() {
+            return Err(WireError::Decode { context: "present-delta reply" }.into());
+        }
+        Ok(result)
+    }
+
+    fn run_local(&self, shard: &Shard) -> Self::Output {
+        present_agents(self.patched, self.cache, self.radius, &self.affected[shard.range()])
+    }
+}
+
 /// Stage 2 as a wire stage: no context; a job carries the shard's presented
 /// LPs by value.
 pub(crate) struct CanonWireStage<'a> {
@@ -556,6 +678,42 @@ fn handle_present(ctx: &[u8], job: &[u8], cache: &mut StageCache) -> Result<Vec<
     Ok(out)
 }
 
+/// The present-delta stage's context-derived worker state: the registered
+/// base (version, instance, neighbour cache), built once per context —
+/// i.e. once per registered base version — and reused by every delta job
+/// against it.
+struct DeltaState {
+    radius: usize,
+    base_version: u64,
+    instance: MaxMinInstance,
+    neighbors: NeighborCache,
+}
+
+fn handle_present_delta(ctx: &[u8], job: &[u8], cache: &mut StageCache) -> Result<Vec<u8>, String> {
+    let state = cache.get_or_try_insert_with(|| {
+        let mut r = ByteReader::new(ctx);
+        let radius = r.usize("present-delta context").map_err(wire_err)?;
+        let base_version = r.u64("present-delta context").map_err(wire_err)?;
+        let instance = read_instance(&mut r).map_err(wire_err)?;
+        let (h, _) = communication_hypergraph(&instance);
+        let neighbors = h.neighbor_cache();
+        Ok(DeltaState { radius, base_version, instance, neighbors })
+    })?;
+    let mut r = ByteReader::new(job);
+    // A patch against the wrong base version is a typed protocol error —
+    // the host must re-register, not retry.
+    let delta = read_instance_delta(&mut r, Some(state.base_version)).map_err(wire_err)?;
+    let agents = r.usizes("present-delta job").map_err(wire_err)?;
+    if agents.iter().any(|&u| u >= state.instance.num_agents()) {
+        return Err("present-delta agent out of bounds".to_string());
+    }
+    let patched = delta.apply(&state.instance).map_err(|e| e.to_string())?;
+    let result = present_agents(&patched, &state.neighbors, state.radius, &agents);
+    let mut out = Vec::new();
+    put_shard_presentation(&mut out, &result);
+    Ok(out)
+}
+
 fn handle_canonicalise(
     _ctx: &[u8],
     job: &[u8],
@@ -678,6 +836,7 @@ pub fn engine_registry() -> Arc<StageRegistry> {
         .get_or_init(|| {
             let mut registry = StageRegistry::new();
             registry.register(STAGE_PRESENT, handle_present);
+            registry.register(STAGE_PRESENT_DELTA, handle_present_delta);
             registry.register(STAGE_CANONICALISE, handle_canonicalise);
             registry.register(STAGE_SOLVE, handle_solve);
             registry.register(STAGE_SCATTER, handle_scatter);
@@ -768,6 +927,64 @@ mod tests {
         put_instance(&mut bytes, &inst);
         let decoded = read_instance(&mut ByteReader::new(&bytes)).unwrap();
         assert_eq!(decoded, inst);
+    }
+
+    #[test]
+    fn instance_delta_codec_roundtrips_exactly() {
+        let delta = InstanceDelta {
+            base_version: 7,
+            edits: vec![
+                WeightEdit { kind: WeightKind::Consumption, row: 3, agent: 1, weight: 2.5 },
+                WeightEdit { kind: WeightKind::Benefit, row: 0, agent: 4, weight: 0.125 },
+            ],
+        };
+        let mut bytes = Vec::new();
+        put_instance_delta(&mut bytes, &delta);
+        let mut r = ByteReader::new(&bytes);
+        let decoded = read_instance_delta(&mut r, Some(7)).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(decoded, delta);
+        // Without an expected version, any version decodes.
+        assert_eq!(read_instance_delta(&mut ByteReader::new(&bytes), None).unwrap(), delta);
+    }
+
+    #[test]
+    fn instance_delta_version_mismatch_is_typed() {
+        let delta = InstanceDelta { base_version: 3, edits: vec![] };
+        let mut bytes = Vec::new();
+        put_instance_delta(&mut bytes, &delta);
+        let err = read_instance_delta(&mut ByteReader::new(&bytes), Some(8)).unwrap_err();
+        assert!(
+            matches!(err, WireError::BaseVersionMismatch { expected: 8, found: 3 }),
+            "expected the typed mismatch, got {err}"
+        );
+    }
+
+    #[test]
+    fn instance_delta_decoder_rejects_malformed_payloads() {
+        let delta = InstanceDelta {
+            base_version: 1,
+            edits: vec![WeightEdit { kind: WeightKind::Benefit, row: 2, agent: 0, weight: 1.0 }],
+        };
+        let mut bytes = Vec::new();
+        put_instance_delta(&mut bytes, &delta);
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(read_instance_delta(&mut r, None).is_err(), "cut at {cut}");
+        }
+        // An unknown kind byte and a non-positive weight are both rejected.
+        let mut bad_kind = bytes.clone();
+        bad_kind[16] = 9;
+        assert!(read_instance_delta(&mut ByteReader::new(&bad_kind), None).is_err());
+        let zero_weight = InstanceDelta {
+            base_version: 1,
+            edits: vec![WeightEdit { kind: WeightKind::Benefit, row: 2, agent: 0, weight: 1.0 }],
+        };
+        let mut bytes = Vec::new();
+        put_instance_delta(&mut bytes, &zero_weight);
+        let n = bytes.len();
+        bytes[n - 8..].copy_from_slice(&0.0_f64.to_le_bytes());
+        assert!(read_instance_delta(&mut ByteReader::new(&bytes), None).is_err());
     }
 
     #[test]

@@ -113,20 +113,30 @@ pub struct Evaluation {
 impl Evaluation {
     /// Identifier of a party receiving the minimum benefit (the bottleneck of
     /// the max-min objective), if any party exists.
+    ///
+    /// Uses the IEEE-754 total order, so a NaN benefit (an `Evaluation`
+    /// assembled by hand or from a diverged computation) picks a
+    /// deterministic bottleneck instead of panicking; NaN sorts above every
+    /// finite benefit and is therefore never selected over one.
     pub fn bottleneck_party(&self) -> Option<usize> {
         self.party_benefits
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("benefits are finite"))
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .map(|(idx, _)| idx)
     }
 
     /// Identifier of a resource with the maximum usage, if any resource exists.
+    ///
+    /// Like [`bottleneck_party`](Self::bottleneck_party), total-ordered: a
+    /// NaN usage never panics, and `max_by` under `total_cmp` prefers the
+    /// NaN (it sorts above +∞), deterministically flagging the diverged
+    /// entry as the tightest.
     pub fn tightest_resource(&self) -> Option<usize> {
         self.resource_usages
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("usages are finite"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(idx, _)| idx)
     }
 }
@@ -205,6 +215,33 @@ mod tests {
             party_benefits: vec![3.0, 1.0, 2.0],
             resource_usages: vec![0.5, 0.9, 0.2],
             max_resource_usage: 0.9,
+            min_activity: 0.0,
+        };
+        assert_eq!(eval.bottleneck_party(), Some(1));
+        assert_eq!(eval.tightest_resource(), Some(1));
+    }
+
+    #[test]
+    fn evaluation_bottlenecks_tolerate_non_finite_entries() {
+        // Regression: the comparators used `partial_cmp(..).expect(..)` and
+        // panicked on any NaN activity that slipped into an evaluation.
+        let eval = Evaluation {
+            objective: f64::NAN,
+            party_benefits: vec![2.0, f64::NAN, 1.0],
+            resource_usages: vec![0.3, f64::NAN, 0.7],
+            max_resource_usage: f64::NAN,
+            min_activity: 0.0,
+        };
+        // min under the total order never prefers NaN over a finite benefit…
+        assert_eq!(eval.bottleneck_party(), Some(2));
+        // …and max deterministically flags the NaN usage as tightest.
+        assert_eq!(eval.tightest_resource(), Some(1));
+        // Infinities order normally.
+        let eval = Evaluation {
+            objective: 0.0,
+            party_benefits: vec![f64::INFINITY, 0.5],
+            resource_usages: vec![f64::NEG_INFINITY, 0.5],
+            max_resource_usage: 0.5,
             min_activity: 0.0,
         };
         assert_eq!(eval.bottleneck_party(), Some(1));

@@ -48,7 +48,7 @@ fn main() {
         }
     }
 
-    let mut report = BenchReport::new("e10_distsim");
+    let mut report = BenchReport::new("e10_distsim", "e10_distsim_transport");
     let inst = grid_instance(
         &GridConfig { side_lengths: vec![30, 30], torus: false, random_weights: true },
         &mut StdRng::seed_from_u64(10),

@@ -105,7 +105,7 @@ fn main() {
         }
     }
 
-    let mut report = BenchReport::new("e11_checkpoint");
+    let mut report = BenchReport::new("e11_checkpoint", "e11_checkpoint_rounds");
     let inst = grid_instance(
         &GridConfig { side_lengths: vec![30, 30], torus: false, random_weights: true },
         &mut StdRng::seed_from_u64(10),
@@ -119,7 +119,7 @@ fn main() {
             eprintln!("note: subprocess transport unavailable here ({e}); its rows run loopback");
             false
         });
-    report.push("env", &[("subprocess_available", f64::from(u8::from(subprocess_available)))]);
+    report.push_env(&[("subprocess_available", f64::from(u8::from(subprocess_available)))]);
 
     banner("E11a: state-in-job vs worker-resident rounds (30x30 weighted grid)");
     print_row(

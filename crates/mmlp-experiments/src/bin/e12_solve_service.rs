@@ -44,14 +44,23 @@ fn tenant_instance(tenant: u64) -> MaxMinInstance {
     )
 }
 
-/// Latency percentile (by nearest-rank) of an unsorted sample, in ms.
-fn percentile(samples: &mut [f64], p: f64) -> f64 {
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-    if samples.is_empty() {
+/// Latency percentile (by nearest-rank) of an already-sorted sample, in ms.
+///
+/// Callers sort once ([`sort_samples`]) and take every rank from the sorted
+/// slice — the old signature re-sorted the full sample on *every* call (p50,
+/// then p99 again), and its `partial_cmp(..).expect(..)` comparator panicked
+/// on any non-finite latency instead of ordering it deterministically.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
         return f64::NAN;
     }
-    let rank = ((p / 100.0) * samples.len() as f64).ceil().max(1.0) as usize - 1;
-    samples[rank.min(samples.len() - 1)]
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Sorts a latency sample under the IEEE-754 total order (never panics).
+fn sort_samples(samples: &mut [f64]) {
+    samples.sort_by(f64::total_cmp);
 }
 
 struct LoadResult {
@@ -121,9 +130,10 @@ fn drive_poisson(
         .expect("all requests resolved")
         .into_inner()
         .unwrap();
+    sort_samples(&mut samples);
     LoadResult {
-        p50_ms: percentile(&mut samples, 50.0),
-        p99_ms: percentile(&mut samples, 99.0),
+        p50_ms: percentile(&samples, 50.0),
+        p99_ms: percentile(&samples, 99.0),
         throughput_rps: samples.len() as f64 / wall_s,
         rejected,
         completed,
@@ -141,8 +151,8 @@ fn main() {
     let mean_interarrival = Duration::from_millis(if smoke { 1 } else { 2 });
     let options = LocalLpOptions::new(1);
 
-    let mut report = BenchReport::new("e12_service");
-    report.push("env", &[("smoke", f64::from(u8::from(smoke)))]);
+    let mut report = BenchReport::new("e12_service", "e12_solve_service");
+    report.push_env(&[("smoke", f64::from(u8::from(smoke)))]);
 
     banner("E12a: request latency and throughput vs tenants x executors");
     println!(

@@ -30,7 +30,7 @@ fn uniform_grid(side: usize) -> MaxMinInstance {
 }
 
 fn main() {
-    let mut report = BenchReport::new("e7_batched_engine");
+    let mut report = BenchReport::new("e7_batched_engine", "e7_batched_engine");
     banner("E7a: dedup statistics on the 50x50 grid (2500 agents)");
     let widths = [3usize, 8, 8, 8, 8, 8, 8, 10, 10, 10];
     print_row(

@@ -40,7 +40,7 @@ fn weighted_grid(side: usize) -> MaxMinInstance {
 }
 
 fn main() {
-    let mut report = BenchReport::new("e8_sharded_backend");
+    let mut report = BenchReport::new("e8_sharded_backend", "e8_sharded_backend");
 
     banner("E8a: backends on the 50x50 grid (2500 agents, R = 2), identical output");
     let inst = uniform_grid(50);

@@ -39,7 +39,7 @@ fn main() {
         return;
     }
 
-    let mut report = BenchReport::new("e9_transport");
+    let mut report = BenchReport::new("e9_transport", "e9_transport");
     let inst = weighted_grid(40);
     let radius = 2;
 

@@ -16,7 +16,12 @@ use std::path::{Path, PathBuf};
 
 /// The schema version stamped into every report, bumped whenever the JSON
 /// layout changes incompatibly.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// Version 2 added the top-level `producer` field (the binary that wrote
+/// the document) and the stamped `env` row ([`BenchReport::push_env`]), so
+/// an orphaned `BENCH_*.json` — an artifact of a run whose code never
+/// landed — is detectable by its missing stamp.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One labelled row of metrics (e.g. one backend configuration, one radius).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -32,6 +37,10 @@ pub struct BenchRow {
 pub struct BenchReport {
     /// Experiment identifier (`e7_batched_engine`, `e8_sharded_backend`, …).
     pub experiment: String,
+    /// Name of the binary that produced the document (`e12_solve_service`,
+    /// …), so an artifact can always be traced back to the code that wrote
+    /// it.
+    pub producer: String,
     /// Schema version of the document.
     pub schema_version: u32,
     /// The measurement rows, in insertion order.
@@ -39,9 +48,15 @@ pub struct BenchReport {
 }
 
 impl BenchReport {
-    /// An empty report for the given experiment.
-    pub fn new(experiment: &str) -> Self {
-        Self { experiment: experiment.to_string(), schema_version: SCHEMA_VERSION, rows: vec![] }
+    /// An empty report for the given experiment, stamped with the producing
+    /// binary's name.
+    pub fn new(experiment: &str, producer: &str) -> Self {
+        Self {
+            experiment: experiment.to_string(),
+            producer: producer.to_string(),
+            schema_version: SCHEMA_VERSION,
+            rows: vec![],
+        }
     }
 
     /// Appends one row of metrics.
@@ -52,11 +67,21 @@ impl BenchReport {
         });
     }
 
+    /// Appends the experiment's `env` row with the schema stamp attached:
+    /// the caller's environment metrics plus `schema_version`, so the stamp
+    /// appears inside the row data as well as in the document header.
+    pub fn push_env(&mut self, metrics: &[(&str, f64)]) {
+        let mut stamped: Vec<(&str, f64)> = metrics.to_vec();
+        stamped.push(("schema_version", f64::from(SCHEMA_VERSION)));
+        self.push("env", &stamped);
+    }
+
     /// Renders the report as pretty-printed JSON with deterministic field
     /// order.  Non-finite metric values become `null`.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"experiment\": {},\n", json_string(&self.experiment)));
+        out.push_str(&format!("  \"producer\": {},\n", json_string(&self.producer)));
         out.push_str(&format!("  \"schema_version\": {},\n", self.schema_version));
         out.push_str("  \"rows\": [");
         for (i, row) in self.rows.iter().enumerate() {
@@ -139,11 +164,12 @@ mod tests {
 
     #[test]
     fn report_renders_valid_deterministic_json() {
-        let mut report = BenchReport::new("e_test");
+        let mut report = BenchReport::new("e_test", "e_test_bin");
         report.push("row \"one\"", &[("classes", 21.0), ("ms", 1.5)]);
         report.push("row2", &[("pivots", f64::INFINITY)]);
         let json = report.to_json();
         assert!(json.contains("\"experiment\": \"e_test\""));
+        assert!(json.contains("\"producer\": \"e_test_bin\""));
         assert!(json.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")));
         assert!(json.contains("\"row \\\"one\\\"\""));
         assert!(json.contains("\"classes\": 21"));
@@ -155,10 +181,23 @@ mod tests {
 
     #[test]
     fn empty_report_is_well_formed() {
-        let report = BenchReport::new("empty");
+        let report = BenchReport::new("empty", "none");
         let json = report.to_json();
         assert!(json.contains("\"rows\": []"));
         assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn env_row_carries_the_schema_stamp() {
+        let mut report = BenchReport::new("e_env", "e_env_bin");
+        report.push_env(&[("smoke", 1.0)]);
+        let env = &report.rows[0];
+        assert_eq!(env.label, "env");
+        assert_eq!(env.metrics[0], ("smoke".to_string(), 1.0));
+        assert_eq!(
+            env.metrics.last().unwrap(),
+            &("schema_version".to_string(), f64::from(SCHEMA_VERSION))
+        );
     }
 
     #[test]
@@ -175,7 +214,7 @@ mod tests {
         // threads of one process).
         let dir = std::env::temp_dir().join("mmlp_report_test");
         std::fs::create_dir_all(&dir).unwrap();
-        let mut report = BenchReport::new("e_write_test");
+        let mut report = BenchReport::new("e_write_test", "e_write_test_bin");
         report.push("r", &[("v", 1.0)]);
         let path = report.write_to(&dir).unwrap();
         assert_eq!(path, dir.join("BENCH_e_write_test.json"));

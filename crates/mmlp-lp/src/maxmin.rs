@@ -15,7 +15,8 @@
 
 use crate::problem::{LpConstraint, LpError, LpProblem, ObjectiveSense};
 use crate::simplex::{
-    resolve_from_basis, solve_with, try_warm_solve, LpSolution, LpStatus, SimplexOptions, WarmStart,
+    resolve_from_basis, solve_with, try_dual_warm_solve, try_warm_solve, LpSolution, LpStatus,
+    SimplexOptions, WarmStart,
 };
 use mmlp_core::{MaxMinInstance, Solution};
 
@@ -202,6 +203,62 @@ pub fn solve_maxmin_resumed(
     solve_maxmin_trusted(instance, options, Some(seed), SeedTrust::Exact)
 }
 
+/// Solves `instance` exactly, restarting the simplex **through a dual-simplex
+/// phase** from a basis recorded before a weight perturbation.
+///
+/// After the consumption/benefit coefficients of an instance drift, its old
+/// optimal basis usually re-installs *primal infeasible* — which makes every
+/// primal warm start ([`solve_maxmin_seeded`], [`solve_maxmin_resumed`])
+/// reject it unexamined — while remaining *dual* feasible, because the
+/// reformulation's objective (`maximise ω`) never changes.  This entry point
+/// hands such a basis to [`try_dual_warm_solve`], which restores primal
+/// feasibility by dual pivots instead of re-running phase 1 from scratch.
+///
+/// The gate discipline is exactly the primal seeded path's: a dual-repaired
+/// optimum is accepted only when [`resolve_from_basis`]'s solution-uniqueness
+/// certificate holds (both paths then resolve the same canonical vertex
+/// basis), and every other outcome falls back to the cold two-phase solve —
+/// so the returned numbers are **bit-identical to the cold solve** by
+/// construction, whichever path produced them.
+pub fn solve_maxmin_dual_resumed(
+    instance: &MaxMinInstance,
+    options: &SimplexOptions,
+    seed: &WarmStart,
+) -> Result<(MaxMinOptimum, SeededSolveReport), LpError> {
+    let lp = build_maxmin_lp(instance);
+    let mut report = SeededSolveReport {
+        warm_attempted: true,
+        warm_accepted: false,
+        outcome: SeedOutcome::InstallFailed,
+    };
+    let mut pivots = 0usize;
+    let mut installs = 0usize;
+    let probe = try_dual_warm_solve(&lp, options, seed)?;
+    installs += probe.wasted_installs;
+    pivots += probe.wasted_pivots;
+    if probe.wasted_pivots > 0 {
+        report.outcome = SeedOutcome::NotOptimal;
+    }
+    if let Some(sol) = probe.solution {
+        pivots += sol.pivots;
+        installs += sol.installs;
+        report.outcome = SeedOutcome::NotOptimal;
+        if sol.status == LpStatus::Optimal {
+            report.outcome = SeedOutcome::ResolveFailed;
+            if let Some(res) = resolve_from_basis(&lp, options, &sol.basis)? {
+                installs += res.installs;
+                report.outcome = SeedOutcome::NotCertified;
+                if res.certified {
+                    report.warm_accepted = true;
+                    report.outcome = SeedOutcome::Accepted;
+                    return Ok((finish(instance, res.x, sol.basis, pivots, installs)?, report));
+                }
+            }
+        }
+    }
+    cold_tail(instance, &lp, options, pivots, installs, report)
+}
+
 fn solve_maxmin_trusted(
     instance: &MaxMinInstance,
     options: &SimplexOptions,
@@ -257,12 +314,25 @@ fn solve_maxmin_trusted(
             }
         }
     }
-    let sol = solve_with(&lp, options)?;
+    cold_tail(instance, &lp, options, pivots, installs, report)
+}
+
+/// The cold two-phase solve every seeded path falls back to, with the
+/// seeded attempt's wasted work carried into the returned accounting.
+fn cold_tail(
+    instance: &MaxMinInstance,
+    lp: &LpProblem,
+    options: &SimplexOptions,
+    mut pivots: usize,
+    mut installs: usize,
+    report: SeededSolveReport,
+) -> Result<(MaxMinOptimum, SeededSolveReport), LpError> {
+    let sol = solve_with(lp, options)?;
     pivots += sol.pivots;
     installs += sol.installs;
     check_status(&sol)?;
     let LpSolution { x, basis, .. } = sol;
-    let x = match resolve_from_basis(&lp, options, &basis)? {
+    let x = match resolve_from_basis(lp, options, &basis)? {
         Some(res) => {
             installs += res.installs;
             res.x
@@ -559,6 +629,82 @@ mod tests {
                 solve_maxmin_resumed(&inst, &opts, &WarmStart { basis }).unwrap();
             assert!(!report.warm_accepted);
             assert_eq!(resumed.solution, cold.solution);
+        }
+    }
+
+    /// Two agents, two resources; resource `i1` covers **both** agents with
+    /// weights `(a0, a1)`.  Both parties bind at every optimum, so the
+    /// binding resource pins the whole activity vector and the optimum stays
+    /// unique (certifiable) across the sweep — while growing the weights
+    /// past the old vertex's usage makes the recorded basis primal
+    /// infeasible without touching the objective row (ω), which is what
+    /// keeps it dual feasible.
+    fn two_resource_instance(a0: f64, a1: f64) -> crate::maxmin::MaxMinInstance {
+        let mut b = InstanceBuilder::new();
+        let v = b.add_agents(2);
+        let i0 = b.add_resource();
+        let i1 = b.add_resource();
+        let k0 = b.add_party();
+        let k1 = b.add_party();
+        b.set_consumption(i0, v[0], 1.0);
+        b.set_consumption(i0, v[1], 1.0);
+        b.set_consumption(i1, v[0], a0);
+        b.set_consumption(i1, v[1], a1);
+        b.set_benefit(k0, v[0], 1.0);
+        b.set_benefit(k1, v[1], 3.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dual_resumed_solve_repairs_a_perturbed_basis_bit_identically() {
+        // At (0.5, 0.5) the optimum is x = (3/4, 1/4) with resource i1
+        // slack (usage 1/2); at (1.2, 1.1) the old vertex would use
+        // 0.9 + 0.275 > 1, so the recorded basis is primal infeasible and
+        // only the dual phase can start from it.  The new optimum binds i1
+        // instead of i0 — a genuinely different basis, reached by dual
+        // pivots — and is unique, so the certificate accepts.
+        let opts = SimplexOptions::default();
+        let donor = solve_maxmin(&two_resource_instance(0.5, 0.5)).unwrap();
+        let inst = two_resource_instance(1.2, 1.1);
+        let cold = solve_maxmin(&inst).unwrap();
+        // The primal seeded path cannot install this basis…
+        let (_, primal_report) =
+            solve_maxmin_seeded(&inst, &opts, Some(&donor.warm_start())).unwrap();
+        assert_eq!(primal_report.outcome, SeedOutcome::InstallFailed);
+        // …while the dual path accepts it and still returns the cold bits.
+        let (dual, report) = solve_maxmin_dual_resumed(&inst, &opts, &donor.warm_start()).unwrap();
+        assert_eq!(report.outcome, SeedOutcome::Accepted);
+        assert!(report.warm_attempted && report.warm_accepted);
+        assert_eq!(dual.solution, cold.solution);
+        assert_eq!(dual.objective.to_bits(), cold.objective.to_bits());
+    }
+
+    #[test]
+    fn dual_resumed_solve_handles_coefficient_drift_of_any_size() {
+        // Sweep perturbations from none to basis-changing: accepted or not,
+        // the numbers must always be exactly the cold numbers.
+        let opts = SimplexOptions::default();
+        let donor = solve_maxmin(&two_resource_instance(0.5, 0.5)).unwrap();
+        for (a0, a1) in [(0.5, 0.5), (0.501, 0.5), (0.9, 1.0), (1.2, 1.1), (5.0, 0.1), (50.0, 7.0)]
+        {
+            let inst = two_resource_instance(a0, a1);
+            let cold = solve_maxmin(&inst).unwrap();
+            let (dual, _) = solve_maxmin_dual_resumed(&inst, &opts, &donor.warm_start()).unwrap();
+            assert_eq!(dual.solution, cold.solution, "a = ({a0}, {a1})");
+            assert_eq!(dual.objective.to_bits(), cold.objective.to_bits(), "a = ({a0}, {a1})");
+        }
+    }
+
+    #[test]
+    fn dual_resumed_solve_falls_back_on_garbage_seeds() {
+        let inst = two_resource_instance(1.2, 1.1);
+        let opts = SimplexOptions::default();
+        let cold = solve_maxmin(&inst).unwrap();
+        for basis in [vec![], vec![0, 0], vec![999, 1000, 1001], vec![0]] {
+            let (dual, report) =
+                solve_maxmin_dual_resumed(&inst, &opts, &WarmStart { basis }).unwrap();
+            assert!(!report.warm_accepted);
+            assert_eq!(dual.solution, cold.solution);
         }
     }
 

@@ -170,6 +170,32 @@ pub fn try_warm_solve(
     Tableau::build(problem, options).solve_warm(problem, warm)
 }
 
+/// Attempts a **dual-simplex** solve from a basis that may be primal
+/// infeasible, without the cold fallback.
+///
+/// The primal warm start ([`try_warm_solve`]) rejects any basis whose basic
+/// solution violates a constraint — which is exactly what happens to a
+/// recorded optimal basis after the problem's coefficients are perturbed.
+/// Such a basis usually remains *dual* feasible (no non-basic column has a
+/// positive reduced cost), and the dual simplex restores primal feasibility
+/// from it directly: pick the most infeasible row, pivot on the column the
+/// dual ratio test selects, repeat.  A final primal phase 2 then mops up
+/// (it performs zero pivots when the dual run terminated at an optimum).
+///
+/// The probe is rejected — with the same [`WarmProbe`] accounting as the
+/// primal path — when the basis cannot be installed at all, is not dual
+/// feasible, the dual ratio test finds an empty column (the perturbed
+/// problem is primal infeasible from this basis), or the pivot budget runs
+/// out.  Rejection is never an error: the caller falls back to a cold solve.
+pub fn try_dual_warm_solve(
+    problem: &LpProblem,
+    options: &SimplexOptions,
+    warm: &WarmStart,
+) -> Result<WarmProbe, LpError> {
+    problem.validate()?;
+    Tableau::build(problem, options).solve_dual_warm(problem, warm)
+}
+
 /// An optimal solution deterministically re-derived from its basis by
 /// [`resolve_from_basis`].
 #[derive(Debug, Clone, PartialEq)]
@@ -448,12 +474,160 @@ impl Tableau {
         }
     }
 
+    /// Attempts a dual-simplex solve from a possibly primal-infeasible basis.
+    ///
+    /// See [`try_dual_warm_solve`] for the contract; like [`solve_warm`], a
+    /// rejected attempt reports its wasted installation eliminations and
+    /// pivots instead of erroring.
+    fn solve_dual_warm(
+        mut self,
+        problem: &LpProblem,
+        warm: &WarmStart,
+    ) -> Result<WarmProbe, LpError> {
+        if !self.install_basis_columns(&warm.basis) {
+            return Ok(WarmProbe {
+                solution: None,
+                wasted_installs: self.installs,
+                wasted_pivots: 0,
+            });
+        }
+        let mut cost = vec![0.0; self.num_cols];
+        let maximize = problem.sense == ObjectiveSense::Maximize;
+        for (j, c) in problem.objective.iter().enumerate() {
+            cost[j] = if maximize { *c } else { -*c };
+        }
+        // The dual method is only sound from a dual-feasible start: every
+        // non-basic structural/slack column must have a non-positive reduced
+        // cost (up to the rounding the installation eliminations introduce).
+        let margin = self.tolerance * 100.0;
+        let dual_feasible = (0..self.artificial_start)
+            .filter(|j| !self.basis.contains(j))
+            .all(|j| self.reduced_cost(&cost, j) <= margin);
+        if !dual_feasible {
+            return Ok(WarmProbe {
+                solution: None,
+                wasted_installs: self.installs,
+                wasted_pivots: 0,
+            });
+        }
+        match self.dual_optimize(&cost) {
+            // Primal feasibility restored; phase 2 mops up any residual
+            // reduced-cost slack (zero pivots when the dual run terminated
+            // at an optimum) and extracts the solution.
+            Ok(true) => match self.phase2(problem) {
+                Ok(solution) => {
+                    Ok(WarmProbe { solution: Some(solution), wasted_installs: 0, wasted_pivots: 0 })
+                }
+                Err(LpError::IterationLimit { iterations }) => Ok(WarmProbe {
+                    solution: None,
+                    wasted_installs: self.installs,
+                    wasted_pivots: iterations,
+                }),
+                Err(e) => Err(e),
+            },
+            // The dual ratio test ran dry on an infeasible row: from this
+            // basis the problem is primal infeasible, so the seed is useless.
+            Ok(false) => Ok(WarmProbe {
+                solution: None,
+                wasted_installs: self.installs,
+                wasted_pivots: self.pivots,
+            }),
+            Err(LpError::IterationLimit { iterations }) => Ok(WarmProbe {
+                solution: None,
+                wasted_installs: self.installs,
+                wasted_pivots: iterations,
+            }),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The dual simplex loop: repeatedly pivots the most primal-infeasible
+    /// row against the column chosen by the dual ratio test, preserving dual
+    /// feasibility while driving every RHS non-negative.
+    ///
+    /// Returns `Ok(true)` when primal feasibility is restored (the basis is
+    /// then optimal up to tolerance), `Ok(false)` when an infeasible row has
+    /// no eligible entering column — the standard dual-simplex proof of
+    /// primal infeasibility from this basis.
+    fn dual_optimize(&mut self, cost: &[f64]) -> Result<bool, LpError> {
+        let mut local_pivots = 0usize;
+        loop {
+            if local_pivots > self.max_pivots {
+                return Err(LpError::IterationLimit { iterations: self.pivots });
+            }
+            // Leaving row: most negative RHS; ties towards the smallest
+            // basis index, mirroring the primal ratio test's determinism.
+            let mut leaving: Option<(usize, f64)> = None;
+            for (r, row) in self.rows.iter().enumerate() {
+                let rhs = row[self.num_cols];
+                if rhs < -self.tolerance {
+                    let better = match leaving {
+                        None => true,
+                        Some((best_r, best_rhs)) => {
+                            rhs < best_rhs - self.tolerance
+                                || (rhs < best_rhs + self.tolerance
+                                    && self.basis[r] < self.basis[best_r])
+                        }
+                    };
+                    if better {
+                        leaving = Some((r, rhs));
+                    }
+                }
+            }
+            let Some((r, _)) = leaving else {
+                return Ok(true);
+            };
+            // Entering column: among non-basic structural/slack columns with
+            // a negative entry in the leaving row, minimise the dual ratio
+            // |reduced cost / entry| — ascending scan keeps ties at the
+            // smallest column index.
+            let mut entering: Option<(usize, f64)> = None;
+            for j in 0..self.artificial_start {
+                if self.basis.contains(&j) {
+                    continue;
+                }
+                let a = self.rows[r][j];
+                if a < -self.tolerance {
+                    let ratio = self.reduced_cost(cost, j) / a;
+                    let better = match entering {
+                        None => true,
+                        Some((_, best)) => ratio < best - self.tolerance,
+                    };
+                    if better {
+                        entering = Some((j, ratio));
+                    }
+                }
+            }
+            let Some((j, _)) = entering else {
+                return Ok(false);
+            };
+            self.pivot(r, j);
+            local_pivots += 1;
+            self.pivots += 1;
+        }
+    }
+
     /// Pivots the tableau into the given basis via Gauss–Jordan elimination.
     ///
     /// Returns `false` (leaving the tableau in an unusable state) if the
     /// basis has the wrong cardinality, touches artificial columns, is
     /// singular, or yields a primal-infeasible basic solution.
     fn install_basis(&mut self, basis: &[usize]) -> bool {
+        if !self.install_basis_columns(basis) {
+            return false;
+        }
+        // The basic solution must be primal feasible to skip phase 1.
+        let tol = self.feasibility_tolerance();
+        self.rows.iter().all(|row| row[self.num_cols] >= -tol)
+    }
+
+    /// The structural part of [`install_basis`]: pivots the tableau into the
+    /// given basis without checking primal feasibility of the result.
+    ///
+    /// The dual simplex starts from exactly the bases the feasibility check
+    /// rejects, so it installs through this variant and then restores
+    /// feasibility by dual pivots instead of refusing.
+    fn install_basis_columns(&mut self, basis: &[usize]) -> bool {
         let m = self.rows.len();
         if basis.len() != m {
             return false;
@@ -484,9 +658,7 @@ impl Tableau {
             self.installs += 1;
             row_assigned[r] = true;
         }
-        // The basic solution must be primal feasible to skip phase 1.
-        let tol = self.feasibility_tolerance();
-        self.rows.iter().all(|row| row[self.num_cols] >= -tol)
+        true
     }
 
     /// Whether entering column `j` could change any structural variable —
@@ -1202,6 +1374,96 @@ mod tests {
         .unwrap();
         assert_eq!(sol.status, LpStatus::Infeasible);
         assert!(sol.installs > 0);
+    }
+
+    #[test]
+    fn dual_warm_solve_recovers_from_a_primal_infeasible_basis() {
+        // max 3x + 5y  s.t.  x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 — then tighten the
+        // first constraint to x ≤ 1.  At the old optimum (2, 6) that row's
+        // slack is basic at 4 − 2 = 2; re-installed on the tightened problem
+        // it sits at 1 − 2 = −1, so the primal warm start must reject the
+        // basis while the dual simplex repairs it.
+        let mut p = LpProblem::new(2, ObjectiveSense::Maximize);
+        p.set_objective(0, 3.0).set_objective(1, 5.0);
+        p.add_constraint(LpConstraint::le(vec![(0, 1.0)], 4.0));
+        p.add_constraint(LpConstraint::le(vec![(1, 2.0)], 12.0));
+        p.add_constraint(LpConstraint::le(vec![(0, 3.0), (1, 2.0)], 18.0));
+        let cold = solve(&p).unwrap();
+        let warm = WarmStart::from_solution(&cold);
+
+        let mut tightened = LpProblem::new(2, ObjectiveSense::Maximize);
+        tightened.set_objective(0, 3.0).set_objective(1, 5.0);
+        tightened.add_constraint(LpConstraint::le(vec![(0, 1.0)], 1.0));
+        tightened.add_constraint(LpConstraint::le(vec![(1, 2.0)], 12.0));
+        tightened.add_constraint(LpConstraint::le(vec![(0, 3.0), (1, 2.0)], 18.0));
+        let opts = SimplexOptions::default();
+        let primal_probe = try_warm_solve(&tightened, &opts, &warm).unwrap();
+        assert!(primal_probe.solution.is_none(), "primal install must reject infeasible bases");
+
+        let dual_probe = try_dual_warm_solve(&tightened, &opts, &warm).unwrap();
+        let dual = dual_probe.solution.expect("dual simplex repairs the basis");
+        assert_eq!(dual.status, LpStatus::Optimal);
+        let reference = solve(&tightened).unwrap();
+        assert_close(dual.objective, reference.objective, 1e-7);
+        assert_close(dual.x[0], reference.x[0], 1e-7);
+        assert_close(dual.x[1], reference.x[1], 1e-7);
+        assert!(dual.pivots >= 1, "repair requires at least one dual pivot");
+    }
+
+    #[test]
+    fn dual_warm_solve_on_the_unperturbed_problem_pivots_zero_times() {
+        // A recorded optimal basis of the very same problem is both primal
+        // and dual feasible: the dual loop finds nothing to repair and
+        // phase 2 nothing to improve.
+        let mut p = LpProblem::new(2, ObjectiveSense::Maximize);
+        p.set_objective(0, 3.0).set_objective(1, 5.0);
+        p.add_constraint(LpConstraint::le(vec![(0, 1.0)], 4.0));
+        p.add_constraint(LpConstraint::le(vec![(1, 2.0)], 12.0));
+        p.add_constraint(LpConstraint::le(vec![(0, 3.0), (1, 2.0)], 18.0));
+        let cold = solve(&p).unwrap();
+        let probe =
+            try_dual_warm_solve(&p, &SimplexOptions::default(), &WarmStart::from_solution(&cold))
+                .unwrap();
+        let sol = probe.solution.unwrap();
+        assert_eq!(sol.pivots, 0);
+        assert_close(sol.objective, cold.objective, 1e-9);
+    }
+
+    #[test]
+    fn dual_warm_solve_rejects_dual_infeasible_and_malformed_bases() {
+        let mut p = LpProblem::new(2, ObjectiveSense::Maximize);
+        p.set_objective(0, 1.0).set_objective(1, 1.0);
+        p.add_constraint(LpConstraint::le(vec![(0, 1.0), (1, 1.0)], 1.0));
+        let opts = SimplexOptions::default();
+        // Shape-invalid bases reject before any elimination.
+        let probe = try_dual_warm_solve(&p, &opts, &WarmStart { basis: vec![] }).unwrap();
+        assert!(probe.solution.is_none());
+        assert_eq!(probe.wasted_installs, 0);
+        assert!(try_dual_warm_solve(&p, &opts, &WarmStart { basis: vec![99] })
+            .unwrap()
+            .solution
+            .is_none());
+        // The all-slack basis (x = 0) is primal feasible but dual infeasible
+        // (both structural columns have reduced cost +1): the dual method
+        // does not apply and the probe must say so instead of pivoting.
+        let probe = try_dual_warm_solve(&p, &opts, &WarmStart { basis: vec![2] }).unwrap();
+        assert!(probe.solution.is_none());
+        assert!(probe.wasted_installs > 0);
+    }
+
+    #[test]
+    fn dual_warm_solve_reports_infeasible_problems_as_rejections() {
+        // x ≤ 1 and x ≥ 2: from the basis {x, surplus} the dual ratio test
+        // runs dry, which must come back as a rejection (cold path then
+        // reports Infeasible), never a panic or a bogus solution.
+        let mut p = LpProblem::new(1, ObjectiveSense::Maximize);
+        p.set_objective(0, 1.0);
+        p.add_constraint(LpConstraint::le(vec![(0, 1.0)], 1.0));
+        p.add_constraint(LpConstraint::ge(vec![(0, 1.0)], 2.0));
+        let probe =
+            try_dual_warm_solve(&p, &SimplexOptions::default(), &WarmStart { basis: vec![0, 1] })
+                .unwrap();
+        assert!(probe.solution.is_none());
     }
 
     #[test]

@@ -59,7 +59,7 @@
 use crate::transport::{TransportError, WorkerLink};
 use crate::wire::{put_str, ByteReader, Frame, FrameKind};
 use crate::{Shard, ShardStats, StageRun, StageStats};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
 /// Dispatch discipline of the [`ShardDriver`].
@@ -186,13 +186,17 @@ pub struct ShardDriver {
 #[derive(Default)]
 pub struct LinkPool {
     pub(crate) links: Vec<Option<Box<dyn WorkerLink>>>,
-    /// The last context payload each live link received.  A worker keeps a
-    /// stage's stored context until different bytes replace it, so the
-    /// driver skips re-sending identical context bytes — per-round stages
-    /// with a large constant context (the simulator tiers ship the whole
-    /// network there) pay for it once per link instead of once per round.
-    /// Cleared whenever a fresh link is installed.
-    sent_context: Vec<Option<Vec<u8>>>,
+    /// The last context payload each live link received, **per stage id**.
+    /// A worker keeps every stage's stored context until different bytes
+    /// replace that stage's entry, so the driver skips re-sending identical
+    /// context bytes — per-round stages with a large constant context (the
+    /// simulator tiers ship the whole network there; the incremental engine
+    /// registers a whole base instance) pay for it once per link instead of
+    /// once per run.  Keying by stage id mirrors the worker's own per-stage
+    /// context store: without it, two stages alternating on one pool would
+    /// evict each other's dedup entry on every run and re-ship both
+    /// contexts every time.  Cleared whenever a fresh link is installed.
+    sent_context: Vec<HashMap<&'static str, Vec<u8>>>,
     /// Spawn counters per worker index: bumped on every installed link, so
     /// a [`RecoveryLog`] can recognise a link it has never synchronised
     /// (generation 0 = never spawned).
@@ -224,16 +228,16 @@ impl LinkPool {
     }
 
     /// Installs a freshly spawned link for worker `w`, bumping its
-    /// generation and forgetting what context the dead link had received.
+    /// generation and forgetting what contexts the dead link had received.
     fn install(&mut self, w: usize, link: Box<dyn WorkerLink>) {
         if self.generations.len() <= w {
             self.generations.resize(w + 1, 0);
         }
         if self.sent_context.len() <= w {
-            self.sent_context.resize(w + 1, None);
+            self.sent_context.resize_with(w + 1, HashMap::new);
         }
         self.generations[w] += 1;
-        self.sent_context[w] = None;
+        self.sent_context[w].clear();
         self.links[w] = Some(link);
     }
 
@@ -243,17 +247,18 @@ impl LinkPool {
     }
 
     /// Whether worker `w`'s current link already holds exactly this context
-    /// payload (see [`LinkPool::sent_context`]).
-    fn context_is_current(&self, w: usize, payload: &[u8]) -> bool {
-        self.sent_context.get(w).and_then(Option::as_deref) == Some(payload)
+    /// payload for this stage (see [`LinkPool::sent_context`]).
+    fn context_is_current(&self, w: usize, stage_id: &'static str, payload: &[u8]) -> bool {
+        self.sent_context.get(w).and_then(|m| m.get(stage_id)).map(Vec::as_slice) == Some(payload)
     }
 
-    /// Records the context payload worker `w`'s link just received.
-    fn note_context(&mut self, w: usize, payload: &[u8]) {
+    /// Records the context payload worker `w`'s link just received for the
+    /// given stage.
+    fn note_context(&mut self, w: usize, stage_id: &'static str, payload: &[u8]) {
         if self.sent_context.len() <= w {
-            self.sent_context.resize(w + 1, None);
+            self.sent_context.resize_with(w + 1, HashMap::new);
         }
-        self.sent_context[w] = Some(payload.to_vec());
+        self.sent_context[w].insert(stage_id, payload.to_vec());
     }
 }
 
@@ -635,9 +640,9 @@ impl ShardDriver {
             states[w].ctx_sent = false;
         }
         if !states[w].ctx_sent {
-            if !pool.context_is_current(w, &context.payload) {
+            if !pool.context_is_current(w, stage.stage_id(), &context.payload) {
                 pool.links[w].as_mut().expect("just ensured").send(context)?;
-                pool.note_context(w, &context.payload);
+                pool.note_context(w, stage.stage_id(), &context.payload);
             }
             states[w].ctx_sent = true;
         }
@@ -954,6 +959,91 @@ mod tests {
         let stage = OffsetStage { base: 1000 };
         let outputs = driver.run("test", &stage, &plan, &mut pool, &mut spawn).unwrap().outputs;
         assert_eq!(outputs, reference(12, 6));
+    }
+
+    #[test]
+    fn interleaved_stages_ship_each_context_once_per_link() {
+        // Regression: the pool used to remember only the *last* context
+        // payload per worker, so a driver alternating between two stages
+        // (the engine pipeline does exactly this) re-shipped both contexts
+        // on every run — each stage's payload evicted the other's.  The
+        // per-stage map must keep both resident at once.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        struct AltStage {
+            id: &'static str,
+            base: u64,
+        }
+        impl WireStage for AltStage {
+            type Output = Vec<u64>;
+            fn stage_id(&self) -> &'static str {
+                self.id
+            }
+            fn encode_context(&self, out: &mut Vec<u8>) {
+                put_u64(out, self.base);
+            }
+            fn encode_job(&self, shard: &Shard, out: &mut Vec<u8>) {
+                put_u64(out, shard.start as u64);
+                put_u64(out, shard.end as u64);
+            }
+            fn decode_reply(
+                &self,
+                _shard: &Shard,
+                payload: &[u8],
+            ) -> Result<Vec<u64>, TransportError> {
+                let mut r = ByteReader::new(payload);
+                Ok(r.u64s("offsets")?)
+            }
+            fn run_local(&self, shard: &Shard) -> Vec<u64> {
+                shard.range().map(|i| self.base + i as u64).collect()
+            }
+        }
+
+        struct CountingLink {
+            inner: LoopbackLink,
+            contexts: Arc<AtomicUsize>,
+        }
+        impl WorkerLink for CountingLink {
+            fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
+                if frame.kind == FrameKind::Context {
+                    self.contexts.fetch_add(1, Ordering::SeqCst);
+                }
+                self.inner.send(frame)
+            }
+            fn recv(&mut self) -> Result<Frame, TransportError> {
+                self.inner.recv()
+            }
+        }
+
+        let mut reg = StageRegistry::new();
+        reg.register("test/alt-a@1", offset_handler);
+        reg.register("test/alt-b@1", offset_handler);
+        let reg = Arc::new(reg);
+        let contexts = Arc::new(AtomicUsize::new(0));
+        let driver = ShardDriver { workers: 2, mode: DriverMode::Overlapped, max_retries: 0 };
+        let mut pool = LinkPool::new();
+        let counter = contexts.clone();
+        let mut spawn = move |w: usize| -> Result<Box<dyn WorkerLink>, TransportError> {
+            Ok(Box::new(CountingLink {
+                inner: LoopbackLink::new(reg.clone(), w),
+                contexts: counter.clone(),
+            }) as Box<dyn WorkerLink>)
+        };
+
+        let plan = balanced_plan(8, 4);
+        let a = AltStage { id: "test/alt-a@1", base: 100 };
+        let b = AltStage { id: "test/alt-b@1", base: 5000 };
+        for round in 0..3 {
+            let got_a = driver.run("test", &a, &plan, &mut pool, &mut spawn).unwrap().outputs;
+            let got_b = driver.run("test", &b, &plan, &mut pool, &mut spawn).unwrap().outputs;
+            let want_a: Vec<Vec<u64>> = plan.iter().map(|s| a.run_local(s)).collect();
+            let want_b: Vec<Vec<u64>> = plan.iter().map(|s| b.run_local(s)).collect();
+            assert_eq!(got_a, want_a, "round {round}");
+            assert_eq!(got_b, want_b, "round {round}");
+        }
+        // Two workers x two stages: each link hears each context exactly
+        // once, however many alternating runs reuse the pool.
+        assert_eq!(contexts.load(Ordering::SeqCst), 4);
     }
 
     #[test]

@@ -91,6 +91,15 @@ pub enum WireError {
         /// What was being decoded when the payload turned out malformed.
         context: &'static str,
     },
+    /// A versioned patch payload targets a different base version than the
+    /// receiver holds — applying it would silently patch the wrong data, so
+    /// the decoder refuses with the two versions spelled out.
+    BaseVersionMismatch {
+        /// The base version the receiver holds.
+        expected: u64,
+        /// The base version the payload was built against.
+        found: u64,
+    },
     /// An underlying I/O failure (stored as a string: `io::Error` is neither
     /// `Clone` nor `PartialEq`).
     Io(String),
@@ -115,6 +124,9 @@ impl fmt::Display for WireError {
             WireError::UnknownFrameKind(k) => write!(f, "unknown frame kind {k}"),
             WireError::Decode { context } => {
                 write!(f, "malformed payload while decoding {context}")
+            }
+            WireError::BaseVersionMismatch { expected, found } => {
+                write!(f, "patch targets base version {found}, receiver holds {expected}")
             }
             WireError::Io(msg) => write!(f, "transport i/o error: {msg}"),
         }

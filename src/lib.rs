@@ -123,12 +123,14 @@ pub use mmlp_lp::solve_maxmin;
 pub mod prelude {
     pub use crate::algorithms::{
         apply_rule_direct, compare_algorithms, engine_registry, local_averaging,
-        local_averaging_activity_from_view, run_local_rule, run_wire_rule, safe_activity_from_view,
-        safe_algorithm, serve_engine_worker_if_requested, solve_local_lps, solve_local_lps_on,
+        local_averaging_activity_from_view, register_base, run_local_rule, run_wire_rule,
+        safe_activity_from_view, safe_algorithm, serve_engine_worker_if_requested, solve_local_lps,
+        solve_local_lps_incremental, solve_local_lps_incremental_on, solve_local_lps_on,
         solve_local_lps_reusing, uniform_baseline, views_direct, AlgorithmComparison,
-        ClassBasisCache, EngineError, EngineService, LocalAveragingOptions, LocalAveragingResult,
-        LocalLpBatch, LocalLpOptions, LocalRuleProgram, LocalRun, SolveMode, SolveStats,
-        WarmStartPolicy, WireRule, SAFE_HORIZON,
+        ClassBasisCache, DeltaError, EngineError, EngineService, IncrementalRun, InstanceDelta,
+        LocalAveragingOptions, LocalAveragingResult, LocalLpBatch, LocalLpOptions,
+        LocalRuleProgram, LocalRun, RegisteredBase, SolveMode, SolveStats, WarmStartPolicy,
+        WeightEdit, WeightKind, WireRule, SAFE_HORIZON,
     };
     pub use crate::core::{
         bounds, canonical_form, canonical_key, AgentId, CanonicalForm, CanonicalKey, DegreeBounds,
@@ -149,8 +151,9 @@ pub mod prelude {
         RandomInstanceConfig, SensorNetworkConfig, SensorNetworkInstance,
     };
     pub use crate::lp::{
-        solve_maxmin, solve_maxmin_seeded, solve_maxmin_warm, solve_maxmin_with, LpProblem,
-        LpStatus, SeededSolveReport, SimplexOptions, WarmStart,
+        solve_maxmin, solve_maxmin_dual_resumed, solve_maxmin_resumed, solve_maxmin_seeded,
+        solve_maxmin_warm, solve_maxmin_with, LpProblem, LpStatus, SeededSolveReport,
+        SimplexOptions, WarmStart,
     };
     pub use crate::parallel::{
         backend_map, par_map, par_map_with, probe_worker, BackendKind, DriverMode, FaultPlan,

@@ -19,8 +19,8 @@
 //!   typed error — no panic, no hang, no silently wrong frame.
 
 use maxmin_local_lp::algorithms::transport::{
-    put_canonical_form, put_instance, put_warm_start, read_canonical_form, read_instance,
-    read_warm_start,
+    put_canonical_form, put_instance, put_instance_delta, put_warm_start, read_canonical_form,
+    read_instance, read_instance_delta, read_warm_start,
 };
 use maxmin_local_lp::parallel::wire::{decode_frame, encode_frame, ByteReader, Frame, FrameKind};
 use maxmin_local_lp::prelude::*;
@@ -174,6 +174,22 @@ proptest! {
     }
 }
 
+/// An arbitrary (wire-valid) instance delta derived from a seed: finite
+/// positive weights, arbitrary rows/agents — structural validation against a
+/// base instance is the engine's job, not the codec's.
+fn arbitrary_delta(seed: u64, len: usize) -> InstanceDelta {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edits = (0..len)
+        .map(|_| WeightEdit {
+            kind: if rng.gen() { WeightKind::Consumption } else { WeightKind::Benefit },
+            row: rng.gen_range(0usize..10_000),
+            agent: rng.gen_range(0usize..10_000),
+            weight: rng.gen_range(1e-9f64..1e9),
+        })
+        .collect();
+    InstanceDelta { base_version: rng.gen(), edits }
+}
+
 /// An arbitrary frame derived from a seed (kind, sequence number, payload).
 fn arbitrary_frame(seed: u64, payload_len: usize) -> Frame {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -280,6 +296,66 @@ proptest! {
     }
 
     #[test]
+    fn instance_delta_wire_codec_is_identity(seed in any::<u64>(), len in 0usize..40) {
+        let delta = arbitrary_delta(seed, len);
+        let mut bytes = Vec::new();
+        put_instance_delta(&mut bytes, &delta);
+        let mut r = ByteReader::new(&bytes);
+        let decoded = read_instance_delta(&mut r, None).expect("own encoding must decode");
+        prop_assert!(r.is_empty());
+        // Bit-identical reconstruction, weights included — the property the
+        // incremental conformance guarantee rests on.
+        prop_assert_eq!(decoded, delta);
+    }
+
+    #[test]
+    fn instance_delta_version_gate_is_typed(
+        seed in any::<u64>(),
+        len in 0usize..10,
+        skew in 1u64..1000,
+    ) {
+        let delta = arbitrary_delta(seed, len);
+        let mut bytes = Vec::new();
+        put_instance_delta(&mut bytes, &delta);
+        // Pinning the right version accepts; any other version is the typed
+        // mismatch (re-register, don't re-send), never a generic decode error.
+        let pinned = read_instance_delta(&mut ByteReader::new(&bytes), Some(delta.base_version));
+        prop_assert_eq!(pinned.expect("matching version must decode"), delta.clone());
+        let expected = delta.base_version.wrapping_add(skew);
+        match read_instance_delta(&mut ByteReader::new(&bytes), Some(expected)) {
+            Err(WireError::BaseVersionMismatch { expected: e, found }) => {
+                prop_assert_eq!(e, expected);
+                prop_assert_eq!(found, delta.base_version);
+            }
+            other => prop_assert!(false, "expected the typed mismatch, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn instance_delta_decoder_survives_truncation_and_noise(
+        seed in any::<u64>(),
+        len in 0usize..20,
+        noise_len in 0usize..400,
+    ) {
+        let delta = arbitrary_delta(seed, len);
+        let mut bytes = Vec::new();
+        put_instance_delta(&mut bytes, &delta);
+        // Every strict prefix is rejected with a typed error, no panic.
+        for cut in 0..bytes.len() {
+            prop_assert!(read_instance_delta(&mut ByteReader::new(&bytes[..cut]), None).is_err());
+        }
+        // Arbitrary byte noise: any outcome but a panic; a successful decode
+        // must re-encode to a prefix of the noise.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xde17a);
+        let noise: Vec<u8> = (0..noise_len).map(|_| rng.gen_range(0u64..256) as u8).collect();
+        if let Ok(decoded) = read_instance_delta(&mut ByteReader::new(&noise), None) {
+            let mut reencoded = Vec::new();
+            put_instance_delta(&mut reencoded, &decoded);
+            prop_assert_eq!(reencoded.as_slice(), &noise[..reencoded.len()]);
+        }
+    }
+
+    #[test]
     fn payload_decoders_never_panic_on_noise(seed in any::<u64>(), len in 0usize..400) {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xdec0de);
         let noise: Vec<u8> = (0..len).map(|_| rng.gen_range(0u64..256) as u8).collect();
@@ -292,6 +368,8 @@ proptest! {
         }
         let _ = read_canonical_form(&mut ByteReader::new(&noise));
         let _ = read_warm_start(&mut ByteReader::new(&noise));
+        let _ = read_instance_delta(&mut ByteReader::new(&noise), None);
+        let _ = read_instance_delta(&mut ByteReader::new(&noise), Some(seed));
     }
 }
 

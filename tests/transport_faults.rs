@@ -104,6 +104,52 @@ fn death_past_the_retry_budget_is_a_typed_error() {
     }
 }
 
+/// A small deterministic delta over the workload: one consumption and one
+/// benefit weight rescaled, topology untouched.
+fn small_delta(inst: &MaxMinInstance, version: u64) -> InstanceDelta {
+    let (i, a) = inst.agent(AgentId::new(7)).resources[0];
+    let (k, c) = inst.agent(AgentId::new(19)).parties[0];
+    InstanceDelta {
+        base_version: version,
+        edits: vec![
+            WeightEdit { kind: WeightKind::Consumption, row: i.index(), agent: 7, weight: a * 1.5 },
+            WeightEdit { kind: WeightKind::Benefit, row: k.index(), agent: 19, weight: c * 0.75 },
+        ],
+    }
+}
+
+#[test]
+fn killed_worker_mid_delta_is_retried_to_an_identical_result() {
+    // A worker dies *after* its delta-stage context was installed; the
+    // respawned replacement starts with a clean link, so the retry must
+    // re-ship the registered base + delta context before re-running the job.
+    let inst = workload();
+    let options = LocalLpOptions::new(1);
+    let base = register_base(&inst, &options, 4).unwrap();
+    let delta = small_delta(&inst, 4);
+    let reference = solve_local_lps(&delta.apply(&inst).unwrap(), &options).unwrap();
+    let backend =
+        loopback(FaultPlan { die_after_replies: Some(2), ..FaultPlan::none() }).with_max_retries(1);
+    let run = solve_local_lps_incremental_on(&base, &delta, &backend).unwrap();
+    assert_eq!(run.batch.local_x, reference.local_x);
+    assert_eq!(run.batch.balls, reference.balls);
+    assert_eq!(run.batch.class_of_ball, reference.class_of_ball);
+    assert_eq!(run.batch.class_keys, reference.class_keys);
+}
+
+#[test]
+fn delta_death_past_the_retry_budget_is_a_typed_error() {
+    let inst = workload();
+    let base = register_base(&inst, &LocalLpOptions::new(1), 4).unwrap();
+    let delta = small_delta(&inst, 4);
+    let backend =
+        loopback(FaultPlan { die_after_replies: Some(1), ..FaultPlan::none() }).with_max_retries(0);
+    match solve_local_lps_incremental_on(&base, &delta, &backend) {
+        Err(EngineError::Transport(TransportError::RetriesExhausted { .. })) => {}
+        other => panic!("expected exhausted retries, got {other:?}"),
+    }
+}
+
 #[test]
 fn truncated_reply_is_a_typed_error() {
     let inst = workload();
