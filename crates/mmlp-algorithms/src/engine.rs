@@ -63,15 +63,17 @@
 //! execution statistics.
 
 use crate::transport::{
-    engine_registry, CanonWireStage, DeltaPresentWireStage, PresentWireStage, ScatterWireStage,
-    SolveWireStage,
+    engine_registry, CanonWireStage, DeltaPresentWireStage, LiftedCanonWireStage, PresentWireStage,
+    ScatterWireStage, SolveWireStage,
 };
-use mmlp_core::canonical::{canonical_form, CanonicalForm, CanonicalKey, SEP_PARTY, SEP_RESOURCE};
+use mmlp_core::canonical::{
+    canonical_form, quasi_canonical_form, CanonicalForm, CanonicalKey, SEP_PARTY, SEP_RESOURCE,
+};
 use mmlp_core::{AgentId, InstanceBuilder, MaxMinInstance, PartyId, ResourceId};
 use mmlp_hypergraph::{communication_hypergraph, BallEnumerator, NeighborCache};
 use mmlp_lp::{
-    solve_maxmin_dual_resumed, solve_maxmin_resumed, solve_maxmin_seeded, LpError, SimplexOptions,
-    WarmStart,
+    solve_maxmin_dual_resumed, solve_maxmin_resumed, solve_maxmin_seeded, CertifiedInterval,
+    LpError, SimplexOptions, WarmStart,
 };
 use mmlp_parallel::{
     pooled_subprocess_backend, BackendKind, LoopbackBackend, ParallelConfig, ScopedThreads,
@@ -96,6 +98,10 @@ pub enum EngineError {
     Transport(TransportError),
     /// An [`InstanceDelta`] could not be applied to its registered base.
     Delta(DeltaError),
+    /// The engine options are invalid for the requested operation (a
+    /// non-finite or negative lifted `epsilon`, or a lifted base registered
+    /// for incremental re-solves).
+    InvalidOptions(String),
 }
 
 impl fmt::Display for EngineError {
@@ -104,6 +110,7 @@ impl fmt::Display for EngineError {
             EngineError::Lp(e) => write!(f, "local LP solve failed: {e}"),
             EngineError::Transport(e) => write!(f, "solve backend transport failed: {e}"),
             EngineError::Delta(e) => write!(f, "instance delta rejected: {e}"),
+            EngineError::InvalidOptions(reason) => write!(f, "invalid engine options: {reason}"),
         }
     }
 }
@@ -300,7 +307,7 @@ impl InstanceDelta {
 }
 
 /// How the engine distributes the per-ball LP solves.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum SolveMode {
     /// Deduplicate: solve each unique canonical LP once and scatter the
     /// result to every agent whose ball is in that class.
@@ -311,6 +318,22 @@ pub enum SolveMode {
     /// [`SolveMode::Batched`]).  Warm starts are never used in this mode —
     /// it is the reference the other configurations are compared against.
     NaivePerAgent,
+    /// Lifted (quasi-class) dedup for irregular instances: every ball LP's
+    /// coefficients are snapped down onto the geometric grid `(1+ε)^b`
+    /// before canonicalisation, so `ε`-close weights stop splitting classes
+    /// and one representative LP is solved per *quasi*-class.  The scattered
+    /// activity vectors are scaled by `1/(1+s)` (with `s` the class's
+    /// *measured* quantisation slack) so they stay feasible for every actual
+    /// ball, and each agent additionally receives a
+    /// [`CertifiedInterval`] bracketing its exact ball optimum
+    /// ([`LocalLpBatch::intervals`]).  At `epsilon = 0.0` the quasi
+    /// partition *is* the exact partition and the batch is bit-identical to
+    /// [`SolveMode::Batched`].
+    Lifted {
+        /// Grid coarseness `ε ≥ 0` (finite).  Larger values merge more
+        /// classes at the price of wider certified intervals.
+        epsilon: f64,
+    },
 }
 
 /// Whether (and how) class solves are seeded from previously solved classes.
@@ -424,6 +447,15 @@ pub struct SolveStats {
     /// Number of dual-seeded solves whose uniqueness certificate held; the
     /// rest fell back to the cold path (bit-identical either way).
     pub dual_accepted: usize,
+    /// Number of quasi-classes the solve grouped the balls into.  Under
+    /// [`SolveMode::Lifted`] this is the quantised class count; in the exact
+    /// modes it equals [`unique_classes`](SolveStats::unique_classes) (the
+    /// exact partition *is* the `ε = 0` quasi partition).
+    pub quasi_classes: usize,
+    /// The largest measured quantisation slack `s = max(w/q − 1)` over all
+    /// presentations — `0.0` in the exact modes, and the honest worst-case
+    /// factor behind every [`CertifiedInterval`] of the batch.
+    pub max_class_slack: f64,
     /// Wall-clock per stage.
     pub timings: StageTimings,
     /// Per-shard execution statistics of every stage, in stage order.
@@ -449,6 +481,18 @@ impl SolveStats {
             self.balls_enumerated as f64 / self.unique_classes as f64
         }
     }
+
+    /// `balls_enumerated / quasi_classes` — how many agents share each
+    /// solved (quasi-)class on average; the lifted analogue of
+    /// [`dedup_factor`](SolveStats::dedup_factor).  Defined as `1.0` for an
+    /// empty batch (no balls, no classes) rather than `NaN` or `∞`.
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.balls_enumerated == 0 || self.quasi_classes == 0 {
+            1.0
+        } else {
+            self.balls_enumerated as f64 / self.quasi_classes as f64
+        }
+    }
 }
 
 /// The output of the engine: every agent's ball and local-LP optimum.
@@ -468,8 +512,21 @@ pub struct LocalLpBatch {
     /// The canonical key of each class, aligned with
     /// [`class_bases`](LocalLpBatch::class_bases) — what
     /// [`basis_cache`](LocalLpBatch::basis_cache) indexes the recorded bases
-    /// by.
-    pub class_keys: Vec<CanonicalKey>,
+    /// by.  Interned behind `Arc` so cache installs, base registration and
+    /// the incremental class table share one allocation per class instead of
+    /// deep-copying the key per ball.
+    pub class_keys: Vec<Arc<CanonicalKey>>,
+    /// `ball_objectives[u]` is the optimum of the canonical LP solved for
+    /// agent `u`'s class: the exact ball optimum `ω*` in the exact modes,
+    /// and the *quantised* class optimum `ω̃` under [`SolveMode::Lifted`].
+    /// Computed host-side with a deterministic fold, so it is bit-identical
+    /// across modes (at `ε = 0`) and backends.
+    pub ball_objectives: Vec<f64>,
+    /// `intervals[u]` certifies agent `u`'s exact ball optimum:
+    /// `ω* ∈ [lower, upper]`.  A degenerate point `[ω*, ω*]` in the exact
+    /// modes; under [`SolveMode::Lifted`] the bracket
+    /// `[ω̃/(1+s), ω̃·(1+s)]` from the class's measured slack `s`.
+    pub intervals: Vec<CertifiedInterval>,
     /// Stage statistics.
     pub stats: SolveStats,
 }
@@ -520,15 +577,18 @@ pub const DEFAULT_CLASS_BASIS_CAPACITY: usize = 4096;
 /// always safe.
 #[derive(Debug, Clone)]
 pub struct ClassBasisCache {
-    /// Key → (recorded basis, stamp of its most recent installation).
-    bases: HashMap<CanonicalKey, (WarmStart, u64)>,
+    /// Key → (recorded basis, stamp of its most recent installation).  Keys
+    /// are the interned `Arc`s of [`LocalLpBatch::class_keys`], so absorbing
+    /// a batch shares the batch's allocations instead of deep-copying every
+    /// key.
+    bases: HashMap<Arc<CanonicalKey>, (WarmStart, u64)>,
     /// Installation log `(stamp, key)`, oldest first.  A refresh appends a
     /// new entry instead of rescanning the log, leaving the old one
     /// *stale* (its stamp no longer matches the map's); eviction skips
     /// stale entries lazily, and the log is compacted when stale entries
     /// outnumber live ones — so a refresh is O(1) amortised instead of
     /// O(capacity).
-    installed: VecDeque<(u64, CanonicalKey)>,
+    installed: VecDeque<(u64, Arc<CanonicalKey>)>,
     next_stamp: u64,
     capacity: usize,
 }
@@ -575,13 +635,13 @@ impl ClassBasisCache {
     /// Installs (or refreshes) one class basis, evicting the least recently
     /// installed entry when the capacity is exceeded.  Empty bases
     /// (party-less classes) are ignored — they could never seed a solve.
-    pub fn install(&mut self, key: CanonicalKey, seed: WarmStart) {
+    pub fn install(&mut self, key: Arc<CanonicalKey>, seed: WarmStart) {
         if seed.basis.is_empty() {
             return;
         }
         let stamp = self.next_stamp;
         self.next_stamp += 1;
-        self.bases.insert(key.clone(), (seed, stamp));
+        self.bases.insert(Arc::clone(&key), (seed, stamp));
         self.installed.push_back((stamp, key));
         while self.bases.len() > self.capacity {
             let (stamp, key) =
@@ -607,7 +667,7 @@ impl ClassBasisCache {
     pub fn absorb(&mut self, batch: &LocalLpBatch) {
         for (key, basis) in batch.class_keys.iter().zip(&batch.class_bases) {
             if !basis.is_empty() {
-                self.install(key.clone(), WarmStart { basis: basis.clone() });
+                self.install(Arc::clone(key), WarmStart { basis: basis.clone() });
             }
         }
     }
@@ -714,6 +774,19 @@ fn run_pipeline<B: SolveBackend>(
     backend: &B,
     reuse: Option<&ClassBasisCache>,
 ) -> Result<LocalLpBatch, EngineError> {
+    // Lifted mode's grid coarseness, validated up front: `None` in the
+    // exact modes, `Some(ε)` under `SolveMode::Lifted`.
+    let lifted_epsilon = match options.mode {
+        SolveMode::Lifted { epsilon } => {
+            if !epsilon.is_finite() || epsilon < 0.0 {
+                return Err(EngineError::InvalidOptions(format!(
+                    "lifted epsilon must be finite and non-negative, got {epsilon}"
+                )));
+            }
+            Some(epsilon)
+        }
+        SolveMode::Batched | SolveMode::NaivePerAgent => None,
+    };
     let n = instance.num_agents();
     if n == 0 {
         return Ok(LocalLpBatch {
@@ -722,6 +795,8 @@ fn run_pipeline<B: SolveBackend>(
             class_of_ball: vec![],
             class_bases: vec![],
             class_keys: vec![],
+            ball_objectives: vec![],
+            intervals: vec![],
             stats: SolveStats::default(),
         });
     }
@@ -739,45 +814,54 @@ fn run_pipeline<B: SolveBackend>(
     // order (= agent order), so the numbering matches a sequential sweep.
     let mut balls: Vec<Vec<usize>> = Vec::with_capacity(n);
     let mut pres_of_ball: Vec<usize> = Vec::with_capacity(n);
-    let mut reps: Vec<PresentedLp> = Vec::new();
-    {
-        let mut global_ids: HashMap<Vec<u64>, usize> = HashMap::new();
-        for shard_out in run.outputs {
-            let mut local_to_global = Vec::with_capacity(shard_out.reps.len());
-            for lp in shard_out.reps {
-                let id = match global_ids.get(lp.key.as_slice()) {
-                    Some(&id) => id,
-                    None => {
-                        let id = reps.len();
-                        global_ids.insert(lp.key.clone(), id);
-                        reps.push(lp);
-                        id
-                    }
-                };
-                local_to_global.push(id);
-            }
-            balls.extend(shard_out.balls);
-            pres_of_ball.extend(shard_out.pres_of_ball.into_iter().map(|p| local_to_global[p]));
-        }
+    let (reps, shard_maps) = merge_presentations(run.outputs);
+    for (shard_out, map) in shard_maps {
+        balls.extend(shard_out.balls);
+        pres_of_ball.extend(shard_out.pres_of_ball.into_iter().map(|p| map[p]));
     }
     stage_shards.push(run.stats);
     timings.enumerate = stage.elapsed();
 
     // ---- Stage 2: canonicalise the unique presentations; each shard also
     // returns its local canonical-class table (phase 1 of the class dedup).
+    // Lifted mode runs the quantising variant of the stage instead, which
+    // additionally reports each presentation's measured slack.
     let stage = Instant::now();
-    let run = backend.execute_stage(
-        reps.len(),
-        &CanonWireStage { instances: reps.iter().map(|r| &r.instance).collect() },
-    )?;
     // Flatten the forms (shard order = presentation order), then merge the
-    // per-shard class tables (phase 2).
+    // per-shard class tables (phase 2).  `slack_of_pres[p]` is presentation
+    // `p`'s measured quantisation slack (all zeros in the exact modes).
     let mut forms: Vec<CanonicalForm> = Vec::with_capacity(reps.len());
+    let mut slack_of_pres: Vec<f64> = Vec::with_capacity(reps.len());
     let mut shard_tables: Vec<(usize, Vec<usize>, Vec<usize>)> = Vec::new(); // (offset, class_reps, class_of)
-    for sc in run.outputs {
-        shard_tables.push((forms.len(), sc.class_reps, sc.class_of));
-        forms.extend(sc.forms);
-    }
+    let canon_stats = match lifted_epsilon {
+        None => {
+            let run = backend.execute_stage(
+                reps.len(),
+                &CanonWireStage { instances: reps.iter().map(|r| &r.instance).collect() },
+            )?;
+            for sc in run.outputs {
+                shard_tables.push((forms.len(), sc.class_reps, sc.class_of));
+                forms.extend(sc.forms);
+                slack_of_pres.resize(forms.len(), 0.0);
+            }
+            run.stats
+        }
+        Some(epsilon) => {
+            let run = backend.execute_stage(
+                reps.len(),
+                &LiftedCanonWireStage {
+                    instances: reps.iter().map(|r| &r.instance).collect(),
+                    epsilon,
+                },
+            )?;
+            for sq in run.outputs {
+                shard_tables.push((forms.len(), sq.classes.class_reps, sq.classes.class_of));
+                slack_of_pres.extend(sq.slacks);
+                forms.extend(sq.classes.forms);
+            }
+            run.stats
+        }
+    };
     let mut class_of_pres: Vec<usize> = vec![0; forms.len()];
     let mut class_reps: Vec<usize> = Vec::new(); // global presentation index
     {
@@ -803,7 +887,7 @@ fn run_pipeline<B: SolveBackend>(
         }
     }
     let class_of_ball: Vec<usize> = pres_of_ball.iter().map(|&p| class_of_pres[p]).collect();
-    stage_shards.push(run.stats);
+    stage_shards.push(canon_stats);
     timings.canonicalise = stage.elapsed();
 
     // ---- Stage 3: solve one job per class (batched) or per ball (naive),
@@ -816,7 +900,10 @@ fn run_pipeline<B: SolveBackend>(
     let mut warm_attempts = 0usize;
     let mut warm_accepted = 0usize;
     let (jobs, class_bases) = match options.mode {
-        SolveMode::Batched => {
+        // Lifted mode reuses the batched solve stage unchanged: the class
+        // table above already reflects the quasi partition, and every class
+        // representative is the canonical *quantised* LP.
+        SolveMode::Batched | SolveMode::Lifted { .. } => {
             // Solve order: similarity-sorted under the warm-start policy so
             // that neighbouring jobs have structurally similar LPs.
             let order: Vec<usize> = match options.warm_start {
@@ -913,8 +1000,8 @@ fn run_pipeline<B: SolveBackend>(
         .map(|u| {
             let form = &forms[pres_of_ball[u]];
             let solution = match options.mode {
-                SolveMode::Batched => class_of_ball[u],
                 SolveMode::NaivePerAgent => u,
+                SolveMode::Batched | SolveMode::Lifted { .. } => class_of_ball[u],
             };
             (form.labelling.as_slice(), solution)
         })
@@ -924,12 +1011,50 @@ fn run_pipeline<B: SolveBackend>(
     for shard_out in run.outputs {
         local_x.extend(shard_out);
     }
+
+    // The per-ball objectives (of the canonical LP each ball's class
+    // solved) and the certified intervals they induce.  Computed host-side
+    // with deterministic fold orders, so they are bit-identical across
+    // backends and — at slack 0 — across modes.
+    let ball_objectives: Vec<f64> = match options.mode {
+        SolveMode::NaivePerAgent => (0..n)
+            .map(|u| lp_objective(&forms[pres_of_ball[u]].instance, &jobs[u].x))
+            .collect(),
+        SolveMode::Batched | SolveMode::Lifted { .. } => {
+            let class_objectives: Vec<f64> = (0..num_classes)
+                .map(|c| lp_objective(&forms[class_reps[c]].instance, &jobs[c].x))
+                .collect();
+            class_of_ball.iter().map(|&c| class_objectives[c]).collect()
+        }
+    };
+    let intervals: Vec<CertifiedInterval> = (0..n)
+        .map(|u| {
+            CertifiedInterval::from_objective_and_slack(
+                ball_objectives[u],
+                slack_of_pres[pres_of_ball[u]],
+            )
+        })
+        .collect();
+    // Lifted mode scatters the *quantised* class optimiser; scaled by
+    // `1/(1+s)` it is feasible for the actual ball LP and achieves at least
+    // the interval's lower bound (see `mmlp_lp::interval`).  At slack 0 the
+    // factor is exactly 1.0, preserving bit-identity with the exact modes.
+    if lifted_epsilon.is_some() {
+        for u in 0..n {
+            let factor = 1.0 / (1.0 + slack_of_pres[pres_of_ball[u]]);
+            if factor != 1.0 {
+                for x in &mut local_x[u] {
+                    *x *= factor;
+                }
+            }
+        }
+    }
     stage_shards.push(run.stats);
     timings.scatter = stage.elapsed();
 
     let jobs_submitted = match options.mode {
-        SolveMode::Batched => num_classes,
         SolveMode::NaivePerAgent => n,
+        SolveMode::Batched | SolveMode::Lifted { .. } => num_classes,
     };
     let stats = SolveStats {
         balls_enumerated: n,
@@ -943,11 +1068,100 @@ fn run_pipeline<B: SolveBackend>(
         warm_accepted,
         dual_attempts: 0,
         dual_accepted: 0,
+        quasi_classes: num_classes,
+        max_class_slack: slack_of_pres.iter().fold(0.0, |a: f64, &s| a.max(s)),
         timings,
         stage_shards,
     };
-    let class_keys: Vec<CanonicalKey> = class_reps.iter().map(|&p| forms[p].key.clone()).collect();
-    Ok(LocalLpBatch { balls, local_x, class_of_ball, class_bases, class_keys, stats })
+    // Intern each class key once: take it out of its form (the forms are
+    // consumed here) instead of deep-copying the encoding per class.
+    let class_keys: Vec<Arc<CanonicalKey>> = class_reps
+        .iter()
+        .map(|&p| {
+            Arc::new(std::mem::replace(&mut forms[p].key, CanonicalKey::from_words(Vec::new())))
+        })
+        .collect();
+    Ok(LocalLpBatch {
+        balls,
+        local_x,
+        class_of_ball,
+        class_bases,
+        class_keys,
+        ball_objectives,
+        intervals,
+        stats,
+    })
+}
+
+/// Phase 2 of the presentation dedup, shared by the cold and incremental
+/// pipelines: merges the per-shard presentation tables into the global
+/// table (first-occurrence order over the shard scan) **without copying any
+/// presentation key** — pass 1 hashes borrowed key slices to assign global
+/// ids, pass 2 moves exactly the first-occurrence representatives out of
+/// the shard outputs.  Returns the global representatives plus each shard's
+/// output (its `reps` drained) and local→global id map.
+fn merge_presentations(
+    mut shard_outs: Vec<ShardPresentation>,
+) -> (Vec<PresentedLp>, Vec<(ShardPresentation, Vec<usize>)>) {
+    let mut rep_count = 0usize;
+    let mut maps: Vec<Vec<usize>> = Vec::with_capacity(shard_outs.len());
+    let mut fresh_flags: Vec<Vec<bool>> = Vec::with_capacity(shard_outs.len());
+    {
+        let mut global_ids: HashMap<&[u64], usize> = HashMap::new();
+        for shard_out in &shard_outs {
+            let mut local_to_global = Vec::with_capacity(shard_out.reps.len());
+            let mut flags = Vec::with_capacity(shard_out.reps.len());
+            for lp in &shard_out.reps {
+                let (id, fresh) = match global_ids.get(lp.key.as_slice()) {
+                    Some(&id) => (id, false),
+                    None => {
+                        let id = rep_count;
+                        global_ids.insert(lp.key.as_slice(), id);
+                        rep_count += 1;
+                        (id, true)
+                    }
+                };
+                local_to_global.push(id);
+                flags.push(fresh);
+            }
+            maps.push(local_to_global);
+            fresh_flags.push(flags);
+        }
+    }
+    // First occurrences appear in scan order, so moving them out in the
+    // same order lands each representative at its assigned global id.
+    let mut reps: Vec<PresentedLp> = Vec::with_capacity(rep_count);
+    let mut outs = Vec::with_capacity(shard_outs.len());
+    for (shard_out, (map, flags)) in shard_outs.iter_mut().zip(maps.into_iter().zip(fresh_flags)) {
+        for (lp, fresh) in shard_out.reps.drain(..).zip(flags) {
+            if fresh {
+                reps.push(lp);
+            }
+        }
+        outs.push(map);
+    }
+    (reps, shard_outs.into_iter().zip(outs).collect())
+}
+
+/// The max-min objective `min_k Σ_v c_kv x_v` of a solution to one
+/// (canonical) ball LP — `0.0` for a party-less LP, whose optimum is the
+/// zero vector.  Party order and member order are both deterministic, so
+/// the fold is bit-identical wherever it runs.
+pub(crate) fn lp_objective(lp: &MaxMinInstance, x: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), lp.num_agents());
+    let mut objective = f64::INFINITY;
+    for k in lp.party_ids() {
+        let mut total = 0.0;
+        for (v, c) in lp.party(k).members() {
+            total += c * x[v.index()];
+        }
+        objective = objective.min(total);
+    }
+    if objective == f64::INFINITY {
+        0.0
+    } else {
+        objective
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -976,7 +1190,8 @@ pub struct RegisteredBase {
     batch: LocalLpBatch,
     neighbors: NeighborCache,
     /// Canonical key → base class index, for the unchanged-class fast path.
-    key_to_class: HashMap<CanonicalKey, usize>,
+    /// Shares the batch's interned key `Arc`s.
+    key_to_class: HashMap<Arc<CanonicalKey>, usize>,
 }
 
 impl RegisteredBase {
@@ -1033,10 +1248,25 @@ pub fn register_base(
     options: &LocalLpOptions,
     version: u64,
 ) -> Result<RegisteredBase, EngineError> {
+    if let SolveMode::Lifted { .. } = options.mode {
+        // The incremental gates (zero-pivot exactness, dual repair) certify
+        // bit-identity to an *exact* cold solve; a lifted base would make
+        // the certified intervals of later re-solves unsound.
+        return Err(EngineError::InvalidOptions(
+            "incremental re-solves require an exact mode; register the base with \
+             SolveMode::Batched"
+                .to_string(),
+        ));
+    }
     let batch = dispatch_backend(instance, options, None)?;
     let (h, _) = communication_hypergraph(instance);
     let neighbors = h.neighbor_cache();
-    let key_to_class = batch.class_keys.iter().enumerate().map(|(c, k)| (k.clone(), c)).collect();
+    let key_to_class = batch
+        .class_keys
+        .iter()
+        .enumerate()
+        .map(|(c, k)| (Arc::clone(k), c))
+        .collect();
     Ok(RegisteredBase {
         instance: instance.clone(),
         version,
@@ -1211,26 +1441,10 @@ fn run_incremental<B: SolveBackend>(
     // of the affected list, so the numbering is backend-independent).
     let mut balls_aff: Vec<Vec<usize>> = Vec::with_capacity(affected.len());
     let mut pres_of_ball_aff: Vec<usize> = Vec::with_capacity(affected.len());
-    let mut reps: Vec<PresentedLp> = Vec::new();
-    {
-        let mut global_ids: HashMap<Vec<u64>, usize> = HashMap::new();
-        for shard_out in run.outputs {
-            let mut local_to_global = Vec::with_capacity(shard_out.reps.len());
-            for lp in shard_out.reps {
-                let id = match global_ids.get(lp.key.as_slice()) {
-                    Some(&id) => id,
-                    None => {
-                        let id = reps.len();
-                        global_ids.insert(lp.key.clone(), id);
-                        reps.push(lp);
-                        id
-                    }
-                };
-                local_to_global.push(id);
-            }
-            balls_aff.extend(shard_out.balls);
-            pres_of_ball_aff.extend(shard_out.pres_of_ball.into_iter().map(|p| local_to_global[p]));
-        }
+    let (reps, shard_maps) = merge_presentations(run.outputs);
+    for (shard_out, map) in shard_maps {
+        balls_aff.extend(shard_out.balls);
+        pres_of_ball_aff.extend(shard_out.pres_of_ball.into_iter().map(|p| map[p]));
     }
     stage_shards.push(run.stats);
     timings.enumerate = stage.elapsed();
@@ -1297,32 +1511,45 @@ fn run_incremental<B: SolveBackend>(
     }
     let aff_index: HashMap<usize, usize> =
         affected.iter().enumerate().map(|(i, &u)| (u, i)).collect();
-    let mut key_to_new: HashMap<CanonicalKey, usize> = HashMap::new();
-    let mut class_keys: Vec<CanonicalKey> = Vec::new();
+    let mut key_to_new: HashMap<Arc<CanonicalKey>, usize> = HashMap::new();
+    let mut class_keys: Vec<Arc<CanonicalKey>> = Vec::new();
     let mut sources: Vec<ClassSource> = Vec::new();
     let mut class_of_ball: Vec<usize> = Vec::with_capacity(n);
+    // Per ball this is a borrowed hash lookup only; a key is copied (into a
+    // shared `Arc`) or its `Arc` cloned once per *new class*, never per
+    // ball.
     for u in 0..n {
-        let (key, source) = match aff_index.get(&u) {
+        let id = match aff_index.get(&u) {
             Some(&i) => {
                 let rep_form = aff_class_reps[class_of_pres[pres_of_ball_aff[i]]];
-                (
-                    forms[rep_form].key.clone(),
-                    ClassSource::Fresh { rep_form, old_class: base.batch.class_of_ball[u] },
-                )
+                match key_to_new.get(&forms[rep_form].key) {
+                    Some(&id) => id,
+                    None => {
+                        let id = class_keys.len();
+                        let key = Arc::new(forms[rep_form].key.clone());
+                        key_to_new.insert(Arc::clone(&key), id);
+                        class_keys.push(key);
+                        sources.push(ClassSource::Fresh {
+                            rep_form,
+                            old_class: base.batch.class_of_ball[u],
+                        });
+                        id
+                    }
+                }
             }
             None => {
                 let c = base.batch.class_of_ball[u];
-                (base.batch.class_keys[c].clone(), ClassSource::Base(c))
-            }
-        };
-        let id = match key_to_new.get(&key) {
-            Some(&id) => id,
-            None => {
-                let id = class_keys.len();
-                key_to_new.insert(key.clone(), id);
-                class_keys.push(key);
-                sources.push(source);
-                id
+                let key = &base.batch.class_keys[c];
+                match key_to_new.get(key) {
+                    Some(&id) => id,
+                    None => {
+                        let id = class_keys.len();
+                        key_to_new.insert(Arc::clone(key), id);
+                        class_keys.push(Arc::clone(key));
+                        sources.push(ClassSource::Base(c));
+                        id
+                    }
+                }
             }
         };
         class_of_ball.push(id);
@@ -1401,12 +1628,20 @@ fn run_incremental<B: SolveBackend>(
     let stage = Instant::now();
     let balls = base.batch.balls.clone();
     let mut local_x = base.batch.local_x.clone();
+    let mut ball_objectives = base.batch.ball_objectives.clone();
     for (i, &u) in affected.iter().enumerate() {
         debug_assert_eq!(balls_aff[i], balls[u], "deltas never change a ball's membership");
         let form = &forms[pres_of_ball_aff[i]];
         let x = solutions[class_of_ball[u]].as_ref().expect("affected classes are solved");
         local_x[u] = unpermute_values(&form.labelling, x);
+        ball_objectives[u] = lp_objective(&form.instance, x);
     }
+    // The base is always an exact mode (`register_base` rejects lifted), so
+    // every interval is the degenerate exact point.
+    let intervals: Vec<CertifiedInterval> = ball_objectives
+        .iter()
+        .map(|&objective| CertifiedInterval::point(objective))
+        .collect();
     timings.scatter = stage.elapsed();
 
     let stats = SolveStats {
@@ -1423,11 +1658,22 @@ fn run_incremental<B: SolveBackend>(
         warm_accepted,
         dual_attempts,
         dual_accepted,
+        quasi_classes: class_keys.len(),
+        max_class_slack: 0.0,
         timings,
         stage_shards,
     };
     Ok((
-        LocalLpBatch { balls, local_x, class_of_ball, class_bases, class_keys, stats },
+        LocalLpBatch {
+            balls,
+            local_x,
+            class_of_ball,
+            class_bases,
+            class_keys,
+            ball_objectives,
+            intervals,
+            stats,
+        },
         resolve_wire_bytes,
     ))
 }
@@ -1448,6 +1694,14 @@ pub(crate) struct ShardClasses {
     pub(crate) class_reps: Vec<usize>,
     /// Shard-local class id of each form.
     pub(crate) class_of: Vec<usize>,
+}
+
+/// The output of one *lifted* canonicalise shard: the class table of the
+/// quantised presentations plus each presentation's measured quantisation
+/// slack (aligned with `classes.forms`).
+pub(crate) struct ShardQuasiClasses {
+    pub(crate) classes: ShardClasses,
+    pub(crate) slacks: Vec<f64>,
 }
 
 /// One solved LP job.
@@ -1546,6 +1800,31 @@ fn present_agent_list(
 /// shard-local class table (first-occurrence order).
 pub(crate) fn canonicalise_shard(instances: &[&MaxMinInstance]) -> ShardClasses {
     let forms: Vec<CanonicalForm> = instances.iter().map(|lp| canonical_form(lp)).collect();
+    let (class_reps, class_of) = class_table(&forms);
+    ShardClasses { forms, class_reps, class_of }
+}
+
+/// Stage 2 body, lifted variant: quantise every presentation onto the
+/// `(1+ε)^b` grid, canonicalise the quantised LPs and build the shard-local
+/// *quasi*-class table, recording each presentation's measured slack.  At
+/// `ε = 0` this is exactly [`canonicalise_shard`] with all-zero slacks.
+pub(crate) fn lift_shard(instances: &[&MaxMinInstance], epsilon: f64) -> ShardQuasiClasses {
+    let mut slacks = Vec::with_capacity(instances.len());
+    let forms: Vec<CanonicalForm> = instances
+        .iter()
+        .map(|lp| {
+            let quasi = quasi_canonical_form(lp, epsilon);
+            slacks.push(quasi.slack);
+            quasi.form
+        })
+        .collect();
+    let (class_reps, class_of) = class_table(&forms);
+    ShardQuasiClasses { classes: ShardClasses { forms, class_reps, class_of }, slacks }
+}
+
+/// The shard-local class dedup shared by [`canonicalise_shard`] and
+/// [`lift_shard`]: first-occurrence class numbering by canonical key.
+fn class_table(forms: &[CanonicalForm]) -> (Vec<usize>, Vec<usize>) {
     let mut by_key: HashMap<&CanonicalKey, usize> = HashMap::new();
     let mut class_reps: Vec<usize> = Vec::new();
     let mut class_of: Vec<usize> = Vec::with_capacity(forms.len());
@@ -1561,8 +1840,7 @@ pub(crate) fn canonicalise_shard(instances: &[&MaxMinInstance]) -> ShardClasses 
         };
         class_of.push(id);
     }
-    drop(by_key);
-    ShardClasses { forms, class_reps, class_of }
+    (class_reps, class_of)
 }
 
 /// Stage 3 body: solve a shard's job sequence in order, chaining warm-start
@@ -1881,9 +2159,9 @@ mod tests {
     fn basis_cache_capacity_evicts_least_recently_installed() {
         use mmlp_core::canonical::canonical_key;
         // Three structurally different instances give three distinct keys.
-        let keys: Vec<CanonicalKey> = [grid(2, false), grid(3, false), grid(4, false)]
+        let keys: Vec<Arc<CanonicalKey>> = [grid(2, false), grid(3, false), grid(4, false)]
             .iter()
-            .map(canonical_key)
+            .map(|inst| Arc::new(canonical_key(inst)))
             .collect();
         let seed = |i: usize| WarmStart { basis: vec![i] };
 

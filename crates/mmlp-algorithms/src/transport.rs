@@ -9,6 +9,7 @@
 //! | `mmlp/present@1`     | radius + full instance     | agent range                      | `ShardPresentation`        |
 //! | `mmlp/present-delta@1`| radius + version + base instance | weight edits + affected agents | `ShardPresentation`   |
 //! | `mmlp/canonicalise@1`| —                          | the shard's presented LPs        | `ShardClasses`             |
+//! | `mmlp/present-lifted@1`| grid coarseness `ε`      | the shard's presented LPs        | `ShardQuasiClasses` (classes + per-form slacks) |
 //! | `mmlp/solve@1`       | simplex options + policy   | (canonical LP, cached seed) list | solved LPs / typed errors  |
 //! | `mmlp/scatter@1`     | deduplicated solutions     | (labelling, solution idx) list   | per-ball activity vectors  |
 //!
@@ -27,9 +28,9 @@
 //! worker reports an unknown stage instead of misreading bytes.
 
 use crate::engine::{
-    canonicalise_shard, present_agents, present_shard, solve_shard, unpermute_values,
-    InstanceDelta, PresentedLp, ShardClasses, ShardPresentation, SolvedLp, WarmStartPolicy,
-    WeightEdit, WeightKind,
+    canonicalise_shard, lift_shard, present_agents, present_shard, solve_shard, unpermute_values,
+    InstanceDelta, PresentedLp, ShardClasses, ShardPresentation, ShardQuasiClasses, SolvedLp,
+    WarmStartPolicy, WeightEdit, WeightKind,
 };
 use crate::runner::{LocalRuleProgram, LOCAL_RULE_PROGRAM_ID};
 use mmlp_core::canonical::{CanonicalForm, CanonicalKey};
@@ -59,6 +60,10 @@ pub const STAGE_PRESENT: &str = "mmlp/present@1";
 pub const STAGE_PRESENT_DELTA: &str = "mmlp/present-delta@1";
 /// Stage identifier of the *canonicalise* stage.
 pub const STAGE_CANONICALISE: &str = "mmlp/canonicalise@1";
+/// Stage identifier of the lifted canonicalise stage: the context carries
+/// the grid coarseness `ε`, each job the shard's presented LPs, and the
+/// reply a quasi-class table plus each presentation's measured slack.
+pub const STAGE_PRESENT_LIFTED: &str = "mmlp/present-lifted@1";
 /// Stage identifier of the *solve* stage.
 pub const STAGE_SOLVE: &str = "mmlp/solve@1";
 /// Stage identifier of the *scatter* stage.
@@ -387,6 +392,23 @@ fn read_shard_classes(r: &mut ByteReader<'_>) -> Result<ShardClasses, WireError>
     Ok(ShardClasses { forms, class_reps, class_of })
 }
 
+fn put_shard_quasi_classes(out: &mut Vec<u8>, sq: &ShardQuasiClasses) {
+    put_shard_classes(out, &sq.classes);
+    put_f64s(out, &sq.slacks);
+}
+
+fn read_shard_quasi_classes(r: &mut ByteReader<'_>) -> Result<ShardQuasiClasses, WireError> {
+    const CTX: &str = "shard quasi classes";
+    let classes = read_shard_classes(r)?;
+    let slacks = r.f64s(CTX)?;
+    // One measured slack per form, each finite and ≥ 0 — anything else
+    // would poison the certified intervals downstream.
+    if slacks.len() != classes.forms.len() || slacks.iter().any(|s| !s.is_finite() || *s < 0.0) {
+        return Err(WireError::Decode { context: CTX });
+    }
+    Ok(ShardQuasiClasses { classes, slacks })
+}
+
 fn put_simplex_options(out: &mut Vec<u8>, options: &SimplexOptions) {
     put_f64(out, options.tolerance);
     put_usize(out, options.max_pivots);
@@ -541,6 +563,46 @@ impl WireStage for CanonWireStage<'_> {
 
     fn run_local(&self, shard: &Shard) -> Self::Output {
         canonicalise_shard(&self.instances[shard.range()])
+    }
+}
+
+/// The lifted canonicalise stage: the grid coarseness `ε` travels in the
+/// context (deduped per link, like every stage context), each job carries
+/// the shard's presented LPs, and the reply is the quasi-class table plus
+/// one measured slack per presentation.
+pub(crate) struct LiftedCanonWireStage<'a> {
+    pub(crate) instances: Vec<&'a MaxMinInstance>,
+    pub(crate) epsilon: f64,
+}
+
+impl WireStage for LiftedCanonWireStage<'_> {
+    type Output = ShardQuasiClasses;
+
+    fn stage_id(&self) -> &'static str {
+        STAGE_PRESENT_LIFTED
+    }
+
+    fn encode_context(&self, out: &mut Vec<u8>) {
+        put_f64(out, self.epsilon);
+    }
+
+    fn encode_job(&self, shard: &Shard, out: &mut Vec<u8>) {
+        put_usize(out, shard.len());
+        for lp in &self.instances[shard.range()] {
+            put_instance(out, lp);
+        }
+    }
+
+    fn decode_reply(&self, shard: &Shard, payload: &[u8]) -> Result<Self::Output, TransportError> {
+        let result = read_shard_quasi_classes(&mut ByteReader::new(payload))?;
+        if result.classes.forms.len() != shard.len() {
+            return Err(WireError::Decode { context: "present-lifted reply" }.into());
+        }
+        Ok(result)
+    }
+
+    fn run_local(&self, shard: &Shard) -> Self::Output {
+        lift_shard(&self.instances[shard.range()], self.epsilon)
     }
 }
 
@@ -732,6 +794,32 @@ fn handle_canonicalise(
     Ok(out)
 }
 
+fn handle_present_lifted(
+    ctx: &[u8],
+    job: &[u8],
+    cache: &mut StageCache,
+) -> Result<Vec<u8>, String> {
+    let epsilon = *cache.get_or_try_insert_with(|| {
+        let mut r = ByteReader::new(ctx);
+        let epsilon = r.f64("present-lifted context").map_err(wire_err)?;
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Err("present-lifted epsilon must be finite and non-negative".to_string());
+        }
+        Ok(epsilon)
+    })?;
+    let mut r = ByteReader::new(job);
+    let len = r.seq_len(1, "present-lifted job").map_err(wire_err)?;
+    let instances = (0..len)
+        .map(|_| read_instance(&mut r))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(wire_err)?;
+    let refs: Vec<&MaxMinInstance> = instances.iter().collect();
+    let result = lift_shard(&refs, epsilon);
+    let mut out = Vec::new();
+    put_shard_quasi_classes(&mut out, &result);
+    Ok(out)
+}
+
 fn handle_solve(ctx: &[u8], job: &[u8], cache: &mut StageCache) -> Result<Vec<u8>, String> {
     let (simplex, policy) = *cache.get_or_try_insert_with(|| {
         let mut r = ByteReader::new(ctx);
@@ -838,6 +926,7 @@ pub fn engine_registry() -> Arc<StageRegistry> {
             registry.register(STAGE_PRESENT, handle_present);
             registry.register(STAGE_PRESENT_DELTA, handle_present_delta);
             registry.register(STAGE_CANONICALISE, handle_canonicalise);
+            registry.register(STAGE_PRESENT_LIFTED, handle_present_lifted);
             registry.register(STAGE_SOLVE, handle_solve);
             registry.register(STAGE_SCATTER, handle_scatter);
             registry.register(STAGE_SIM_ROUND, handle_engine_sim_round);
@@ -998,6 +1087,73 @@ mod tests {
             assert_eq!(decoded.labelling, form.labelling);
             assert_eq!(decoded.instance, form.instance);
         }
+    }
+
+    #[test]
+    fn shard_quasi_classes_codec_roundtrips_and_rejects_bad_slacks() {
+        let instances = sample_instances();
+        let refs: Vec<&MaxMinInstance> = instances.iter().collect();
+        for epsilon in [0.0, 0.05, 0.5] {
+            let sq = lift_shard(&refs, epsilon);
+            let mut bytes = Vec::new();
+            put_shard_quasi_classes(&mut bytes, &sq);
+            let mut r = ByteReader::new(&bytes);
+            let decoded = read_shard_quasi_classes(&mut r).unwrap();
+            assert!(r.is_empty());
+            assert_eq!(decoded.slacks, sq.slacks);
+            assert_eq!(decoded.classes.class_reps, sq.classes.class_reps);
+            assert_eq!(decoded.classes.class_of, sq.classes.class_of);
+            for (a, b) in decoded.classes.forms.iter().zip(&sq.classes.forms) {
+                assert_eq!(a.key, b.key);
+                assert_eq!(a.labelling, b.labelling);
+                assert_eq!(a.instance, b.instance);
+            }
+            // Truncations at every prefix: typed error, no panic.
+            for cut in 0..bytes.len() {
+                assert!(
+                    read_shard_quasi_classes(&mut ByteReader::new(&bytes[..cut])).is_err(),
+                    "cut at {cut}"
+                );
+            }
+            // A negative or non-finite slack is rejected — it would poison
+            // the certified intervals.
+            for bad in [-0.25_f64, f64::NAN, f64::INFINITY] {
+                let mut corrupted = bytes.clone();
+                let n = corrupted.len();
+                corrupted[n - 8..].copy_from_slice(&bad.to_le_bytes());
+                assert!(read_shard_quasi_classes(&mut ByteReader::new(&corrupted)).is_err());
+            }
+        }
+        // ε = 0 must reproduce the exact stage's class table with all-zero
+        // slacks.
+        let exact = canonicalise_shard(&refs);
+        let lifted = lift_shard(&refs, 0.0);
+        assert!(lifted.slacks.iter().all(|&s| s == 0.0));
+        assert_eq!(lifted.classes.class_reps, exact.class_reps);
+        assert_eq!(lifted.classes.class_of, exact.class_of);
+        for (a, b) in lifted.classes.forms.iter().zip(&exact.forms) {
+            assert_eq!(a.key, b.key);
+        }
+    }
+
+    #[test]
+    fn lifted_stage_over_loopback_matches_the_in_process_reference() {
+        use crate::engine::{SolveMode, SolveStats};
+        let inst = random_instance(
+            &RandomInstanceConfig { num_agents: 24, ..Default::default() },
+            &mut StdRng::seed_from_u64(17),
+        );
+        let mut options = LocalLpOptions::new(1);
+        options.mode = SolveMode::Lifted { epsilon: 0.2 };
+        let reference = solve_local_lps(&inst, &options).unwrap();
+        let loopback = LoopbackBackend::new(engine_registry(), 3);
+        let via_wire = solve_local_lps_on(&inst, &options, &loopback).unwrap();
+        assert_eq!(via_wire.local_x, reference.local_x);
+        assert_eq!(via_wire.intervals, reference.intervals);
+        assert_eq!(via_wire.ball_objectives, reference.ball_objectives);
+        assert_eq!(via_wire.class_of_ball, reference.class_of_ball);
+        let stats = |s: &SolveStats| (s.quasi_classes, s.max_class_slack.to_bits());
+        assert_eq!(stats(&via_wire.stats), stats(&reference.stats));
     }
 
     #[test]

@@ -129,6 +129,115 @@ pub fn canonical_key(instance: &MaxMinInstance) -> CanonicalKey {
     canonical_form(instance).key
 }
 
+/// The quasi-stable (lifted) canonical form of an instance: the exact
+/// canonical form of the **weight-quantised** instance together with the
+/// relative slack the quantisation actually incurred.
+///
+/// Two instances fall into the same quasi-class iff their quantised
+/// instances are isomorphic — the quantisation snaps every coefficient onto
+/// a shared geometric grid, so coefficients that differ by a relative factor
+/// below the grid step merge, while the incidence structure is preserved
+/// exactly.  This is the colour-lifting of quasi-stable partition schemes,
+/// realised as a preprocessing step so the exact
+/// individualisation–refinement machinery (and everything keyed by
+/// [`CanonicalKey`]) is reused unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuasiCanonicalForm {
+    /// The exact canonical form of the quantised instance.  Its
+    /// [`instance`](CanonicalForm::instance) is the quantised LP that a
+    /// solver should run; its [`key`](CanonicalForm::key) identifies the
+    /// quasi-class; its [`labelling`](CanonicalForm::labelling) is a valid
+    /// agent bijection for the *original* instance too (quantisation never
+    /// changes the incidence structure).
+    pub form: CanonicalForm,
+    /// The largest relative rounding applied to any coefficient:
+    /// `max_w (w / q(w)) − 1` over all coefficients `w` of the input, where
+    /// `q(w) ≤ w` is the quantised value.  Exactly `0.0` when `epsilon = 0`
+    /// (the identity quantisation); at most `epsilon` up to floating-point
+    /// rounding of the grid itself otherwise.  The slack is *measured*, not
+    /// assumed — certification downstream uses this value, so grid-edge
+    /// float effects can never make a certificate unsound.
+    pub slack: f64,
+}
+
+/// Snaps a coefficient onto the geometric grid `(1+ε)^b`, returning the
+/// largest grid point `q` with `q ≤ w` (so `w/q − 1 ∈ [0, ε]` up to
+/// floating-point rounding of the grid itself).
+///
+/// `epsilon ≤ 0` is the identity.  `w` must be positive and finite (as every
+/// validated instance coefficient is).  The result depends only on the
+/// bucket index, so coefficients in the same bucket share the exact same
+/// representative bit pattern — which is what lets the exact canonicaliser
+/// merge them.
+pub fn quantise_weight(w: f64, epsilon: f64) -> f64 {
+    if epsilon <= 0.0 {
+        return w;
+    }
+    debug_assert!(w.is_finite() && w > 0.0, "coefficients are positive and finite");
+    let base = 1.0 + epsilon;
+    let mut b = (w.ln() / base.ln()).floor() as i32;
+    // The floating-point floor above can land one bucket off near grid
+    // edges; the guards restore the defining property q ≤ w < q·base.
+    // Only q ≤ w (and q > 0) is load-bearing for certification — the
+    // incurred slack is measured by the caller, never assumed.
+    while base.powi(b) > w {
+        b -= 1;
+    }
+    while base.powi(b + 1) <= w {
+        b += 1;
+    }
+    base.powi(b)
+}
+
+/// Computes the quasi-stable canonical form with slack tolerance `epsilon`.
+///
+/// With `epsilon = 0.0` this **is** [`canonical_form`] — same key, same
+/// labelling, bit-identical canonical instance, slack exactly `0.0`.  With
+/// `epsilon > 0`, every coefficient is first snapped down onto the geometric
+/// grid `(1+ε)^b` and the exact canonical form of the quantised instance is
+/// returned together with the measured slack (see [`QuasiCanonicalForm`]).
+pub fn quasi_canonical_form(instance: &MaxMinInstance, epsilon: f64) -> QuasiCanonicalForm {
+    if epsilon <= 0.0 {
+        return QuasiCanonicalForm { form: canonical_form(instance), slack: 0.0 };
+    }
+    let (quantised, slack) = quantise_instance(instance, epsilon);
+    QuasiCanonicalForm { form: canonical_form(&quantised), slack }
+}
+
+/// Quantises every coefficient of `instance` onto the geometric grid and
+/// returns the quantised instance plus the largest relative rounding
+/// incurred.  Incidence structure (which agent sits in which resource/party,
+/// and in what stored order) is preserved exactly.
+fn quantise_instance(instance: &MaxMinInstance, epsilon: f64) -> (MaxMinInstance, f64) {
+    let mut slack = 0.0f64;
+    let mut q = |w: f64| -> f64 {
+        let snapped = quantise_weight(w, epsilon);
+        slack = slack.max(w / snapped - 1.0);
+        snapped
+    };
+    let agents = instance
+        .agents
+        .iter()
+        .map(|a| Agent {
+            resources: a.resources.iter().map(|&(i, w)| (i, q(w))).collect(),
+            parties: a.parties.iter().map(|&(k, w)| (k, q(w))).collect(),
+        })
+        .collect();
+    // The same coefficient is stored in both orientations; `quantise_weight`
+    // is a pure function of the bits, so the mirrored copies stay equal.
+    let resources = instance
+        .resources
+        .iter()
+        .map(|r| Resource { agents: r.agents.iter().map(|&(v, w)| (v, q(w))).collect() })
+        .collect();
+    let parties = instance
+        .parties
+        .iter()
+        .map(|p| Party { agents: p.agents.iter().map(|&(v, w)| (v, q(w))).collect() })
+        .collect();
+    (MaxMinInstance { agents, resources, parties }, slack)
+}
+
 /// Immutable view of the instance used throughout refinement and search.
 struct Context<'a> {
     instance: &'a MaxMinInstance,
@@ -587,6 +696,104 @@ mod tests {
         let original = form.unpermute(&canonical_values);
         for (v, value) in original.iter().enumerate() {
             assert_eq!(*value, 10.0 + form.labelling[v] as f64);
+        }
+    }
+
+    #[test]
+    fn quasi_form_at_zero_epsilon_is_the_exact_form() {
+        let inst = cycle4();
+        let exact = canonical_form(&inst);
+        let quasi = quasi_canonical_form(&inst, 0.0);
+        assert_eq!(quasi.form, exact);
+        assert_eq!(quasi.slack, 0.0);
+        // Negative ε is clamped to the identity as well.
+        assert_eq!(quasi_canonical_form(&inst, -1.0).form, exact);
+    }
+
+    #[test]
+    fn quasi_form_merges_epsilon_close_weights() {
+        // Two copies of the 2-agent instance whose coefficients differ by a
+        // small relative jitter: exact keys differ, quasi keys coincide.
+        let build = |a: f64, c: f64| {
+            let mut b = InstanceBuilder::new();
+            let v = b.add_agents(2);
+            let i = b.add_resource();
+            b.set_consumption(i, v[0], 1.0);
+            b.set_consumption(i, v[1], a);
+            let k = b.add_party();
+            b.set_benefit(k, v[0], c);
+            b.build().unwrap()
+        };
+        let lhs = build(1.0, 1.0);
+        let rhs = build(1.04, 1.02);
+        assert_ne!(canonical_key(&lhs), canonical_key(&rhs));
+        let ql = quasi_canonical_form(&lhs, 0.1);
+        let qr = quasi_canonical_form(&rhs, 0.1);
+        assert_eq!(ql.form.key, qr.form.key);
+        assert_eq!(ql.form.instance, qr.form.instance);
+        assert_eq!(ql.slack, 0.0, "weights already on the grid incur no slack");
+        assert!(qr.slack > 0.0 && qr.slack <= 0.1, "slack {}", qr.slack);
+        // Weights a full bucket apart stay distinct.
+        assert_ne!(ql.form.key, quasi_canonical_form(&build(1.2, 1.0), 0.1).form.key);
+    }
+
+    #[test]
+    fn quantise_weight_respects_the_grid_invariants() {
+        // q ≤ w < q·(1+ε) over a wide sweep of magnitudes and tolerances,
+        // including values adjacent to bucket edges.
+        for &epsilon in &[1e-6f64, 1e-3, 0.05, 0.5, 3.0] {
+            let base = 1.0 + epsilon;
+            for exp in [-200i32, -8, -1, 0, 1, 7, 150] {
+                let edge = base.powi(exp);
+                for w in [
+                    edge,
+                    edge * (1.0 + f64::EPSILON),
+                    edge * (1.0 - f64::EPSILON),
+                    edge * (1.0 + epsilon / 2.0),
+                    1e-12,
+                    0.3,
+                    1.0,
+                    7.25,
+                    1e15,
+                ] {
+                    let q = quantise_weight(w, epsilon);
+                    assert!(q > 0.0 && q <= w, "q={q} w={w} ε={epsilon}");
+                    assert!(w / q <= base * (1.0 + 1e-12), "q={q} w={w} ε={epsilon}");
+                    // Deterministic: a pure function of the bits.
+                    assert_eq!(q.to_bits(), quantise_weight(w, epsilon).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quasi_slack_is_measured_not_assumed() {
+        // The slack reported is exactly max(w/q − 1) over the coefficients.
+        let mut b = InstanceBuilder::new();
+        let v = b.add_agents(2);
+        let i = b.add_resource();
+        b.set_consumption(i, v[0], 1.0);
+        b.set_consumption(i, v[1], 1.07);
+        let k = b.add_party();
+        b.set_benefit(k, v[0], 2.3);
+        let inst = b.build().unwrap();
+        let epsilon = 0.1;
+        let quasi = quasi_canonical_form(&inst, epsilon);
+        // black_box keeps the recomputation on the runtime code path: with
+        // constant arguments the optimiser const-folds `quantise_weight`
+        // (its `ln`/`powi` fold through a different evaluation than libm),
+        // which is an ulp off the library's runtime result in release.
+        let expected = [1.0f64, 1.07, 2.3]
+            .iter()
+            .map(|&w| w / quantise_weight(std::hint::black_box(w), epsilon) - 1.0)
+            .fold(0.0f64, f64::max);
+        assert_eq!(quasi.slack, expected);
+        assert!(quasi.slack <= epsilon + 1e-12);
+        // And the quantised canonical instance really carries grid weights.
+        for i in quasi.form.instance.resource_ids() {
+            for &(_, w) in quasi.form.instance.resource(i).members() {
+                assert_eq!(w.to_bits(), quantise_weight(w, epsilon).to_bits());
+            }
         }
     }
 

@@ -35,7 +35,10 @@ pub mod instance;
 pub mod solution;
 
 pub use builder::InstanceBuilder;
-pub use canonical::{canonical_form, canonical_key, CanonicalForm, CanonicalKey};
+pub use canonical::{
+    canonical_form, canonical_key, quantise_weight, quasi_canonical_form, CanonicalForm,
+    CanonicalKey, QuasiCanonicalForm,
+};
 pub use error::{CoreError, ValidationError};
 pub use ids::{AgentId, PartyId, ResourceId};
 pub use instance::{Agent, DegreeBounds, MaxMinInstance, Party, Resource};

@@ -74,6 +74,7 @@ fn main() {
                 ("presentations", s.distinct_presentations as f64),
                 ("classes", s.unique_classes as f64),
                 ("solves", s.lp_solves as f64),
+                ("dedup_ratio", s.dedup_ratio()),
                 ("cache_hit_rate", s.cache_hit_rate()),
                 ("pivots", s.total_pivots as f64),
                 ("installs", s.total_installs as f64),

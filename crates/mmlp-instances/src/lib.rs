@@ -9,6 +9,9 @@
 //! * [`isp`] — the ISP / customer variant sketched at the end of Section 2;
 //! * [`random`] — random bounded-degree instances for stress testing and for
 //!   measuring the safe algorithm's behaviour across degree bounds;
+//! * [`skewed`] — degree-skewed random bipartite instances plus a weight
+//!   jitter wrapper, the irregular workloads targeted by the engine's lifted
+//!   (quasi-class) solve mode;
 //! * [`hypertree`] — complete `(d,D)`-ary hypertrees (Section 4.2);
 //! * [`bipartite`] — regular bipartite graphs with girth guarantees, the
 //!   template `Q` of the lower-bound construction;
@@ -26,6 +29,7 @@ pub mod isp;
 pub mod lower_bound;
 pub mod random;
 pub mod sensor;
+pub mod skewed;
 
 pub use bipartite::{
     circulant_bipartite, even_cycle, graph_instance, regular_bipartite_with_girth,
@@ -36,3 +40,4 @@ pub use isp::{isp_instance, IspConfig};
 pub use lower_bound::{alternating_solution, LowerBoundConfig, LowerBoundInstance, SubInstance};
 pub use random::{random_instance, RandomInstanceConfig};
 pub use sensor::{sensor_network_instance, SensorNetworkConfig, SensorNetworkInstance};
+pub use skewed::{jitter_weights, skewed_bipartite_instance, SkewedBipartiteConfig};

@@ -1,0 +1,290 @@
+//! Degree-skewed random bipartite instances and weight jitter.
+//!
+//! The regular generators (grids, hypertrees, sensor networks) are the
+//! paper's home turf: almost every radius-`R` ball is structurally
+//! identical, so the batched engine's exact dedup collapses the work.  This
+//! module produces the *opposite* regime — the irregular workloads the
+//! lifted (quasi-class) solve mode is built for:
+//!
+//! * [`skewed_bipartite_instance`] — a random bipartite agent–resource /
+//!   agent–party structure where every support contains one *anchor* agent
+//!   drawn with power-law popularity `(v+1)^{-skew}` (a few hub agents
+//!   anchor many supports) and uniform tail members.  Support sizes stay
+//!   bounded (the paper's degree-bound setting), so the topology repeats
+//!   small hub-and-leaf motifs while the hub degrees themselves are wildly
+//!   heterogeneous.
+//! * [`jitter_weights`] — multiplies every coefficient of an existing
+//!   instance by an independent `1 + U[0, relative)` factor.  Exact
+//!   canonical dedup is destroyed by even infinitesimal jitter (bit-equal
+//!   keys require bit-equal weights), while lifted mode at `ε ≥ relative`
+//!   snaps all jittered unit weights back onto one grid point — which is
+//!   precisely the separation experiment E14 measures.
+
+use mmlp_core::{InstanceBuilder, MaxMinInstance};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the degree-skewed bipartite generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SkewedBipartiteConfig {
+    /// Number of agents `|V|`.
+    pub num_agents: usize,
+    /// Number of resources `|I|` (before the repair step that gives
+    /// resource-less agents a private resource).
+    pub num_resources: usize,
+    /// Number of beneficiary parties `|K|`.
+    pub num_parties: usize,
+    /// Support size of every resource (`Δ_I^V`), clamped to the agent count.
+    pub resource_support: usize,
+    /// Support size of every party (`Δ_K^V`), clamped to the agent count.
+    pub party_support: usize,
+    /// Power-law exponent of the *anchor* popularity `(v+1)^{-skew}`: the
+    /// first member of every support is drawn with this weighting (`0.0` is
+    /// uniform; larger values concentrate anchors on the low-index hub
+    /// agents), the remaining members uniformly.
+    pub skew: f64,
+    /// Relative weight jitter: every coefficient is `1 + U[0, jitter)`
+    /// instead of exactly `1.0`.  `0.0` keeps unit weights (the exact-dedup
+    /// friendly regime).
+    pub weight_jitter: f64,
+}
+
+impl Default for SkewedBipartiteConfig {
+    fn default() -> Self {
+        Self {
+            num_agents: 120,
+            num_resources: 90,
+            num_parties: 80,
+            resource_support: 2,
+            party_support: 2,
+            skew: 1.2,
+            weight_jitter: 0.0,
+        }
+    }
+}
+
+/// Draws a support of `size` distinct agents: the first (the *anchor*)
+/// with probability proportional to the power-law popularity
+/// `(v+1)^{-skew}` by roulette selection, the rest uniformly without
+/// replacement.  Anchoring only the first pick is what makes the tail of
+/// the degree distribution repeat small motifs (uniform leaves hanging off
+/// a few heavy hubs) instead of wiring hubs to hubs.
+fn sample_skewed<R: Rng>(popularity: &[f64], size: usize, rng: &mut R) -> Vec<usize> {
+    let n = popularity.len();
+    let mut support = Vec::with_capacity(size);
+    let mut taken = vec![false; n];
+    let total: f64 = popularity.iter().sum();
+    let mut target = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+    let mut anchor = n - 1;
+    for (v, &p) in popularity.iter().enumerate() {
+        if target < p {
+            anchor = v;
+            break;
+        }
+        target -= p;
+    }
+    taken[anchor] = true;
+    support.push(anchor);
+    for picked in 1..size {
+        // The k-th untaken agent, uniformly.
+        let k = rng.gen_range(0..n - picked);
+        let chosen = (0..n)
+            .filter(|&v| !taken[v])
+            .nth(k)
+            .expect("k ranges over the untaken agents");
+        taken[chosen] = true;
+        support.push(chosen);
+    }
+    support.sort_unstable();
+    support
+}
+
+/// Generates a degree-skewed random bipartite instance (see the module
+/// docs).  Every agent is guaranteed to consume at least one resource:
+/// agents left out of all sampled supports receive a private resource, the
+/// same repair the uniform [`random`](crate::random) generator performs.
+pub fn skewed_bipartite_instance<R: Rng>(
+    cfg: &SkewedBipartiteConfig,
+    rng: &mut R,
+) -> MaxMinInstance {
+    assert!(cfg.num_agents > 0 && cfg.num_parties > 0);
+    assert!(cfg.resource_support > 0 && cfg.party_support > 0);
+    assert!(cfg.skew >= 0.0 && cfg.skew.is_finite(), "skew must be finite and non-negative");
+    assert!(
+        cfg.weight_jitter >= 0.0 && cfg.weight_jitter.is_finite(),
+        "weight jitter must be finite and non-negative"
+    );
+
+    let popularity: Vec<f64> =
+        (0..cfg.num_agents).map(|v| ((v + 1) as f64).powf(-cfg.skew)).collect();
+    let mut b = InstanceBuilder::with_capacity(
+        cfg.num_agents,
+        cfg.num_resources + cfg.num_agents,
+        cfg.num_parties,
+    );
+    let agents = b.add_agents(cfg.num_agents);
+    let weight = |rng: &mut R| {
+        if cfg.weight_jitter > 0.0 {
+            1.0 + rng.gen_range(0.0..cfg.weight_jitter)
+        } else {
+            1.0
+        }
+    };
+
+    let mut has_resource = vec![false; cfg.num_agents];
+    for _ in 0..cfg.num_resources {
+        let size = cfg.resource_support.min(cfg.num_agents);
+        let support = sample_skewed(&popularity, size, rng);
+        let i = b.add_resource();
+        for &v in &support {
+            b.set_consumption(i, agents[v], weight(rng));
+            has_resource[v] = true;
+        }
+    }
+    // Repair: every agent must consume at least one resource.
+    for (v, has) in has_resource.iter().enumerate() {
+        if !has {
+            let i = b.add_resource();
+            b.set_consumption(i, agents[v], weight(rng));
+        }
+    }
+
+    for _ in 0..cfg.num_parties {
+        let size = cfg.party_support.min(cfg.num_agents);
+        let support = sample_skewed(&popularity, size, rng);
+        let k = b.add_party();
+        for &v in &support {
+            b.set_benefit(k, agents[v], weight(rng));
+        }
+    }
+
+    b.build().expect("skewed construction repairs all degeneracies")
+}
+
+/// Multiplies every coefficient of `instance` by an independent factor
+/// `1 + U[0, relative)` — the irregularity wrapper that turns any regular
+/// workload into a lifted-mode stress case.  The topology (all support
+/// sets) is untouched; with `relative ≤ 0` the instance is returned
+/// unchanged.
+///
+/// Resources are jittered first, then parties, each in index order with
+/// members in stored order, so the output is deterministic given the
+/// generator state.
+pub fn jitter_weights<R: Rng>(
+    instance: &MaxMinInstance,
+    relative: f64,
+    rng: &mut R,
+) -> MaxMinInstance {
+    assert!(relative.is_finite(), "jitter must be finite");
+    if relative <= 0.0 {
+        return instance.clone();
+    }
+    let mut b = InstanceBuilder::with_capacity(
+        instance.num_agents(),
+        instance.num_resources(),
+        instance.num_parties(),
+    );
+    // Lower-bound style instances legitimately contain unconstrained agents.
+    b.allow_unconstrained_agents();
+    let agents = b.add_agents(instance.num_agents());
+    for i in instance.resource_ids() {
+        let ri = b.add_resource();
+        for (v, a) in instance.resource(i).members() {
+            b.set_consumption(ri, agents[v.index()], a * (1.0 + rng.gen_range(0.0..relative)));
+        }
+    }
+    for k in instance.party_ids() {
+        let pk = b.add_party();
+        for (v, c) in instance.party(k).members() {
+            b.set_benefit(pk, agents[v.index()], c * (1.0 + rng.gen_range(0.0..relative)));
+        }
+    }
+    b.build().expect("multiplicative jitter preserves instance validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{grid_instance, GridConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn respects_support_sizes_and_repairs_resourceless_agents() {
+        let cfg = SkewedBipartiteConfig {
+            num_agents: 60,
+            num_resources: 10,
+            resource_support: 3,
+            party_support: 2,
+            ..Default::default()
+        };
+        let inst = skewed_bipartite_instance(&cfg, &mut rng(1));
+        let d = inst.degree_bounds();
+        assert!(d.max_resource_support <= 3);
+        assert!(d.max_party_support <= 2);
+        for v in inst.agent_ids() {
+            assert!(inst.agent_resources(v).count() >= 1, "agent {v:?} has no resource");
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_membership_on_hub_agents() {
+        let cfg = SkewedBipartiteConfig { skew: 2.0, ..Default::default() };
+        let inst = skewed_bipartite_instance(&cfg, &mut rng(2));
+        let degree = |v: usize| {
+            inst.agent_ids()
+                .nth(v)
+                .map(|id| inst.agent_resources(id).count() + inst.agent_parties(id).count())
+                .unwrap()
+        };
+        // The first decile of agents must collectively out-degree the last:
+        // that is what "skewed" means here.
+        let head: usize = (0..cfg.num_agents / 10).map(degree).sum();
+        let tail: usize = (cfg.num_agents - cfg.num_agents / 10..cfg.num_agents).map(degree).sum();
+        assert!(head > 2 * tail, "head degree {head} vs tail degree {tail}");
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_jitter_stays_in_range() {
+        let cfg = SkewedBipartiteConfig { weight_jitter: 0.05, ..Default::default() };
+        let a = skewed_bipartite_instance(&cfg, &mut rng(7));
+        let b = skewed_bipartite_instance(&cfg, &mut rng(7));
+        assert_eq!(a, b);
+        for i in a.resource_ids() {
+            for (_, w) in a.resource(i).members() {
+                assert!((1.0..1.05).contains(w), "weight {w} out of jitter range");
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_wrapper_preserves_topology_and_bounds_weights() {
+        let base = grid_instance(
+            &GridConfig { side_lengths: vec![4, 4], torus: true, random_weights: false },
+            &mut rng(3),
+        );
+        let jittered = jitter_weights(&base, 0.1, &mut rng(4));
+        assert_eq!(jittered.num_agents(), base.num_agents());
+        assert_eq!(jittered.num_resources(), base.num_resources());
+        assert_eq!(jittered.num_parties(), base.num_parties());
+        for (i, j) in base.resource_ids().zip(jittered.resource_ids()) {
+            let before = base.resource(i).members();
+            let after = jittered.resource(j).members();
+            assert_eq!(before.len(), after.len());
+            for ((v0, w0), (v1, w1)) in before.iter().zip(after) {
+                assert_eq!(v0, v1, "jitter must not move support");
+                assert!(*w1 >= *w0 && *w1 < w0 * 1.1, "{w0} -> {w1}");
+            }
+        }
+        // Zero jitter is the identity.
+        assert_eq!(jitter_weights(&base, 0.0, &mut rng(5)), base);
+        // And distinct draws make exact keys distinct: no two resource
+        // weights repair to the same bit pattern in practice.
+        let again = jitter_weights(&base, 0.1, &mut rng(6));
+        assert_ne!(jittered, again);
+    }
+}

@@ -1,0 +1,121 @@
+//! Certified error intervals for lifted (quasi-class) solves.
+//!
+//! The lifted engine mode solves one LP per *quasi*-class: the ball LP with
+//! every coefficient snapped down onto the geometric grid `(1+ε)^b`.  For a
+//! ball whose coefficients were rounded by at most a relative slack `s`
+//! (`q ≤ w ≤ (1+s)·q` for every coefficient `w` and its grid point `q`), the
+//! exact ball optimum `ω*` and the quantised optimum `ω̃` bracket each other:
+//!
+//! * the exact optimiser `x*` is feasible for the quantised LP (consumptions
+//!   only shrink) with objective at least `ω*/(1+s)` (benefits shrink by at
+//!   most that factor), so `ω̃ ≥ ω*/(1+s)`;
+//! * the quantised optimiser `x̃`, scaled by `1/(1+s)`, is feasible for the
+//!   exact LP (consumptions grew by at most `1+s`) with objective at least
+//!   `ω̃/(1+s)` (benefits only grew), so `ω* ≥ ω̃/(1+s)`.
+//!
+//! Hence `ω* ∈ [ω̃/(1+s), ω̃·(1+s)]` — the [`CertifiedInterval`] shipped with
+//! every scattered lifted solution.  The slack `s` is *measured* during
+//! quantisation (never assumed to equal ε), so the certificate stays sound
+//! even when a coefficient straddles a grid edge in floating point.
+
+/// A certified bracket around the exact optimum of one ball LP, derived from
+/// the measured quantisation slack of a lifted solve (see the
+/// [module docs](self)).  At slack `0` the interval degenerates to the exact
+/// point `[ω, ω]` bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CertifiedInterval {
+    /// Certified lower bound: the quantised optimum scaled by `1/(1+s)` —
+    /// actually *achieved* by the scattered (rescaled) local solution.
+    pub lower: f64,
+    /// Certified upper bound `ω̃·(1+s)`.
+    pub upper: f64,
+}
+
+impl CertifiedInterval {
+    /// The interval `[ω̃/(1+s), ω̃·(1+s)]` certified by a quantised optimum
+    /// `objective = ω̃` under a measured relative slack `slack = s ≥ 0`.
+    ///
+    /// With `slack == 0.0` both bounds are bit-identical to `objective`
+    /// (division and multiplication by exactly `1.0`), which is what lets
+    /// the `ε = 0` lifted mode reproduce the exact mode bit-for-bit.
+    pub fn from_objective_and_slack(objective: f64, slack: f64) -> Self {
+        debug_assert!(slack >= 0.0, "slack is a measured maximum of w/q − 1 ≥ 0");
+        let factor = 1.0 + slack;
+        Self { lower: objective / factor, upper: objective * factor }
+    }
+
+    /// The degenerate point interval `[value, value]` (an exact solve).
+    pub fn point(value: f64) -> Self {
+        Self { lower: value, upper: value }
+    }
+
+    /// Whether `value` lies in the interval, up to an absolute tolerance
+    /// for solver floating point.
+    pub fn contains(&self, value: f64, tolerance: f64) -> bool {
+        value >= self.lower - tolerance && value <= self.upper + tolerance
+    }
+
+    /// Absolute width `upper − lower` (0 for an exact solve).
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// Relative width `upper / lower` — the certified approximation factor
+    /// `(1+s)²`.  Defined as `1.0` for the degenerate `[0, 0]` interval of a
+    /// party-less ball (whose optimum is exactly 0), and `∞` when the lower
+    /// bound vanishes under a positive upper bound.
+    pub fn relative_width(&self) -> f64 {
+        if self.lower > 0.0 {
+            self.upper / self.lower
+        } else if self.upper == self.lower {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_slack_is_a_bitwise_point() {
+        for objective in [0.0, 0.25, 1.0, 3.5e-3, 1.7e9] {
+            let interval = CertifiedInterval::from_objective_and_slack(objective, 0.0);
+            assert_eq!(interval.lower.to_bits(), objective.to_bits());
+            assert_eq!(interval.upper.to_bits(), objective.to_bits());
+            assert_eq!(interval, CertifiedInterval::point(objective));
+            assert_eq!(interval.width(), 0.0);
+        }
+    }
+
+    #[test]
+    fn positive_slack_brackets_the_objective() {
+        let interval = CertifiedInterval::from_objective_and_slack(2.0, 0.1);
+        assert!(interval.lower < 2.0 && 2.0 < interval.upper);
+        assert!(interval.contains(2.0, 0.0));
+        assert!(interval.contains(2.0 / 1.1, 1e-12));
+        assert!(interval.contains(2.2, 1e-12));
+        assert!(!interval.contains(2.0 * 1.1 + 1e-6, 1e-9));
+        assert!(!interval.contains(2.0 / 1.1 - 1e-6, 1e-9));
+        let rel = interval.relative_width();
+        assert!((rel - 1.1f64 * 1.1).abs() < 1e-12, "rel {rel}");
+    }
+
+    #[test]
+    fn degenerate_intervals_have_sane_relative_width() {
+        assert_eq!(CertifiedInterval::point(0.0).relative_width(), 1.0);
+        assert_eq!(CertifiedInterval { lower: 0.0, upper: 1.0 }.relative_width(), f64::INFINITY);
+    }
+
+    #[test]
+    fn relative_width_grows_with_slack() {
+        let mut previous = 1.0;
+        for slack in [0.0, 1e-6, 1e-3, 0.05, 0.3] {
+            let rel = CertifiedInterval::from_objective_and_slack(1.5, slack).relative_width();
+            assert!(rel >= previous, "slack {slack}: {rel} < {previous}");
+            previous = rel;
+        }
+    }
+}

@@ -19,10 +19,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod interval;
 pub mod maxmin;
 pub mod problem;
 pub mod simplex;
 
+pub use interval::CertifiedInterval;
 pub use maxmin::{
     build_maxmin_lp, solve_maxmin, solve_maxmin_dual_resumed, solve_maxmin_resumed,
     solve_maxmin_seeded, solve_maxmin_warm, solve_maxmin_with, MaxMinOptimum, SeededSolveReport,

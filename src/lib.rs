@@ -133,8 +133,9 @@ pub mod prelude {
         WeightEdit, WeightKind, WireRule, SAFE_HORIZON,
     };
     pub use crate::core::{
-        bounds, canonical_form, canonical_key, AgentId, CanonicalForm, CanonicalKey, DegreeBounds,
-        InstanceBuilder, MaxMinInstance, PartyId, ResourceId, Solution,
+        bounds, canonical_form, canonical_key, quantise_weight, quasi_canonical_form, AgentId,
+        CanonicalForm, CanonicalKey, DegreeBounds, InstanceBuilder, MaxMinInstance, PartyId,
+        QuasiCanonicalForm, ResourceId, Solution,
     };
     pub use crate::distsim::{
         distsim_registry, gather_views, Action, CheckpointPolicy, EpochTicket, GatherMessage,
@@ -146,14 +147,15 @@ pub mod prelude {
     };
     pub use crate::instances::{
         alternating_solution, circulant_bipartite, graph_instance, grid_instance,
-        hypertree_instance, isp_instance, random_instance, regular_bipartite_with_girth,
-        sensor_network_instance, GridConfig, IspConfig, LowerBoundConfig, LowerBoundInstance,
-        RandomInstanceConfig, SensorNetworkConfig, SensorNetworkInstance,
+        hypertree_instance, isp_instance, jitter_weights, random_instance,
+        regular_bipartite_with_girth, sensor_network_instance, skewed_bipartite_instance,
+        GridConfig, IspConfig, LowerBoundConfig, LowerBoundInstance, RandomInstanceConfig,
+        SensorNetworkConfig, SensorNetworkInstance, SkewedBipartiteConfig,
     };
     pub use crate::lp::{
         solve_maxmin, solve_maxmin_dual_resumed, solve_maxmin_resumed, solve_maxmin_seeded,
-        solve_maxmin_warm, solve_maxmin_with, LpProblem, LpStatus, SeededSolveReport,
-        SimplexOptions, WarmStart,
+        solve_maxmin_warm, solve_maxmin_with, CertifiedInterval, LpProblem, LpStatus,
+        SeededSolveReport, SimplexOptions, WarmStart,
     };
     pub use crate::parallel::{
         backend_map, par_map, par_map_with, probe_worker, BackendKind, DriverMode, FaultPlan,

@@ -167,9 +167,64 @@ proptest! {
         prop_assert_eq!(stats.cache_hits, stats.balls_enumerated - stats.unique_classes);
         prop_assert!(stats.unique_classes >= 1);
         prop_assert_eq!(batch.class_bases.len(), stats.unique_classes);
+        prop_assert_eq!(stats.quasi_classes, stats.unique_classes);
+        prop_assert_eq!(stats.max_class_slack.to_bits(), 0.0f64.to_bits());
+        prop_assert!(stats.dedup_ratio() >= 1.0);
         for (u, ball) in batch.balls.iter().enumerate() {
             prop_assert!(batch.class_of_ball[u] < stats.unique_classes);
             prop_assert_eq!(batch.local_x[u].len(), ball.len());
+        }
+    }
+
+    #[test]
+    fn lifted_at_epsilon_zero_is_the_batched_engine((cfg, seed) in instance_config(), radius in 1usize..3) {
+        let inst = random_instance(&cfg, &mut StdRng::seed_from_u64(seed));
+        let batched = solve_local_lps(&inst, &LocalLpOptions::new(radius)).unwrap();
+        let lifted = solve_local_lps(
+            &inst,
+            &LocalLpOptions {
+                mode: SolveMode::Lifted { epsilon: 0.0 },
+                ..LocalLpOptions::new(radius)
+            },
+        )
+        .unwrap();
+        // Bit-identical across the board — `assert_eq!`, no tolerances.
+        prop_assert_eq!(&lifted.local_x, &batched.local_x);
+        prop_assert_eq!(&lifted.class_of_ball, &batched.class_of_ball);
+        prop_assert_eq!(&lifted.class_keys, &batched.class_keys);
+        prop_assert_eq!(&lifted.ball_objectives, &batched.ball_objectives);
+        prop_assert_eq!(&lifted.intervals, &batched.intervals);
+        prop_assert_eq!(lifted.stats.unique_classes, batched.stats.unique_classes);
+        prop_assert_eq!(lifted.stats.quasi_classes, batched.stats.quasi_classes);
+    }
+
+    #[test]
+    fn lifted_certificates_bracket_the_exact_ball_optima(
+        (cfg, seed) in instance_config(),
+        epsilon in 0.0f64..0.6,
+    ) {
+        let inst = random_instance(&cfg, &mut StdRng::seed_from_u64(seed));
+        let exact = solve_local_lps(&inst, &LocalLpOptions::new(1)).unwrap();
+        let lifted = solve_local_lps(
+            &inst,
+            &LocalLpOptions { mode: SolveMode::Lifted { epsilon }, ..LocalLpOptions::new(1) },
+        )
+        .unwrap();
+        let stats = &lifted.stats;
+        // Quantisation can only merge classes, never split them, and the
+        // measured slack never exceeds the grid coarseness it came from.
+        prop_assert!(stats.quasi_classes <= exact.stats.unique_classes);
+        prop_assert!(stats.max_class_slack >= 0.0);
+        prop_assert!(stats.max_class_slack <= epsilon + 1e-12);
+        for u in 0..inst.num_agents() {
+            prop_assert!(
+                lifted.intervals[u].contains(exact.ball_objectives[u], 1e-7),
+                "agent {}: exact {} outside {:?}",
+                u,
+                exact.ball_objectives[u],
+                lifted.intervals[u]
+            );
+            prop_assert!(lifted.intervals[u].contains(lifted.ball_objectives[u], 0.0));
         }
     }
 }
